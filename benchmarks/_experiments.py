@@ -1,0 +1,329 @@
+"""Shared experiment drivers for the benchmark suite.
+
+Each ``run_*`` function regenerates one of the paper's artifacts (figure,
+listing, or Results-section claim) and returns a
+:class:`~repro.report.tables.Table` whose rows are the reproduction's
+measured counterpart.  The ``bench_*`` pytest files time these drivers;
+``python benchmarks/run_experiments.py`` renders all tables to markdown
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.designs import get_design
+from repro.flow import VerificationSession
+from repro.genai.personas import PAPER_MODELS
+from repro.hdl import elaborate
+from repro.mc import ProofEngine, Status
+from repro.mc.engine import EngineConfig
+from repro.report import Table
+from repro.sva import MonitorContext
+
+SEED = 1
+
+
+# ---------------------------------------------------------------------------
+# E1 — Listings 1-3 + Fig. 3: the synchronized-counters case study
+# ---------------------------------------------------------------------------
+
+def run_e1() -> Table:
+    table = Table(["step", "status", "k", "proof time (s)",
+                   "SAT conflicts"],
+                  title="E1: sync_counters equal_count "
+                        "(paper Listings 1-3, Figs. 2-3)")
+    session = VerificationSession(get_design("sync_counters"),
+                                  model="gpt-4o", seed=SEED)
+    baseline = session.prove_direct("equal_count")
+    table.add_row("plain k-induction", baseline.status.value, baseline.k,
+                  baseline.stats.wall_seconds, baseline.stats.conflicts)
+    assert baseline.status is Status.UNKNOWN
+    repair = session.repair("equal_count")
+    assert repair.converged and repair.final is not None
+    table.add_row("repair flow (LLM helper)", repair.final.status.value,
+                  repair.final.k, repair.final.stats.wall_seconds,
+                  repair.final.stats.conflicts)
+    helper_text = "; ".join(
+        " ".join(h.source_text.split()) for h in repair.helpers)
+    table.add_row("helper used", helper_text[:46], "-", "-", "-")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — Fig. 1 lemma-generation flow across the suite
+# ---------------------------------------------------------------------------
+
+E2_CASES = [
+    ("sync_counters", ["equal_count"]),
+    ("fifo_ctrl", ["occupancy_bound", "empty_means_zero"]),
+    ("lfsr16", ["never_zero"]),
+    ("shift_pipe", ["stage_consistency"]),
+    ("updown_counter", ["upper_bound"]),
+]
+
+
+def run_e2(model: str = "gpt-4o") -> Table:
+    table = Table(["design", "emitted", "proven lemmas", "target",
+                   "without", "with", "effect"],
+                  title=f"E2: lemma-generation flow (Fig. 1), {model}")
+    for design_name, targets in E2_CASES:
+        session = VerificationSession(get_design(design_name),
+                                      model=model, seed=SEED)
+        result = session.lemma_flow(targets=targets)
+        for comparison in result.targets:
+            if comparison.enabled_proof:
+                effect = "enabled proof"
+            elif comparison.speedup > 1.05:
+                effect = f"x{comparison.speedup:.1f} faster"
+            else:
+                effect = "-"
+            table.add_row(design_name, result.stats.assertions_emitted,
+                          len(result.lemmas), comparison.name,
+                          comparison.without.status.value,
+                          comparison.with_lemmas.status.value, effect)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 — Fig. 2 induction-repair flow across the induction-failing suite
+# ---------------------------------------------------------------------------
+
+E3_CASES = [
+    ("sync_counters", "equal_count"),
+    ("fifo_ctrl", "occupancy_bound"),
+    ("fifo_ctrl", "empty_means_zero"),
+    ("rr_arbiter", "grant_onehot0"),
+    ("traffic_onehot", "mutual_exclusion"),
+    ("ecc_pipeline", "no_error_clean"),
+]
+
+
+def run_e3(model: str = "gpt-4o") -> Table:
+    table = Table(["design.property", "status", "iters", "helpers",
+                   "final k", "llm (s)", "proof (s)"],
+                  title=f"E3: induction-repair flow (Fig. 2), {model}")
+    for design_name, prop_name in E3_CASES:
+        session = VerificationSession(get_design(design_name),
+                                      model=model, seed=SEED)
+        result = session.repair(prop_name)
+        table.add_row(f"{design_name}.{prop_name}", result.status.value,
+                      len(result.iterations), len(result.helpers),
+                      result.final.k if result.final else "-",
+                      result.stats.llm_latency_s,
+                      result.stats.proof_wall_s)
+    # The seeded-bug control: the flow must report the violation.
+    session = VerificationSession(get_design("sync_counters_bug"),
+                                  model=model, seed=SEED)
+    result = session.repair("counters_equal")
+    table.add_row("sync_counters_bug.counters_equal", result.status.value,
+                  len(result.iterations), len(result.helpers), "-",
+                  result.stats.llm_latency_s, result.stats.proof_wall_s)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E4 — Section V model comparison
+# ---------------------------------------------------------------------------
+
+E4_CASES = [
+    ("sync_counters", "equal_count"),
+    ("fifo_ctrl", "occupancy_bound"),
+    ("traffic_onehot", "mutual_exclusion"),
+]
+E4_SEEDS = (0, 1, 2)
+
+
+def run_e4() -> Table:
+    table = Table(["model", "emitted", "parse ok", "resolve ok",
+                   "proven", "hallucination rate", "converged",
+                   "avg llm (s)"],
+                  title="E4: assertion quality by model (paper Sec. V)")
+    for model in PAPER_MODELS:
+        emitted = parsed = resolved = proven = converged = runs = 0
+        latency = 0.0
+        for design_name, prop_name in E4_CASES:
+            for seed in E4_SEEDS:
+                session = VerificationSession(get_design(design_name),
+                                              model=model, seed=seed)
+                result = session.repair(prop_name)
+                runs += 1
+                emitted += result.stats.assertions_emitted
+                parsed += result.stats.assertions_parsed
+                resolved += result.stats.assertions_resolved
+                proven += result.stats.assertions_proven
+                converged += int(result.converged)
+                latency += result.stats.llm_latency_s
+        halluc = 1.0 - (resolved / emitted) if emitted else 0.0
+        table.add_row(model, emitted, parsed, resolved, proven,
+                      f"{halluc:.2f}", f"{converged}/{runs}",
+                      latency / max(runs, 1))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 — "faster proof for complex properties": width sweep + ECC depth
+# ---------------------------------------------------------------------------
+
+E5_WIDTHS = (8, 16, 32, 48)
+
+
+def run_e5() -> Table:
+    table = Table(["case", "without helper", "t (s)", "with helper",
+                   "t (s)", "effect"],
+                  title="E5: proof effort, helper vs none (paper Sec. V)")
+    design = get_design("sync_counters")
+    for width in E5_WIDTHS:
+        system = elaborate(design.rtl, params={"W": width},
+                           name=f"sync{width}")
+        ctx = MonitorContext(system)
+        target = ctx.add(f"&count1 |-> &count2", name="equal_count")
+        helper = ctx.add("count1 == count2", name="helper")
+        engine = ProofEngine(ctx.system, EngineConfig(max_k=2))
+        t0 = time.perf_counter()
+        without = engine.prove(target, max_k=2)
+        t_without = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        helper_result = engine.prove(helper, max_k=1)
+        assert helper_result.status is Status.PROVEN
+        engine.add_lemma("helper", helper.good, helper.valid_from)
+        with_helper = engine.prove(target, max_k=2)
+        t_with = time.perf_counter() - t0
+        effect = "enabled proof" if (
+            without.status is not Status.PROVEN
+            and with_helper.status is Status.PROVEN) else "-"
+        table.add_row(f"sync_counters W={width}", without.status.value,
+                      t_without, with_helper.status.value, t_with, effect)
+    # ECC: the helper closes the decode-correctness proof at k=1 where
+    # the unaided induction must deepen to k=2.  We report both wall
+    # times honestly: on this substrate the k=2 proof is affordable, so
+    # the helper's measured benefit is convergence depth (and hence
+    # scalability), which is the paper's qualitative claim.
+    ecc = get_design("ecc_pipeline")
+    ctx = MonitorContext(ecc.system())
+    target = ctx.add(ecc.property_spec("single_error_corrected").sva,
+                     name="single_error_corrected")
+    engine = ProofEngine(ctx.system, EngineConfig(max_k=2))
+    t0 = time.perf_counter()
+    without = engine.prove(target, max_k=2)
+    t_without = time.perf_counter() - t0
+    name, sva = ecc.golden_helpers[0]
+    helper = ctx.add(sva, name=name)
+    t0 = time.perf_counter()
+    helper_result = engine.prove(helper, max_k=1)
+    assert helper_result.status is Status.PROVEN
+    engine.add_lemma(name, helper.good, helper.valid_from)
+    with_helper = engine.prove(target, max_k=1)
+    t_with = time.perf_counter() - t0
+    table.add_row("ecc single_error_corrected",
+                  f"{without.status.value} (k={without.k})", t_without,
+                  f"{with_helper.status.value} (k={with_helper.k})",
+                  t_with, "closes at k=1 (vs k=2)")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E6 — k-induction background behaviour (paper Sec. II-A)
+# ---------------------------------------------------------------------------
+
+def run_e6() -> Table:
+    table = Table(["case", "max_k", "status", "k", "t (s)"],
+                  title="E6: induction depth and simple-path ablation")
+    shift = get_design("shift_pipe")
+    for max_k in (1, 2, 3):
+        session = VerificationSession(shift)
+        result = session.prove_direct("latency3", max_k=max_k)
+        table.add_row("shift_pipe.latency3", max_k, result.status.value,
+                      result.k, result.stats.wall_seconds)
+    gray = get_design("gray_counter")
+    session = VerificationSession(gray)
+    result = session.prove_direct("unit_distance", max_k=2)
+    table.add_row("gray_counter.unit_distance", 2, result.status.value,
+                  result.k, result.stats.wall_seconds)
+    # BMC alone only covers its bound (the paper's Sec. II-A point).
+    sync = VerificationSession(get_design("sync_counters"))
+    bounded = sync.bmc("counters_equal", bound=10)
+    table.add_row("sync_counters BMC bound=10", "-", bounded.status.value,
+                  bounded.k, bounded.stats.wall_seconds)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A1 — Houdini ablation: screening and fixpoint vs trusting the LLM
+# ---------------------------------------------------------------------------
+
+def run_a1() -> Table:
+    from repro.flow.houdini import houdini_prove
+    table = Table(["candidate set", "input", "proven", "dropped",
+                   "rounds", "t (s)"],
+                  title="A1: Houdini fixpoint on mixed candidate sets")
+    design = get_design("fifo_ctrl")
+    sets = {
+        "golden only": ["count == wptr - rptr"],
+        "golden + true-but-noninductive": ["count == wptr - rptr",
+                                           "count <= 5'd16"],
+        "golden + false junk": ["count == wptr - rptr",
+                                "count < 5'd2", "wptr == rptr"],
+        "junk only": ["count < 5'd2", "wptr != rptr"],
+    }
+    for label, bodies in sets.items():
+        ctx = MonitorContext(design.system())
+        candidates = [ctx.add(b, name=f"c{i}")
+                      for i, b in enumerate(bodies)]
+        t0 = time.perf_counter()
+        result = houdini_prove(ctx.system, candidates, max_k=2)
+        table.add_row(label, len(bodies), len(result.proven),
+                      len(result.dropped), result.rounds,
+                      time.perf_counter() - t0)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A2 — engine micro-measurements under the proof-time numbers
+# ---------------------------------------------------------------------------
+
+def run_a2() -> Table:
+    from repro.aig.bitblast import BitBlaster
+    from repro.ir import expr as E
+    from repro.sat.solver import Solver
+    table = Table(["micro-benchmark", "size", "t (s)"],
+                  title="A2: engine micro-measurements")
+    for width in (16, 32, 64):
+        t0 = time.perf_counter()
+        bb = BitBlaster()
+        bb.blast(E.add(E.var("a", width), E.var("b", width)))
+        table.add_row(f"bit-blast {width}-bit adder", bb.aig.num_ands,
+                      time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    solver = Solver()
+    v = {}
+    for p in range(7):
+        for h in range(6):
+            v[p, h] = solver.add_var()
+    for p in range(7):
+        solver.add_clause([v[p, h] for h in range(6)])
+    for h in range(6):
+        for p1 in range(7):
+            for p2 in range(p1 + 1, 7):
+                solver.add_clause([-v[p1, h], -v[p2, h]])
+    assert solver.solve() is False
+    table.add_row("CDCL pigeonhole PHP(7,6) UNSAT",
+                  solver.stats.conflicts, time.perf_counter() - t0)
+    session = VerificationSession(get_design("sync_counters"))
+    t0 = time.perf_counter()
+    session.bmc("counters_equal", bound=15)
+    table.add_row("BMC 15 frames, 32-bit counters", 15,
+                  time.perf_counter() - t0)
+    return table
+
+
+ALL_EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "A1": run_a1,
+    "A2": run_a2,
+}

@@ -1,0 +1,20 @@
+"""A1 — Houdini-fixpoint ablation (the flows' soundness gate).
+
+Quantifies what the Section VI hallucination warning costs to enforce:
+mixed candidate sets are filtered down to their maximal inductive subset;
+false junk is always dropped, mutually-supporting sets survive together.
+"""
+
+from _experiments import run_a1
+
+
+def test_a1_houdini_ablation(benchmark):
+    table = benchmark.pedantic(run_a1, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {row[0]: row for row in table.rows}
+    assert rows["golden only"][2] == "1"
+    assert rows["golden + true-but-noninductive"][2] == "2"  # co-inductive
+    assert rows["golden + false junk"][2] == "1"
+    assert rows["golden + false junk"][3] == "2"
+    assert rows["junk only"][2] == "0"

@@ -1,0 +1,10 @@
+"""A2 — engine micro-benchmarks underpinning the proof-time numbers."""
+
+from _experiments import run_a2
+
+
+def test_a2_engine_micro(benchmark):
+    table = benchmark.pedantic(run_a2, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    assert len(table.rows) >= 5

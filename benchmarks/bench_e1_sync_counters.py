@@ -1,0 +1,19 @@
+"""E1 — the paper's running example (Listings 1-3, Figs. 2-3).
+
+Regenerates: induction-step failure on ``equal_count``, the Fig. 3-style
+counterexample, the LLM helper ``count1 == count2`` (Listing 3), and the
+closed proof.  Paper-vs-ours shape: without the helper induction does not
+converge; with it the proof closes at k=1.
+"""
+
+from _experiments import run_e1
+
+
+def test_e1_sync_counters_case_study(benchmark):
+    table = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {row[0]: row for row in table.rows}
+    assert rows["plain k-induction"][1] == "unknown"
+    assert rows["repair flow (LLM helper)"][1] == "proven"
+    assert rows["repair flow (LLM helper)"][2] == "1"

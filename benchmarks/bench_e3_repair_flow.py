@@ -1,0 +1,21 @@
+"""E3 — the Fig. 2 induction-repair flow across the failing suite.
+
+Regenerates the paper's central loop on every induction-failing property
+(counters, FIFO, arbiter, FSM, ECC) plus the seeded-bug control.  Shape
+check: every true property converges to ``proven`` and the bug design
+reports ``violated`` (GenAI must not repair real bugs).
+"""
+
+from _experiments import run_e3
+
+
+def test_e3_repair_flow_suite(benchmark):
+    table = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    for row in table.rows:
+        name, status = row[0], row[1]
+        if name.startswith("sync_counters_bug"):
+            assert status == "violated"
+        else:
+            assert status == "proven", f"{name} did not converge"

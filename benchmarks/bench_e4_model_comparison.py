@@ -1,0 +1,35 @@
+"""E4 — the Section V model comparison.
+
+Regenerates the paper's observation that the quality of generated
+assertions is much better for OpenAI models (GPT-4-Turbo, GPT-4o) than
+for Llama or Gemini.  Shape check: both OpenAI personas beat both
+open/competitor personas on proven-assertion yield and hallucination
+rate, and converge at least as often.
+"""
+
+from _experiments import run_e4
+
+
+def test_e4_model_comparison(benchmark):
+    table = benchmark.pedantic(run_e4, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {row[0]: row for row in table.rows}
+
+    def proven_rate(model):
+        emitted = int(rows[model][1])
+        return int(rows[model][4]) / max(emitted, 1)
+
+    def halluc(model):
+        return float(rows[model][5])
+
+    def converged(model):
+        done, total = rows[model][6].split("/")
+        return int(done) / int(total)
+
+    for strong in ("gpt-4-turbo", "gpt-4o"):
+        for weak in ("llama-3-70b", "gemini-1.5-pro"):
+            assert proven_rate(strong) > proven_rate(weak), \
+                f"{strong} should out-prove {weak}"
+            assert halluc(strong) < halluc(weak)
+            assert converged(strong) >= converged(weak)

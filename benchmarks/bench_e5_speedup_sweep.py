@@ -1,0 +1,23 @@
+"""E5 — proof effort with vs without helpers (Results section).
+
+Sweeps the paper's counter pair across widths and measures the ECC
+decode proof at its two convergence depths.  Shape check: for every
+width the unaided induction fails while the helper-strengthened proof
+closes; the ECC helper reduces the convergence depth to k=1.
+"""
+
+from _experiments import run_e5
+
+
+def test_e5_speedup_sweep(benchmark):
+    table = benchmark.pedantic(run_e5, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    for row in table.rows:
+        case, without, _t1, with_, _t2, effect = row
+        if case.startswith("sync_counters"):
+            assert without == "unknown"
+            assert with_ == "proven"
+            assert effect == "enabled proof"
+        else:
+            assert "k=1" in with_

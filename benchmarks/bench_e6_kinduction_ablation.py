@@ -1,0 +1,22 @@
+"""E6 — k-induction background behaviour (paper Sec. II-A).
+
+Quantifies the textbook statements the paper builds on: BMC only covers
+its bound; induction depth matters (a 3-stage pipeline property needs
+k=3); monitor warm-up interacts with the base case.
+"""
+
+from _experiments import run_e6
+
+
+def test_e6_kinduction_ablation(benchmark):
+    table = benchmark.pedantic(run_e6, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    latency_rows = [r for r in table.rows
+                    if r[0] == "shift_pipe.latency3"]
+    by_k = {r[1]: r[2] for r in latency_rows}
+    assert by_k["1"] == "unknown"
+    assert by_k["2"] == "unknown"
+    assert by_k["3"] == "proven"
+    bmc_row = [r for r in table.rows if "BMC" in r[0]][0]
+    assert bmc_row[2] == "bounded_ok"  # a bound is not a proof

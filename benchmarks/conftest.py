@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each experiment driver is executed once per benchmark (rounds=1): the
+drivers run whole verification flows whose internal statistics — not
+statistical timing repetition — are the quantity of interest, and several
+take tens of seconds.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_experiments` importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table and emit a markdown report.
+
+Usage: python benchmarks/run_experiments.py [EXPERIMENT_ID ...]
+
+Writes the rendered tables to stdout (text) and to
+``benchmarks/results.md`` (markdown) for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _experiments import ALL_EXPERIMENTS  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(ALL_EXPERIMENTS)
+    sections = []
+    for exp_id in wanted:
+        driver = ALL_EXPERIMENTS.get(exp_id.upper())
+        if driver is None:
+            print(f"unknown experiment {exp_id!r}; "
+                  f"available: {sorted(ALL_EXPERIMENTS)}")
+            return 1
+        start = time.perf_counter()
+        table = driver()
+        elapsed = time.perf_counter() - start
+        print(table.to_text())
+        print(f"({exp_id} regenerated in {elapsed:.1f}s)\n")
+        sections.append(table.to_markdown() +
+                        f"\n*(regenerated in {elapsed:.1f}s)*\n")
+    out_path = Path(__file__).parent / "results.md"
+    out_path.write_text("# Measured experiment tables\n\n" +
+                        "\n".join(sections))
+    print(f"markdown written to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""repro — GenAI-augmented induction-based formal verification.
+
+A from-scratch reproduction of Kumar & Gadde, *Generative AI Augmented
+Induction-based Formal Verification* (IEEE SOCC 2024, arXiv:2407.18965):
+an RTL formal-verification stack (SystemVerilog-subset frontend, SVA
+properties, bit-blasting, CDCL SAT, BMC and k-induction) plus the paper's
+two LLM flows — specification/RTL-driven helper-assertion generation
+(Fig. 1) and counterexample-driven induction repair (Fig. 2) — running
+against offline simulated LLM personas calibrated to the paper's
+GPT-4-Turbo / GPT-4o / Llama / Gemini comparison.
+
+Quick start::
+
+    from repro import VerificationSession, get_design
+
+    session = VerificationSession(get_design("sync_counters"),
+                                  model="gpt-4o")
+    result = session.repair("equal_count")
+    print("\\n".join(result.summary_lines()))
+
+Subsystem map: :mod:`repro.hdl` (RTL frontend), :mod:`repro.sva`
+(properties), :mod:`repro.ir`/:mod:`repro.sim` (model + simulator),
+:mod:`repro.aig`/:mod:`repro.sat` (proof engine core), :mod:`repro.mc`
+(BMC/k-induction), :mod:`repro.trace` (CEX/waveforms), :mod:`repro.genai`
+(LLM substrate), :mod:`repro.flow` (the paper's flows),
+:mod:`repro.designs` (the evaluated design suite).
+"""
+
+from repro.designs import Design, PropertySpec, all_designs, get_design
+from repro.flow import (
+    InductionRepairFlow,
+    LemmaGenerationFlow,
+    VerificationSession,
+)
+from repro.genai import SimulatedLLM, get_persona, list_personas
+from repro.hdl import elaborate
+from repro.mc import CheckResult, ProofEngine, SafetyProperty, Status
+from repro.sva import MonitorContext, compile_property
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckResult",
+    "Design",
+    "InductionRepairFlow",
+    "LemmaGenerationFlow",
+    "MonitorContext",
+    "ProofEngine",
+    "PropertySpec",
+    "SafetyProperty",
+    "SimulatedLLM",
+    "Status",
+    "VerificationSession",
+    "all_designs",
+    "compile_property",
+    "elaborate",
+    "get_design",
+    "get_persona",
+    "list_personas",
+    "__version__",
+]

@@ -1,0 +1,113 @@
+"""Tseitin transformation from AIGs to CNF.
+
+:class:`CnfBuilder` tracks how much of a (monotonically growing) AIG it has
+already encoded, so the model checker can keep blasting new unrolled frames
+into the same AIG and only pay clauses for the delta.  DIMACS variable 1 is
+reserved as the constant-true variable, pinned by a unit clause; this keeps
+constant literals uniform instead of special-casing them in every clause.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aig.graph import AIG, is_negated, node_of
+from repro.sat.solver import Solver
+
+
+class CnfBuilder:
+    """Maintains the AIG-to-DIMACS mapping and feeds a SAT solver."""
+
+    def __init__(self, aig: AIG, solver: Solver):
+        self.aig = aig
+        self.solver = solver
+        self._node_var: dict[int, int] = {}
+        self._encoded_upto = 1  # AIG nodes below this already have clauses
+        self._const_var = solver.add_var()
+        solver.add_clause([self._const_var])  # var 1 is TRUE
+
+    # ------------------------------------------------------------------
+
+    def lit_to_dimacs(self, lit: int) -> int:
+        """DIMACS literal for an AIG literal (encodes as needed)."""
+        self.encode_new_nodes()
+        node = node_of(lit)
+        if node == 0:
+            base = self._const_var  # node 0 is constant FALSE
+            return -base if not is_negated(lit) else base
+        var = self._node_var.get(node)
+        if var is None:
+            # Node created after the last encode pass (shouldn't happen
+            # because encode_new_nodes ran above, but inputs never get
+            # Tseitin clauses and are allocated lazily here).
+            var = self.solver.add_var()
+            self._node_var[node] = var
+        return -var if is_negated(lit) else var
+
+    def encode_new_nodes(self) -> None:
+        """Emit Tseitin clauses for AND nodes added since the last call."""
+        top = self.aig.num_nodes
+        if self._encoded_upto >= top:
+            return
+        for node in range(self._encoded_upto, top):
+            if not self.aig.is_and(node):
+                # Primary input: allocate its variable eagerly so model
+                # extraction can see it even if no clause mentions it.
+                if node not in self._node_var:
+                    self._node_var[node] = self.solver.add_var()
+                continue
+            a, b = self.aig.fanins(node)
+            v = self._var_for(node)
+            da = self._dimacs_nocheck(a)
+            db = self._dimacs_nocheck(b)
+            # v <-> (da & db)
+            self.solver.add_clause([-v, da])
+            self.solver.add_clause([-v, db])
+            self.solver.add_clause([v, -da, -db])
+        self._encoded_upto = top
+
+    def assert_lit(self, lit: int) -> None:
+        """Add a unit clause forcing an AIG literal true."""
+        self.solver.add_clause([self.lit_to_dimacs(lit)])
+
+    def assert_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause over AIG literals."""
+        self.solver.add_clause([self.lit_to_dimacs(l) for l in lits])
+
+    def assumption(self, lit: int) -> int:
+        """DIMACS literal suitable for use in ``solve(assumptions=...)``."""
+        return self.lit_to_dimacs(lit)
+
+    def lit_value(self, lit: int) -> bool:
+        """Value of an AIG literal in the solver's current model."""
+        node = node_of(lit)
+        if node == 0:
+            value = False
+        else:
+            var = self._node_var.get(node)
+            value = bool(self.solver.model_value(var)) if var else False
+        return value ^ is_negated(lit)
+
+    def bits_value(self, lits: Sequence[int]) -> int:
+        """Integer value of an LSB-first literal vector in the model."""
+        result = 0
+        for i, lit in enumerate(lits):
+            if self.lit_value(lit):
+                result |= 1 << i
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _var_for(self, node: int) -> int:
+        var = self._node_var.get(node)
+        if var is None:
+            var = self.solver.add_var()
+            self._node_var[node] = var
+        return var
+
+    def _dimacs_nocheck(self, lit: int) -> int:
+        node = node_of(lit)
+        if node == 0:
+            return self._const_var if is_negated(lit) else -self._const_var
+        var = self._var_for(node)
+        return -var if is_negated(lit) else var

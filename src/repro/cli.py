@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-verify list                         # designs and properties
+    repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
+    repro-verify bmc    DESIGN PROP [--bound]
+    repro-verify repair DESIGN PROP [--model] # Fig. 2 flow
+    repro-verify lemma  DESIGN [--model]      # Fig. 1 flow
+    repro-verify wave   DESIGN PROP           # show the step CEX waveform
+    repro-verify models                       # available personas
+
+(Also available as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.designs import all_designs, get_design
+from repro.flow import VerificationSession
+from repro.genai import get_persona, list_personas
+from repro.mc import Status
+from repro.report import Table
+from repro.trace.wave import render_for_prompt
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    table = Table(["design", "family", "property", "expected",
+                   "needs helper"], title="built-in design suite")
+    for design in all_designs():
+        for prop in design.properties:
+            table.add_row(design.name, design.family, prop.name,
+                          prop.expect, "yes" if prop.needs_helper else "")
+    print(table.to_text())
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    table = Table(["model", "vendor", "recall", "hallucination", "junk"],
+                  title="simulated LLM personas")
+    for name in list_personas():
+        persona = get_persona(name)
+        table.add_row(persona.name, persona.vendor,
+                      f"{persona.recall:.2f}",
+                      f"{persona.hallucination_rate:.2f}",
+                      f"{persona.extra_junk:.1f}")
+    print(table.to_text())
+    return 0
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    session = VerificationSession(get_design(args.design))
+    result = session.prove_direct(args.property, max_k=args.max_k)
+    print(result.one_line())
+    return 0 if result.status is Status.PROVEN else 1
+
+
+def _cmd_bmc(args: argparse.Namespace) -> int:
+    session = VerificationSession(get_design(args.design))
+    result = session.bmc(args.property, bound=args.bound)
+    print(result.one_line())
+    if result.cex is not None:
+        from repro.trace.wave import render_wave
+        print(render_wave(result.cex))
+    return 0 if result.status is not Status.VIOLATED else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    session = VerificationSession(get_design(args.design),
+                                  model=args.model, seed=args.seed)
+    result = session.repair(args.property)
+    print("\n".join(result.summary_lines()))
+    for outcome in result.outcomes:
+        print("  " + outcome.one_line())
+    return 0 if result.converged else 1
+
+
+def _cmd_lemma(args: argparse.Namespace) -> int:
+    session = VerificationSession(get_design(args.design),
+                                  model=args.model, seed=args.seed)
+    result = session.lemma_flow()
+    print("\n".join(result.summary_lines()))
+    for outcome in result.outcomes:
+        print("  " + outcome.one_line())
+    return 0
+
+
+def _cmd_wave(args: argparse.Namespace) -> int:
+    session = VerificationSession(get_design(args.design))
+    result = session.prove_direct(args.property)
+    print(result.one_line())
+    if result.step_cex is not None:
+        print()
+        print(render_for_prompt(result.step_cex))
+        return 0
+    print("no induction-step counterexample to show")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="GenAI-augmented induction-based formal verification "
+                    "(SOCC 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list designs and properties") \
+        .set_defaults(func=_cmd_list)
+    sub.add_parser("models", help="list simulated LLM personas") \
+        .set_defaults(func=_cmd_models)
+
+    p = sub.add_parser("prove", help="k-induction without GenAI")
+    p.add_argument("design")
+    p.add_argument("property")
+    p.add_argument("--max-k", type=int, default=None)
+    p.set_defaults(func=_cmd_prove)
+
+    p = sub.add_parser("bmc", help="bounded model checking")
+    p.add_argument("design")
+    p.add_argument("property")
+    p.add_argument("--bound", type=int, default=20)
+    p.set_defaults(func=_cmd_bmc)
+
+    p = sub.add_parser("repair", help="Fig. 2 induction-repair flow")
+    p.add_argument("design")
+    p.add_argument("property")
+    p.add_argument("--model", default="gpt-4o")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_repair)
+
+    p = sub.add_parser("lemma", help="Fig. 1 lemma-generation flow")
+    p.add_argument("design")
+    p.add_argument("--model", default="gpt-4o")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_lemma)
+
+    p = sub.add_parser("wave", help="show an induction-step CEX waveform")
+    p.add_argument("design")
+    p.add_argument("property")
+    p.set_defaults(func=_cmd_wave)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

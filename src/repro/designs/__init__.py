@@ -1,0 +1,16 @@
+"""Built-in design suite: RTL + specification + properties per design.
+
+The suite covers the paper's two evaluated families (counters and ECC)
+plus the classic induction-failure patterns the flows must handle (FIFO
+occupancy, one-hot arbitration/FSMs, shadow pipelines).  Each entry is a
+:class:`~repro.designs.base.Design` bundle: RTL source, a prose
+specification document (the Fig. 1 flow's first input), target properties
+with expected verdicts, and reference ("golden") helper lemmas used by
+tests to validate flow output quality.
+"""
+
+from repro.designs.base import Design, PropertySpec
+from repro.designs.registry import all_designs, design_names, get_design
+
+__all__ = ["Design", "PropertySpec", "all_designs", "design_names",
+           "get_design"]

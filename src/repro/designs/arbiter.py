@@ -1,0 +1,120 @@
+"""Round-robin arbiter — one-hot pointer strengthening.
+
+The grant network uses the double-vector trick to pick the first
+requester at or after the pointer.  Its correctness (grant is one-hot-0)
+relies on the pointer being one-hot; from an arbitrary non-one-hot
+pointer the network can grant several requesters at once, so plain
+induction fails and ``$onehot(ptr)`` is the needed helper.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import Design, PropertySpec
+
+ARBITER_RTL = """\
+module rr_arbiter (
+  input clk, rst,
+  input [3:0] req,
+  output [3:0] grant
+);
+  logic [3:0] ptr;   // one-hot pointer to the highest-priority requester
+  wire [7:0] double   = {req, req};
+  wire [7:0] sub      = double - {4'b0000, ptr};
+  wire [7:0] isolated = double & ~sub;
+  assign grant = isolated[3:0] | isolated[7:4];
+  always_ff @(posedge clk) begin
+    if (rst)
+      ptr <= 4'b0001;
+    else if (grant != 4'b0000)
+      ptr <= {grant[2:0], grant[3]};   // rotate past the winner
+  end
+endmodule
+"""
+
+ARBITER_SPEC = """\
+# Round-robin arbiter (4 requesters)
+
+A work-conserving round-robin arbiter.  A one-hot pointer marks the
+highest-priority requester; the grant network picks the first asserted
+request at or after the pointer, wrapping around.  At most one grant is
+asserted per cycle (the grant vector is one-hot or zero), a grant is only
+given to an asserted request, and after a grant the pointer rotates to
+just past the winner so service stays fair.
+"""
+
+rr_arbiter = Design(
+    name="rr_arbiter",
+    family="control",
+    rtl=ARBITER_RTL,
+    spec=ARBITER_SPEC,
+    properties=[
+        PropertySpec(
+            name="grant_onehot0",
+            sva="$onehot0(grant)",
+            expect="proven", needs_helper=True, max_k=3),
+        PropertySpec(
+            name="grant_subset_req",
+            sva="(grant & ~req) == 4'h0",
+            expect="proven", needs_helper=False, max_k=2),
+        PropertySpec(
+            name="ptr_onehot",
+            sva="$onehot(ptr)",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    golden_helpers=[
+        ("ptr_onehot_helper", "$onehot(ptr)"),
+    ],
+    notes="Grant one-hot-ness needs the pointer one-hot invariant; "
+          "the one-hot template mines it from the reset value and "
+          "simulation.")
+
+
+FSM_RTL = """\
+module traffic_onehot (
+  input clk, rst,
+  input advance,
+  output ns_green, ew_green
+);
+  // States (one-hot): 0 idle, 1 north-south green, 2 east-west green,
+  // 3 all-red recovery.
+  logic [3:0] state;
+  always_ff @(posedge clk) begin
+    if (rst)
+      state <= 4'b0001;
+    else if (advance)
+      state <= {state[2:0], state[3]};   // one-hot rotation
+  end
+  assign ns_green = state[1];
+  assign ew_green = state[2];
+endmodule
+"""
+
+FSM_SPEC = """\
+# Traffic-light controller (one-hot FSM)
+
+A four-phase controller with a one-hot state register rotating through
+idle, north-south green, east-west green, and all-red phases.  The two
+green indications are mutually exclusive: exactly one state bit is set
+at any time, and the green outputs decode disjoint bits.
+"""
+
+traffic_onehot = Design(
+    name="traffic_onehot",
+    family="control",
+    rtl=FSM_RTL,
+    spec=FSM_SPEC,
+    properties=[
+        PropertySpec(
+            name="mutual_exclusion",
+            sva="!(ns_green && ew_green)",
+            expect="proven", needs_helper=True, max_k=3),
+        PropertySpec(
+            name="state_onehot",
+            sva="$onehot(state)",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    golden_helpers=[
+        ("state_onehot_helper", "$onehot(state)"),
+    ],
+    notes="Mutual exclusion is not inductive over non-one-hot ghosts; "
+          "$onehot(state) closes it.")

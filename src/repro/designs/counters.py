@@ -1,0 +1,189 @@
+"""Counter-family designs (the paper's first evaluated family).
+
+Includes the paper's Listing 1 synchronized counters verbatim (modulo a
+width parameter used by the width-sweep benchmark), a buggy variant for
+violation testing, a saturating up/down counter, and an accumulator with
+a derived flag.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import Design, PropertySpec
+
+SYNC_COUNTERS_RTL = """\
+module sync_counters #(parameter W = 32) (
+  input clk, rst,
+  output logic [W-1:0] count1, count2
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= '0;
+      count2 <= '0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"""
+
+SYNC_COUNTERS_SPEC = """\
+# Synchronized counters
+
+Two W-bit counters that operate in lock-step: both reset to zero when
+`rst` is asserted and both increment by one on every clock edge
+afterwards.  `count1` and `count2` therefore always hold equal values in
+every reachable state.  The block is used as a redundancy pair; any
+divergence between the counters indicates a fault.
+"""
+
+sync_counters = Design(
+    name="sync_counters",
+    family="counters",
+    rtl=SYNC_COUNTERS_RTL,
+    spec=SYNC_COUNTERS_SPEC,
+    properties=[
+        PropertySpec(
+            name="equal_count",
+            sva="property equal_count;\n  &count1 |-> &count2;\n"
+                "endproperty",
+            expect="proven", needs_helper=True, max_k=2),
+        PropertySpec(
+            name="counters_equal",
+            sva="count1 == count2",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    golden_helpers=[("helper", "count1 == count2")],
+    notes="Paper Listing 1/2/3; the running example of Figs. 2-3.")
+
+
+SYNC_COUNTERS_BUG_RTL = """\
+module sync_counters_bug #(parameter W = 8) (
+  input clk, rst,
+  output logic [W-1:0] count1, count2
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= '0;
+      count2 <= '0;
+    end else begin
+      count1 <= count1 + 1'b1;
+      // BUG: count2 misses the increment once per 16 cycles.
+      count2 <= (count1[3:0] == 4'hf) ? count2 : count2 + 1'b1;
+    end
+  end
+endmodule
+"""
+
+sync_counters_bug = Design(
+    name="sync_counters_bug",
+    family="counters",
+    rtl=SYNC_COUNTERS_BUG_RTL,
+    spec=SYNC_COUNTERS_SPEC + "\n(This variant contains a seeded bug.)\n",
+    properties=[
+        PropertySpec(
+            name="counters_equal",
+            sva="count1 == count2",
+            expect="violated", needs_helper=False, max_k=2),
+    ],
+    notes="Seeded divergence bug: BMC must find it; no helper can "
+          "'repair' a real violation.")
+
+
+UPDOWN_RTL = """\
+module updown_counter #(parameter W = 8, MAX = 200) (
+  input clk, rst,
+  input up, down,
+  output logic [W-1:0] count
+);
+  always_ff @(posedge clk) begin
+    if (rst)
+      count <= '0;
+    else if (up && !down && count < MAX)
+      count <= count + 1'b1;
+    else if (down && !up && count != '0)
+      count <= count - 1'b1;
+  end
+endmodule
+"""
+
+UPDOWN_SPEC = """\
+# Saturating up/down counter
+
+An event counter with increment (`up`) and decrement (`down`) requests.
+The value saturates: it never exceeds MAX (200) and never wraps below
+zero.  Simultaneous or absent requests leave the count unchanged.
+"""
+
+updown_counter = Design(
+    name="updown_counter",
+    family="counters",
+    rtl=UPDOWN_RTL,
+    spec=UPDOWN_SPEC,
+    properties=[
+        PropertySpec(
+            name="upper_bound",
+            sva="count <= 8'hc8",
+            expect="proven", needs_helper=False, max_k=2),
+        PropertySpec(
+            name="never_top",
+            sva="count != 8'hff",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    notes="Directly inductive bounds; a control design for the flows "
+          "(no helper should be needed).")
+
+
+ALU_ACCUM_RTL = """\
+module alu_accum (
+  input clk, rst,
+  input [1:0] op,
+  input [7:0] operand,
+  output logic [7:0] acc,
+  output logic zero_flag
+);
+  // op encoding: 0 = NOP, 1 = saturating ADD, 2 = floored SUB, 3 = CLEAR
+  wire [8:0] sum = {1'b0, acc} + {1'b0, operand};
+  logic [7:0] acc_next;
+  always_comb begin
+    acc_next = acc;
+    case (op)
+      2'd1: acc_next = sum[8] ? 8'hff : sum[7:0];
+      2'd2: acc_next = (operand > acc) ? 8'h00 : acc - operand;
+      2'd3: acc_next = 8'h00;
+      default: acc_next = acc;
+    endcase
+  end
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      acc <= 8'h00;
+      zero_flag <= 1'b1;
+    end else begin
+      acc <= acc_next;
+      zero_flag <= (acc_next == 8'h00);
+    end
+  end
+endmodule
+"""
+
+ALU_ACCUM_SPEC = """\
+# Accumulator with zero flag
+
+A small accumulator datapath: saturating add, floored subtract, and
+clear.  The `zero_flag` register mirrors whether the accumulator is zero
+and is updated in the same cycle as the accumulator itself, so the flag
+is consistent with `acc` in every reachable state.
+"""
+
+alu_accum = Design(
+    name="alu_accum",
+    family="datapath",
+    rtl=ALU_ACCUM_RTL,
+    spec=ALU_ACCUM_SPEC,
+    properties=[
+        PropertySpec(
+            name="flag_consistent",
+            sva="zero_flag == (acc == 8'h00)",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    notes="Derived-flag consistency; inductive at k=1.")

@@ -1,0 +1,151 @@
+"""Hamming SEC-DED ECC pipeline (the paper's second evaluated family).
+
+A (13,8) code: Hamming(12,8) plus an overall parity bit, giving
+single-error correction and double-error detection.  The pipeline
+registers the (possibly error-injected) codeword along with shadow
+copies of the clean data and the injected error mask, so correction and
+detection can be stated as safety properties over one pipeline stage.
+
+The decode-correctness properties all fail plain induction: from an
+arbitrary state the stored codeword bears no relation to the shadow
+data.  The strengthening invariant — the stored word equals the expected
+encoding XOR the injected mask — is exactly what the XOR-relation
+template mines, making this the flagship Fig. 2 repair-flow case study
+on the ECC family.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import Design, PropertySpec
+
+ECC_RTL = """\
+module ecc_encoder (
+  input  [7:0] d,
+  output [12:0] cw
+);
+  // Hamming(12,8): parity bits at positions 1,2,4,8 (1-indexed);
+  // bit 12 (0-indexed) is the overall parity making total parity even.
+  wire p1 = d[0] ^ d[1] ^ d[3] ^ d[4] ^ d[6];
+  wire p2 = d[0] ^ d[2] ^ d[3] ^ d[5] ^ d[6];
+  wire p4 = d[1] ^ d[2] ^ d[3] ^ d[7];
+  wire p8 = d[4] ^ d[5] ^ d[6] ^ d[7];
+  wire [11:0] ham = {d[7], d[6], d[5], d[4], p8, d[3], d[2], d[1],
+                     p4, d[0], p2, p1};
+  assign cw = {^ham, ham};
+endmodule
+
+module ecc_decoder (
+  input  [12:0] r,
+  output [7:0] data,
+  output [3:0] syndrome,
+  output single_err, double_err
+);
+  wire s1 = r[0] ^ r[2] ^ r[4] ^ r[6] ^ r[8] ^ r[10];
+  wire s2 = r[1] ^ r[2] ^ r[5] ^ r[6] ^ r[9] ^ r[10];
+  wire s4 = r[3] ^ r[4] ^ r[5] ^ r[6] ^ r[11];
+  wire s8 = r[7] ^ r[8] ^ r[9] ^ r[10] ^ r[11];
+  assign syndrome = {s8, s4, s2, s1};
+  wire parity_err = ^r;
+  wire [11:0] fix = (parity_err && (syndrome != 4'h0))
+                  ? (12'h001 << (syndrome - 4'h1))
+                  : 12'h000;
+  wire [11:0] c = r[11:0] ^ fix;
+  assign data = {c[11], c[10], c[9], c[8], c[6], c[5], c[4], c[2]};
+  assign single_err = parity_err;
+  assign double_err = (syndrome != 4'h0) && !parity_err;
+endmodule
+
+module ecc_pipeline (
+  input clk, rst,
+  input [7:0] din,
+  input [12:0] err,
+  output logic [7:0] dec_q,
+  output logic [7:0] din_q2,
+  output logic [12:0] err_q2,
+  output logic [3:0] syn_q,
+  output logic dbl_q,
+  output [12:0] expected_cw
+);
+  // Stage 1: encode and store/transmit with the injected error mask,
+  // alongside shadow copies of the clean data and the mask.
+  wire [12:0] enc;
+  ecc_encoder u_enc (.d(din), .cw(enc));
+  logic [12:0] cw_q;
+  logic [7:0]  din_q;
+  logic [12:0] err_q;
+  // Stage 2: decode, register the corrected data and the flags.
+  wire [7:0] dout;
+  wire [3:0] syndrome;
+  wire single_err, double_err;
+  ecc_decoder u_dec (.r(cw_q), .data(dout), .syndrome(syndrome),
+                     .single_err(single_err), .double_err(double_err));
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      cw_q   <= 13'h0;
+      din_q  <= 8'h00;
+      err_q  <= 13'h0;
+      dec_q  <= 8'h00;
+      din_q2 <= 8'h00;
+      err_q2 <= 13'h0;
+      syn_q  <= 4'h0;
+      dbl_q  <= 1'b0;
+    end else begin
+      cw_q   <= enc ^ err;
+      din_q  <= din;
+      err_q  <= err;
+      dec_q  <= dout;
+      din_q2 <= din_q;
+      err_q2 <= err_q;
+      syn_q  <= syndrome;
+      dbl_q  <= double_err;
+    end
+  end
+  ecc_encoder u_ref (.d(din_q), .cw(expected_cw));
+endmodule
+"""
+
+ECC_SPEC = """\
+# Hamming SEC-DED pipeline (13,8)
+
+Data words are encoded with a Hamming(12,8) code extended by an overall
+parity bit (SEC-DED), stored/transmitted with a fault-injection mask
+XORed in, and decoded on the next stage.  Guarantees:
+
+- with at most one injected error bit, the decoder corrects it and the
+  decoded data equals the original word;
+- with exactly two injected error bits, the decoder raises the
+  double-error flag (uncorrectable, but detected);
+- with no injected error, the syndrome is zero and no flag is raised.
+
+The pipeline keeps shadow copies of the clean data and the mask, so the
+stored codeword always equals the expected encoding of the shadow data
+XOR the mask — the datapath consistency relation of the design.
+"""
+
+ecc_pipeline = Design(
+    name="ecc_pipeline",
+    family="ecc",
+    rtl=ECC_RTL,
+    top="ecc_pipeline",
+    spec=ECC_SPEC,
+    properties=[
+        PropertySpec(
+            name="single_error_corrected",
+            sva="$onehot0(err_q2) |-> dec_q == din_q2",
+            expect="proven", needs_helper=True, max_k=1),
+        PropertySpec(
+            name="double_error_detected",
+            sva="$countones(err_q2) == 2 |-> dbl_q",
+            expect="proven", needs_helper=True, max_k=1),
+        PropertySpec(
+            name="no_error_clean",
+            sva="err_q2 == 13'h0 |-> (syn_q == 4'h0) && !dbl_q",
+            expect="proven", needs_helper=True, max_k=1),
+    ],
+    golden_helpers=[
+        ("codeword_consistency", "cw_q == (expected_cw ^ err_q)"),
+    ],
+    notes="Stage-2 decode-correctness fails k=1 induction from an "
+          "arbitrary stage-1 state; the codeword/shadow consistency "
+          "invariant closes the proof at k=1 (without it, induction "
+          "must go to k=2 and pay a much larger SAT bill).")

@@ -1,0 +1,80 @@
+"""FIFO controller — the canonical k-induction failure.
+
+``full``/``empty`` are derived from the wrap-bit pointers while the
+occupancy counter is maintained independently; the occupancy bound is
+therefore *not* inductive on its own (an unreachable state with
+``count=16`` but distant pointers lets a push overflow the counter).
+The classic strengthening invariant ``count == wptr - rptr`` restores
+induction — and is exactly what the affine-triple template mines.
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import Design, PropertySpec
+
+FIFO_RTL = """\
+module fifo_ctrl (
+  input clk, rst,
+  input wr_en, rd_en,
+  output full, empty,
+  output logic [4:0] count
+);
+  logic [4:0] wptr, rptr;   // 4 address bits + 1 wrap bit (depth 16)
+  assign full  = (wptr - rptr) == 5'd16;
+  assign empty = wptr == rptr;
+  wire push = wr_en && !full;
+  wire pop  = rd_en && !empty;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      wptr  <= '0;
+      rptr  <= '0;
+      count <= '0;
+    end else begin
+      wptr  <= wptr + {4'b0000, push};
+      rptr  <= rptr + {4'b0000, pop};
+      count <= count + {4'b0000, push} - {4'b0000, pop};
+    end
+  end
+endmodule
+"""
+
+FIFO_SPEC = """\
+# FIFO controller (depth 16)
+
+Flow-control logic for a 16-entry FIFO.  Write requests are accepted
+unless the FIFO is full; read requests unless it is empty.  The `wptr`
+and `rptr` pointers carry an extra wrap bit, so fullness is pointer
+distance 16 and emptiness is pointer equality.  The `count` output
+reports the occupancy (fill level) for the surrounding system and always
+equals the pointer difference; it can never exceed the depth of 16, and
+it is zero exactly when the FIFO is empty.
+"""
+
+fifo_ctrl = Design(
+    name="fifo_ctrl",
+    family="fifo",
+    rtl=FIFO_RTL,
+    spec=FIFO_SPEC,
+    properties=[
+        PropertySpec(
+            name="occupancy_bound",
+            sva="count <= 5'd16",
+            expect="proven", needs_helper=True, max_k=3),
+        PropertySpec(
+            name="empty_means_zero",
+            sva="empty |-> count == 5'd0",
+            expect="proven", needs_helper=True, max_k=3),
+        PropertySpec(
+            name="count_matches_pointers",
+            sva="count == wptr - rptr",
+            expect="proven", needs_helper=False, max_k=2),
+        PropertySpec(
+            name="not_full_and_empty",
+            sva="!(full && empty)",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    golden_helpers=[
+        ("occupancy_invariant", "count == wptr - rptr"),
+    ],
+    notes="Textbook induction-strengthening example; helper is the "
+          "pointer/occupancy relation.")

@@ -1,0 +1,51 @@
+"""Design registry: name -> bundle lookup for the CLI, tests, benches."""
+
+from __future__ import annotations
+
+from repro.errors import DesignError
+from repro.designs.base import Design
+from repro.designs.arbiter import rr_arbiter, traffic_onehot
+from repro.designs.counters import (
+    alu_accum,
+    sync_counters,
+    sync_counters_bug,
+    updown_counter,
+)
+from repro.designs.ecc import ecc_pipeline
+from repro.designs.fifo import fifo_ctrl
+from repro.designs.sequential import gray_counter, lfsr16, shift_pipe
+
+_ALL: dict[str, Design] = {
+    design.name: design
+    for design in (
+        sync_counters,
+        sync_counters_bug,
+        updown_counter,
+        alu_accum,
+        gray_counter,
+        lfsr16,
+        shift_pipe,
+        fifo_ctrl,
+        rr_arbiter,
+        traffic_onehot,
+        ecc_pipeline,
+    )
+}
+
+
+def get_design(name: str) -> Design:
+    """Look up a built-in design by name."""
+    design = _ALL.get(name)
+    if design is None:
+        raise DesignError(
+            f"unknown design {name!r}; available: {sorted(_ALL)}")
+    return design
+
+
+def all_designs() -> list[Design]:
+    """All built-in designs, stable order."""
+    return list(_ALL.values())
+
+
+def design_names() -> list[str]:
+    return list(_ALL)

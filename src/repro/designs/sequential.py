@@ -1,0 +1,135 @@
+"""Sequential building blocks: gray counter, LFSR, shift register.
+
+These exercise $past-based properties, induction-depth effects (the gray
+counter proves at k=2, never at k=1), and directly-inductive invariants
+(the LFSR's nonzero guarantee).
+"""
+
+from __future__ import annotations
+
+from repro.designs.base import Design, PropertySpec
+
+GRAY_RTL = """\
+module gray_counter #(parameter W = 8) (
+  input clk, rst,
+  input en,
+  output [W-1:0] gray
+);
+  logic [W-1:0] bin;
+  always_ff @(posedge clk) begin
+    if (rst)
+      bin <= '0;
+    else if (en)
+      bin <= bin + 1'b1;
+  end
+  assign gray = bin ^ (bin >> 1);
+endmodule
+"""
+
+GRAY_SPEC = """\
+# Gray-code counter
+
+A binary counter with a reflected-Gray-code output.  Successive output
+values differ in at most one bit position (exactly one when `en` is
+held), which is what makes the code safe for clock-domain crossings.
+"""
+
+gray_counter = Design(
+    name="gray_counter",
+    family="counters",
+    rtl=GRAY_RTL,
+    spec=GRAY_SPEC,
+    properties=[
+        PropertySpec(
+            name="unit_distance",
+            sva="$countones(gray ^ $past(gray)) <= 1",
+            expect="proven", needs_helper=False, max_k=3),
+    ],
+    notes="Fails at k=1 because the $past monitor starts arbitrary; "
+          "proves at k=2 with no helper — the E6 depth ablation case.")
+
+
+LFSR_RTL = """\
+module lfsr16 (
+  input clk, rst,
+  input en,
+  output logic [15:0] state
+);
+  // Fibonacci LFSR, taps 16,14,13,11 (maximal length).
+  wire feedback = state[15] ^ state[13] ^ state[12] ^ state[10];
+  always_ff @(posedge clk) begin
+    if (rst)
+      state <= 16'h0001;
+    else if (en)
+      state <= {state[14:0], feedback};
+  end
+endmodule
+"""
+
+LFSR_SPEC = """\
+# 16-bit maximal-length LFSR
+
+A Fibonacci linear-feedback shift register seeded with a nonzero value.
+Because the all-zero word is the only fixed point of the feedback
+function and the register is seeded nonzero, the state is never zero in
+any reachable cycle, guaranteeing the full 2^16-1 sequence.
+"""
+
+lfsr16 = Design(
+    name="lfsr16",
+    family="counters",
+    rtl=LFSR_RTL,
+    spec=LFSR_SPEC,
+    properties=[
+        PropertySpec(
+            name="never_zero",
+            sva="state != 16'h0",
+            expect="proven", needs_helper=False, max_k=2),
+    ],
+    notes="Directly k=1 inductive; the nonzero-state template finds it.")
+
+
+SHIFT_RTL = """\
+module shift_pipe (
+  input clk, rst,
+  input [7:0] din,
+  output logic [7:0] q1, q2, q3
+);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      q1 <= 8'h00;
+      q2 <= 8'h00;
+      q3 <= 8'h00;
+    end else begin
+      q1 <= din;
+      q2 <= q1;
+      q3 <= q2;
+    end
+  end
+endmodule
+"""
+
+SHIFT_SPEC = """\
+# Three-stage data pipeline
+
+A plain shift pipeline: each stage holds the previous value of the stage
+before it, so `q3` presents the input delayed by exactly three cycles.
+Used as the timing-reference model for $past-style properties.
+"""
+
+shift_pipe = Design(
+    name="shift_pipe",
+    family="pipeline",
+    rtl=SHIFT_RTL,
+    spec=SHIFT_SPEC,
+    properties=[
+        PropertySpec(
+            name="latency3",
+            sva="q3 == $past(din, 3)",
+            expect="proven", needs_helper=False, max_k=4),
+        PropertySpec(
+            name="stage_consistency",
+            sva="q2 == $past(q1)",
+            expect="proven", needs_helper=False, max_k=3),
+    ],
+    notes="Monitor-chain warm-up demo; shadow-register template applies.")

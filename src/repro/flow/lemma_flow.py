@@ -1,0 +1,192 @@
+"""The Fig. 1 flow: LLM(spec, RTL) -> helper assertions -> lemmas.
+
+Pipeline stages (each one a measured filter):
+
+1. build the lemma prompt from the design's specification and RTL;
+2. one LLM call; extract SVA snippets from the response text;
+3. parse + name-resolve (hallucination triage);
+4. simulation screening against randomized reachable states;
+5. Houdini inductive fixpoint — survivors are *proven* invariants;
+6. prove every target property twice — without and with the proven
+   lemmas — and report the effort delta (the paper's "faster proof for
+   complex properties").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.designs.base import Design
+from repro.flow.houdini import houdini_prove
+from repro.flow.stats import AssertionOutcome, FlowStats
+from repro.genai.client import LLMClient
+from repro.genai.parse import extract_assertions, validate_assertions
+from repro.genai.prompts import lemma_prompt
+from repro.mc.engine import EngineConfig, ProofEngine
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult, Status
+from repro.sim.screening import screen_invariants
+from repro.sva.compile import MonitorContext
+
+
+@dataclass
+class TargetComparison:
+    """Proof effort for one target, without vs with lemmas."""
+
+    name: str
+    without: CheckResult
+    with_lemmas: CheckResult
+
+    @property
+    def speedup(self) -> float:
+        """Wall-time ratio (>1 means the lemmas helped)."""
+        after = max(self.with_lemmas.stats.wall_seconds, 1e-9)
+        return self.without.stats.wall_seconds / after
+
+    @property
+    def enabled_proof(self) -> bool:
+        """Lemmas turned a non-converging induction into a proof."""
+        return (self.without.status is not Status.PROVEN
+                and self.with_lemmas.status is Status.PROVEN)
+
+
+@dataclass
+class LemmaFlowResult:
+    """Everything the Fig. 1 flow produced for one design."""
+
+    design: str
+    model: str
+    outcomes: list[AssertionOutcome]
+    lemmas: list[SafetyProperty]
+    targets: list[TargetComparison]
+    stats: FlowStats
+    response_text: str = ""
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"lemma flow on {self.design} with {self.model}: "
+                 f"{len(self.lemmas)} lemmas proven from "
+                 f"{self.stats.assertions_emitted} generated"]
+        for t in self.targets:
+            marker = "ENABLED" if t.enabled_proof else \
+                f"x{t.speedup:.1f}"
+            lines.append(
+                f"  {t.name}: {t.without.status.value} -> "
+                f"{t.with_lemmas.status.value} ({marker})")
+        return lines
+
+
+class LemmaGenerationFlow:
+    """Runs the Fig. 1 helper-assertion-generation flow on one design."""
+
+    def __init__(self, client: LLMClient,
+                 engine_config: EngineConfig | None = None,
+                 screen_runs: int = 6,
+                 screen_cycles: int = 40,
+                 houdini_k: int = 3,
+                 houdini_bmc_bound: int = 8):
+        self.client = client
+        self.engine_config = engine_config or EngineConfig()
+        self.screen_runs = screen_runs
+        self.screen_cycles = screen_cycles
+        self.houdini_k = houdini_k
+        self.houdini_bmc_bound = houdini_bmc_bound
+
+    # ------------------------------------------------------------------
+
+    def run(self, design: Design,
+            targets: list[str] | None = None) -> LemmaFlowResult:
+        """Execute the flow; ``targets`` defaults to all design properties."""
+        stats = FlowStats()
+        outcomes: list[AssertionOutcome] = []
+        system = design.system()
+
+        # 1-2. Prompt the model and recover assertion snippets.
+        prompt = lemma_prompt(design.spec, design.rtl)
+        response = self.client.complete(prompt)
+        stats.note_response(response.latency_s, response.prompt_tokens,
+                            response.completion_tokens)
+        snippets = extract_assertions(response.text)
+        stats.assertions_emitted = len(snippets)
+
+        # 3. Parse and resolve against the design.
+        validated = validate_assertions(system, snippets)
+        usable = []
+        for record in validated:
+            if record.usable:
+                stats.assertions_parsed += 1
+                stats.assertions_resolved += 1
+                usable.append(record)
+            else:
+                stage = "parse" if record.status == "syntax_error" \
+                    else "resolve"
+                outcomes.append(AssertionOutcome(
+                    record.raw_text, stage=stage, detail=record.error))
+
+        # 4. Compile into a shared monitored system, then screen.
+        ctx = MonitorContext(system)
+        compiled: list[tuple[AssertionOutcome, SafetyProperty]] = []
+        for record in usable:
+            prop = ctx.add(record.ast)
+            outcome = AssertionOutcome(record.raw_text, stage="screen")
+            outcomes.append(outcome)
+            compiled.append((outcome, prop))
+        screen_input = [prop.good for _, prop in compiled]
+        reports = screen_invariants(
+            ctx.system, screen_input, runs=self.screen_runs,
+            cycles_per_run=self.screen_cycles)
+        survivors: list[tuple[AssertionOutcome, SafetyProperty]] = []
+        for (outcome, prop), report in zip(compiled, reports):
+            if report.passed:
+                stats.assertions_screened += 1
+                outcome.stage = "proof"
+                survivors.append((outcome, prop))
+            else:
+                outcome.detail = (f"falsified by simulation at cycle "
+                                  f"{report.failed_at}")
+
+        # 5. Houdini: prove the maximal inductive subset.
+        houdini = houdini_prove(
+            ctx.system, [prop for _, prop in survivors],
+            max_k=self.houdini_k, bmc_bound=self.houdini_bmc_bound)
+        stats.proof_wall_s += houdini.stats.wall_seconds
+        stats.sat_conflicts += houdini.stats.conflicts
+        proven_set = {id(p) for p in houdini.proven}
+        lemmas: list[SafetyProperty] = []
+        for outcome, prop in survivors:
+            if id(prop) in proven_set:
+                outcome.stage = "lemma"
+                outcome.proven = True
+                stats.assertions_proven += 1
+                lemmas.append(prop)
+            else:
+                reason = next((r for c, r in houdini.dropped
+                               if c is prop), "not inductive")
+                outcome.detail = reason
+
+        # 6. Target comparisons: without vs with lemmas.
+        comparisons = []
+        target_names = targets if targets is not None else \
+            [p.name for p in design.properties if p.expect == "proven"]
+        for target_name in target_names:
+            spec = design.property_spec(target_name)
+            target_prop = ctx.add(spec.sva, name=spec.name)
+            engine = ProofEngine(ctx.system, self.engine_config)
+            without = engine.prove(target_prop, max_k=spec.max_k)
+            stats.note_proof(without)
+            for i, lemma in enumerate(lemmas):
+                engine.add_lemma(f"lemma_{i}", lemma.good,
+                                 lemma.valid_from)
+            with_lemmas = engine.prove(target_prop, max_k=spec.max_k)
+            stats.note_proof(with_lemmas)
+            comparison = TargetComparison(target_name, without, with_lemmas)
+            comparisons.append(comparison)
+            if comparison.enabled_proof or comparison.speedup > 1.2:
+                for outcome in outcomes:
+                    if outcome.stage == "lemma":
+                        outcome.useful = True
+
+        return LemmaFlowResult(
+            design=design.name, model=getattr(self.client, "model_name",
+                                              "unknown"),
+            outcomes=outcomes, lemmas=lemmas, targets=comparisons,
+            stats=stats, response_text=response.text)

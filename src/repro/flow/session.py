@@ -1,0 +1,75 @@
+"""High-level verification session: the library's main entry point.
+
+Wraps a design bundle with both flows and direct proving, so examples,
+the CLI, and the benchmarks all share one façade:
+
+>>> from repro.designs import get_design
+>>> from repro.flow import VerificationSession
+>>> session = VerificationSession(get_design("sync_counters"),
+...                               model="gpt-4o")
+>>> result = session.repair("equal_count")
+>>> result.converged
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.base import Design
+from repro.flow.lemma_flow import LemmaFlowResult, LemmaGenerationFlow
+from repro.flow.repair_flow import InductionRepairFlow, RepairFlowResult
+from repro.genai.client import LLMClient, SimulatedLLM
+from repro.mc.engine import EngineConfig, ProofEngine
+from repro.mc.result import CheckResult
+from repro.sva.compile import MonitorContext
+
+
+class VerificationSession:
+    """One design + one model + shared engine configuration."""
+
+    def __init__(self, design: Design,
+                 model: str = "gpt-4o",
+                 client: LLMClient | None = None,
+                 seed: int = 0,
+                 engine_config: EngineConfig | None = None):
+        self.design = design
+        self.client: LLMClient = client if client is not None \
+            else SimulatedLLM(model, seed=seed)
+        self.engine_config = engine_config or EngineConfig()
+
+    # ------------------------------------------------------------------
+
+    def prove_direct(self, property_name: str,
+                     max_k: int | None = None) -> CheckResult:
+        """Plain k-induction with no GenAI involvement (the baseline)."""
+        spec = self.design.property_spec(property_name)
+        ctx = MonitorContext(self.design.system())
+        prop = ctx.add(spec.sva, name=spec.name)
+        engine = ProofEngine(ctx.system, self.engine_config)
+        return engine.prove(prop, max_k=max_k if max_k is not None
+                            else spec.max_k)
+
+    def bmc(self, property_name: str, bound: int = 20) -> CheckResult:
+        """Bounded counterexample search (bug hunting)."""
+        spec = self.design.property_spec(property_name)
+        ctx = MonitorContext(self.design.system())
+        prop = ctx.add(spec.sva, name=spec.name)
+        engine = ProofEngine(ctx.system, self.engine_config)
+        return engine.check_bmc(prop, bound=bound)
+
+    def lemma_flow(self, targets: list[str] | None = None,
+                   **flow_kwargs) -> LemmaFlowResult:
+        """Run the Fig. 1 helper-assertion-generation flow."""
+        flow = LemmaGenerationFlow(self.client,
+                                   engine_config=self.engine_config,
+                                   **flow_kwargs)
+        return flow.run(self.design, targets=targets)
+
+    def repair(self, property_name: str, max_k: int | None = None,
+               **flow_kwargs) -> RepairFlowResult:
+        """Run the Fig. 2 induction-step-failure repair loop."""
+        flow = InductionRepairFlow(self.client,
+                                   engine_config=self.engine_config,
+                                   **flow_kwargs)
+        return flow.run(self.design, property_name, max_k=max_k)

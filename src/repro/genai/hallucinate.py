@@ -1,0 +1,119 @@
+"""Hallucination model: plausible corruptions of SVA assertion text.
+
+The paper's conclusion warns that GenAI output may contain "artificial
+hallucinations that produce vulnerable results" and must be reviewed
+before productive use.  To reproduce that phenomenon (and to exercise the
+flows' screening/proof safety nets), personas corrupt a fraction of their
+assertions with the failure modes observed from real models:
+
+* misspelled or invented signal names (caught at name resolution);
+* off-by-one or wrong-radix constants (caught by simulation screening or
+  the Houdini proof pass);
+* bent operators, e.g. ``==`` -> ``<=`` (plausible but wrong/weaker);
+* invented system functions and dropped ``endproperty`` (syntax errors).
+
+Corruption choice is deterministic in the supplied RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+
+def corrupt(sva_body: str, rng: random.Random) -> tuple[str, str]:
+    """Corrupt an assertion body; returns ``(new_text, corruption_kind)``."""
+    corruptions = [
+        _misspell_signal,
+        _off_by_one_constant,
+        _bend_operator,
+        _invent_function,
+    ]
+    rng.shuffle(corruptions)
+    for corruption in corruptions:
+        result = corruption(sva_body, rng)
+        if result is not None:
+            return result
+    # Nothing applicable (e.g. no signals/constants): invent a signal.
+    return sva_body + " && ghost_valid", "invented_signal"
+
+
+_IDENT = re.compile(r"\b[a-zA-Z_][a-zA-Z0-9_.]*\b")
+_NUMBER = re.compile(r"\b(\d+)'([bhd])([0-9a-fA-F_]+)\b|\b(\d+)\b")
+_KEYWORDS = {"property", "endproperty", "disable", "iff", "and", "or",
+             "not"}
+
+
+def _signals_in(text: str) -> list[str]:
+    out = []
+    for m in _IDENT.finditer(text):
+        word = m.group(0)
+        if word in _KEYWORDS or word.startswith("$") or word[0].isdigit():
+            continue
+        if re.match(r"^\d", word):
+            continue
+        out.append(word)
+    return out
+
+
+def _misspell_signal(text: str, rng: random.Random) -> tuple[str, str] | None:
+    signals = [s for s in _signals_in(text) if len(s) >= 3]
+    if not signals:
+        return None
+    victim = rng.choice(signals)
+    style = rng.randrange(3)
+    if style == 0:
+        replacement = victim + "_reg"
+    elif style == 1:
+        replacement = victim[:-1] + "er" + victim[-1]
+    else:
+        replacement = victim.rstrip("0123456789") or victim + "x"
+        if replacement == victim:
+            replacement = victim + "0"
+    if replacement == victim:
+        replacement = victim + "_q"
+    return (re.sub(rf"\b{re.escape(victim)}\b", replacement, text, count=1),
+            "misspelled_signal")
+
+
+def _off_by_one_constant(text: str,
+                         rng: random.Random) -> tuple[str, str] | None:
+    matches = list(_NUMBER.finditer(text))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    if m.group(1):  # based literal
+        width, base, digits = m.group(1), m.group(2), m.group(3)
+        radix = {"b": 2, "h": 16, "d": 10}[base]
+        value = int(digits.replace("_", ""), radix) + rng.choice((1, -1))
+        value = max(0, value)
+        new_digits = format(value, {"b": "b", "h": "x", "d": "d"}[base])
+        replacement = f"{width}'{base}{new_digits}"
+    else:
+        value = max(0, int(m.group(4)) + rng.choice((1, -1)))
+        replacement = str(value)
+    return (text[:m.start()] + replacement + text[m.end():],
+            "wrong_constant")
+
+
+_OP_BENDS = [("==", "<="), ("<=", "<"), ("!=", "=="), ("|->", "|=>"),
+             ("<", "<=")]
+
+
+def _bend_operator(text: str, rng: random.Random) -> tuple[str, str] | None:
+    bends = [b for b in _OP_BENDS if b[0] in text]
+    if not bends:
+        return None
+    old, new = rng.choice(bends)
+    return text.replace(old, new, 1), "bent_operator"
+
+
+def _invent_function(text: str, rng: random.Random) -> tuple[str, str] | None:
+    if "$onehot" in text:
+        return text.replace("$onehot", "$one_hot", 1), "invented_function"
+    if "$past" in text:
+        return text.replace("$past", "$previous", 1), "invented_function"
+    if "$countones" in text:
+        return text.replace("$countones", "$count_ones", 1), \
+            "invented_function"
+    return None

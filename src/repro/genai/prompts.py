@@ -1,0 +1,139 @@
+"""Prompt templates for the two flows (the paper's "Promt Template" boxes).
+
+The templates embed their structured inputs in labelled fenced blocks so
+that both a real LLM and the simulated one can recover them from plain
+text.  Nothing outside the text channel is passed to the model — the
+simulated LLM re-parses the RTL from the prompt exactly as a model reads
+its context window.
+"""
+
+from __future__ import annotations
+
+_LEMMA_TEMPLATE = """\
+You are a formal verification expert helping with induction-based model
+checking of an RTL design.
+
+TASK: helper-assertion-generation
+
+Read the design specification and the RTL below. Propose helper
+assertions (SystemVerilog Assertions) that are invariants of the design
+and can serve as lemmas: once proven, they will be assumed to speed up
+or enable k-induction proofs of more complex properties.
+
+Guidelines:
+- Only reference signals that exist in the RTL.
+- Prefer simple relational invariants (equalities, bounds, one-hot
+  predicates, pointer/occupancy relations).
+- Answer with each assertion in a ```systemverilog code block using
+  `property <name>; <body>; endproperty` form, with a one-line
+  explanation before each block.
+
+=== SPECIFICATION ===
+{spec}
+=== END SPECIFICATION ===
+
+=== RTL ===
+```systemverilog
+{rtl}
+```
+=== END RTL ===
+"""
+
+_REPAIR_TEMPLATE = """\
+You are a formal verification expert debugging a k-induction proof.
+
+TASK: induction-step-failure-analysis
+
+The property below FAILED its inductive step. The counterexample trace
+starts from an ARBITRARY (possibly unreachable) state and reaches a
+violation; the waveform is attached. Find the relation between state
+variables that the pre-state violates but every reachable state
+satisfies, and propose helper assertions (inductive invariants) that
+rule out this counterexample.
+
+Guidelines:
+- The helper must be false in the counterexample's pre-state.
+- Only reference signals that exist in the RTL.
+- Answer with each assertion in a ```systemverilog code block using
+  `property <name>; <body>; endproperty` form, with a one-line
+  explanation before each block.
+
+=== PROPERTY UNDER PROOF ===
+```systemverilog
+{property}
+```
+=== END PROPERTY ===
+
+=== RTL ===
+```systemverilog
+{rtl}
+```
+=== END RTL ===
+
+=== INDUCTION STEP COUNTEREXAMPLE (waveform) ===
+```waveform
+{cex}
+```
+=== END COUNTEREXAMPLE ===
+"""
+
+
+def lemma_prompt(spec: str, rtl: str) -> str:
+    """The Fig. 1 prompt: specification + RTL -> helper assertions."""
+    return _LEMMA_TEMPLATE.format(spec=spec.strip() or "(none provided)",
+                                  rtl=rtl.strip())
+
+
+def repair_prompt(rtl: str, property_text: str, cex_text: str) -> str:
+    """The Fig. 2 prompt: CEX + RTL -> inductive invariant."""
+    return _REPAIR_TEMPLATE.format(rtl=rtl.strip(),
+                                   property=property_text.strip(),
+                                   cex=cex_text.strip())
+
+
+def split_prompt(prompt: str) -> dict[str, str]:
+    """Recover the labelled sections of a prompt (used by SimulatedLLM).
+
+    Returns a dict with keys among ``task``, ``spec``, ``rtl``,
+    ``property``, ``cex``.
+    """
+    sections: dict[str, str] = {}
+    if "TASK: helper-assertion-generation" in prompt:
+        sections["task"] = "lemma"
+    elif "TASK: induction-step-failure-analysis" in prompt:
+        sections["task"] = "repair"
+    else:
+        sections["task"] = "unknown"
+
+    def grab(header: str, end_header: str | None = None) -> str | None:
+        start_tag = f"=== {header} ==="
+        end_tag = f"=== END {end_header or header} ==="
+        start = prompt.find(start_tag)
+        end = prompt.find(end_tag)
+        if start < 0 or end < 0:
+            return None
+        return prompt[start + len(start_tag):end].strip()
+
+    spec = grab("SPECIFICATION")
+    if spec is not None:
+        sections["spec"] = spec
+    for key, header, end_header in (
+            ("rtl", "RTL", None),
+            ("property", "PROPERTY UNDER PROOF", "PROPERTY"),
+            ("cex", "INDUCTION STEP COUNTEREXAMPLE (waveform)",
+             "COUNTEREXAMPLE")):
+        block = grab(header, end_header)
+        if block is None:
+            continue
+        sections[key] = _strip_fence(block)
+    return sections
+
+
+def _strip_fence(block: str) -> str:
+    text = block.strip()
+    if text.startswith("```"):
+        first_newline = text.find("\n")
+        text = text[first_newline + 1:]
+        if text.rstrip().endswith("```"):
+            text = text.rstrip()[:-3]
+    return text.strip()

@@ -1,0 +1,25 @@
+"""Invariant-synthesis engines behind the simulated LLM personas.
+
+Two engines mirror the two ways the paper uses GenAI:
+
+* :mod:`static_engine <repro.genai.synthesis.static_engine>` — "reads" the
+  RTL and the specification (Fig. 1): structural analysis of the
+  elaborated design (symmetric registers, saturation bounds, one-hot
+  state, shadow registers) plus relation mining over short simulations,
+  with spec-text hints boosting matching candidates;
+* :mod:`cex_engine <repro.genai.synthesis.cex_engine>` — "reads" the
+  induction-step counterexample (Fig. 2): ranks the candidate pool by
+  whether a candidate *rules out the unreachable pre-state* the CEX
+  starts from.
+
+Both emit :class:`~repro.genai.synthesis.candidates.Candidate` records
+carrying SVA text; nothing here is trusted — every candidate later passes
+through simulation screening and Houdini-style inductive proof in the
+flows.
+"""
+
+from repro.genai.synthesis.candidates import Candidate
+from repro.genai.synthesis.static_engine import StaticSynthesizer
+from repro.genai.synthesis.cex_engine import rank_for_cex
+
+__all__ = ["Candidate", "StaticSynthesizer", "rank_for_cex"]

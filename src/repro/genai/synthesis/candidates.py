@@ -1,0 +1,36 @@
+"""Candidate helper assertions produced by the synthesis engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Candidate:
+    """One candidate helper assertion.
+
+    ``sva`` is the property body text (what the simulated LLM will quote);
+    ``kind`` tags the template that produced it; ``score`` orders emission
+    (higher = more confident); ``rationale`` becomes the explanatory prose
+    in the rendered response.
+    """
+
+    sva: str
+    kind: str
+    score: float
+    rationale: str = ""
+    signals: tuple[str, ...] = ()
+
+    def key(self) -> str:
+        """Deduplication key (whitespace-normalized body)."""
+        return " ".join(self.sva.split())
+
+
+def dedupe(candidates: list[Candidate]) -> list[Candidate]:
+    """Keep the highest-scoring instance of each distinct body."""
+    best: dict[str, Candidate] = {}
+    for c in candidates:
+        k = c.key()
+        if k not in best or c.score > best[k].score:
+            best[k] = c
+    return sorted(best.values(), key=lambda c: -c.score)

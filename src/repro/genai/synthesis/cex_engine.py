@@ -1,0 +1,76 @@
+"""CEX-guided candidate ranking (the analytical core of the Fig. 2 flow).
+
+Given the induction-step counterexample's *pre-state* — the arbitrary,
+typically unreachable state the inductive step started from — a useful
+strengthening invariant must (a) be *violated by that pre-state*, so
+assuming it rules the CEX out, and (b) hold on actual reachable states.
+
+The engine takes the full candidate pool from the static synthesizer,
+evaluates every candidate on the pre-state, and reorders: candidates that
+kill the CEX get a large boost, candidates the CEX satisfies are almost
+useless for this failure and sink.  This mirrors exactly what the paper's
+LLM does when it looks at Fig. 3 and says "count1 != count2 at the start
+of the window — add `count1 == count2`"."""
+
+from __future__ import annotations
+
+from repro.errors import HdlError, PropertyError
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.genai.synthesis.candidates import Candidate
+from repro.sva.parser import parse_property
+from repro.sva.compile import MonitorContext
+
+
+def candidate_holds_on(system: TransitionSystem, sva_body: str,
+                       env: dict[str, int]) -> bool | None:
+    """Evaluate a candidate body on a single state valuation.
+
+    Returns None when the candidate cannot be evaluated statelessly
+    (parse failure, unknown signals, or $past-style history operators).
+    """
+    try:
+        ast_node = parse_property(sva_body, name="cand")
+    except (PropertyError, HdlError):
+        return None
+    scratch = MonitorContext(system)
+    try:
+        prop = scratch.add(ast_node)
+    except (PropertyError, HdlError):
+        return None
+    if prop.valid_from > 0:
+        return None  # history operators: not a single-state predicate
+    resolved = scratch.system.resolve_defines(prop.bad)
+    needed = E.support(resolved)
+    missing = needed - set(env)
+    if missing:
+        return None
+    return E.evaluate(resolved, env) == 0
+
+
+def rank_for_cex(system: TransitionSystem,
+                 pool: list[Candidate],
+                 pre_state: dict[str, int],
+                 inputs_at_0: dict[str, int] | None = None
+                 ) -> list[Candidate]:
+    """Reorder the candidate pool against an induction pre-state."""
+    env = dict(pre_state)
+    if inputs_at_0:
+        env.update(inputs_at_0)
+    ranked: list[Candidate] = []
+    for c in pool:
+        holds = candidate_holds_on(system, c.sva, env)
+        boosted = Candidate(sva=c.sva, kind=c.kind, score=c.score,
+                            rationale=c.rationale, signals=c.signals)
+        if holds is False:
+            boosted.score = min(1.5, c.score + 0.5)
+            boosted.rationale = (
+                f"the counterexample's pre-state violates this relation "
+                f"({c.rationale})")
+        elif holds is True:
+            boosted.score = c.score * 0.3
+            boosted.rationale += \
+                " (note: the counterexample already satisfies this)"
+        ranked.append(boosted)
+    ranked.sort(key=lambda c: -c.score)
+    return ranked

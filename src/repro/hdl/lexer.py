@@ -1,0 +1,217 @@
+"""Tokenizer for the SystemVerilog subset (shared with the SVA parser).
+
+Produces a flat token list with line/column positions.  Handles Verilog
+based literals (``32'hdead_beef``, ``4'b10_01``, ``'h0``), line and block
+comments, and the multi-character operators used by RTL and SVA sources
+(including ``|->``, ``|=>`` and ``##`` for the property language).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset("""
+module endmodule input output inout logic wire reg bit signed unsigned
+parameter localparam assign always always_ff always_comb always_latch
+begin end if else case casez casex endcase default posedge negedge or
+and not initial genvar generate endgenerate for integer int unsigned
+property endproperty assert assume cover disable iff not sequence
+endsequence function endfunction return typedef enum struct packed
+unique priority
+""".split())
+
+# Longest first so maximal munch works by scanning this list in order.
+OPERATORS = [
+    "|->", "|=>", "===", "!==", ">>>", "<<<", "##",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "++", "--", "->",
+    "+:", "-:", "~&", "~|", "~^", "^~", "::",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "?", ":", ";", ",", ".", "#", "(", ")", "[", "]", "{", "}", "@", "$",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str   # "id" | "keyword" | "number" | "string" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+    # Parsed payload for numbers: (value, width or None, signed)
+    value: int = 0
+    width: int | None = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+def _is_id_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_id_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$"
+
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize HDL/SVA source text."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace ----------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments ------------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Strings ---------------------------------------------------------
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", source[i + 1:j], line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers (including based literals) ------------------------------
+        if ch.isdigit() or (ch == "'" and i + 1 < n
+                            and (source[i + 1].lower() in "bodh"
+                                 or source[i + 1] in "01"
+                                 or source[i + 1].lower() == "s")):
+            token, consumed = _lex_number(source, i, line, col)
+            tokens.append(token)
+            col += consumed
+            i += consumed
+            continue
+        # Identifiers / keywords ------------------------------------------
+        if _is_id_start(ch):
+            j = i
+            while j < n and _is_id_char(source[j]):
+                j += 1
+            # A based literal may follow a plain size: e.g. "32 'b0".
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        # $system identifiers ----------------------------------------------
+        if ch == "$" and i + 1 < n and _is_id_start(source[i + 1]):
+            j = i + 1
+            while j < n and _is_id_char(source[j]):
+                j += 1
+            tokens.append(Token("id", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        # Operators --------------------------------------------------------
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def _lex_number(source: str, start: int, line: int,
+                col: int) -> tuple[Token, int]:
+    """Lex a (possibly based, possibly sized) numeric literal."""
+    n = len(source)
+    i = start
+    size: int | None = None
+    # Optional size prefix before the base tick.
+    if source[i].isdigit():
+        j = i
+        while j < n and (source[j].isdigit() or source[j] == "_"):
+            j += 1
+        digits = source[i:j].replace("_", "")
+        k = j
+        while k < n and source[k] in " \t":
+            k += 1
+        if k < n and source[k] == "'" and k + 1 < n and \
+                (source[k + 1].lower() in "sbodh"):
+            size = int(digits)
+            i = k
+        else:
+            # Plain decimal number.
+            return (Token("number", source[start:j], line, col,
+                          value=int(digits), width=None), j - start)
+    # Based literal: 'b / 'h / 'd / 'o with optional s (signed).
+    if source[i] != "'":
+        raise LexError("malformed number", line, col)
+    i += 1
+    if i < n and source[i].lower() == "s":
+        i += 1  # signedness accepted and ignored (2-state unsigned model)
+    if i < n and source[i] in "01" and (i + 1 >= n or
+                                        not _is_id_char(source[i + 1])):
+        # '0 / '1 fill literals: width comes from context; encode width
+        # None and value 0/1; elaboration expands to the target width.
+        value = int(source[i])
+        text = source[start:i + 1]
+        token = Token("number", text, line, col,
+                      value=-1 if value else 0, width=size)
+        return token, i + 1 - start
+    if i >= n or source[i].lower() not in _BASES:
+        raise LexError("malformed based literal", line, col)
+    base = _BASES[source[i].lower()]
+    i += 1
+    j = i
+    digit_chars = "0123456789abcdefABCDEF_xXzZ?"
+    while j < n and source[j] in digit_chars:
+        j += 1
+    digits = source[i:j].replace("_", "")
+    if not digits:
+        raise LexError("based literal with no digits", line, col)
+    if any(c in "xXzZ?" for c in digits):
+        # 2-state model: x/z collapse to 0 (documented substitution).
+        digits = "".join("0" if c in "xXzZ?" else c for c in digits)
+    value = int(digits, base)
+    width = size
+    if width is not None:
+        value &= (1 << width) - 1
+    token = Token("number", source[start:j], line, col,
+                  value=value, width=width)
+    return token, j - start

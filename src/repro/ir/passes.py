@@ -1,0 +1,86 @@
+"""Analysis and transformation passes over the IR.
+
+These are deliberately small and composable: deep re-simplification,
+variable support computation through the transition relation, and
+cone-of-influence (COI) reduction, which is the workhorse that keeps
+SAT instances small when checking properties that touch few registers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+
+
+def deep_simplify(root: E.Expr) -> E.Expr:
+    """Re-run all construction-time folding rules bottom-up.
+
+    Useful after :func:`repro.ir.expr.substitute` introduced constants into
+    a DAG built earlier.  (``substitute`` already rebuilds through the
+    factories, so this is mostly a no-op safety net and a convenient hook
+    for future rules.)
+    """
+    return E.substitute(root, {})
+
+
+def state_support(system: TransitionSystem,
+                  roots: Iterable[E.Expr]) -> set[str]:
+    """State variables transitively relevant to ``roots``.
+
+    Fixpoint of: a state var is relevant if it appears in a root, or in the
+    next/init function of a relevant state var, or in any constraint that
+    shares support with the relevant set.  Constraints are handled
+    conservatively: any constraint mentioning a relevant variable pulls in
+    its entire support.
+    """
+    relevant: set[str] = set()
+    frontier: set[str] = set()
+    for root in roots:
+        frontier |= E.support(root) & set(system.states)
+    while frontier:
+        relevant |= frontier
+        next_frontier: set[str] = set()
+        for name in frontier:
+            for fn in (system.next.get(name), system.init.get(name)):
+                if fn is not None:
+                    next_frontier |= E.support(fn) & set(system.states)
+        for cond in system.constraints:
+            sup = E.support(cond) & set(system.states)
+            if sup & relevant:
+                next_frontier |= sup
+        frontier = next_frontier - relevant
+    return relevant
+
+
+def cone_of_influence(system: TransitionSystem,
+                      roots: Iterable[E.Expr]) -> TransitionSystem:
+    """Restrict ``system`` to the registers that can influence ``roots``.
+
+    Inputs are kept (they are free and cost nothing until bit-blasted);
+    defines are kept only if their support survives.  Constraints whose
+    support is entirely removed are dropped — they cannot influence the
+    roots.  The reduced system is a sound abstraction for safety checking:
+    removed registers are unconstrained in it, so a proof on the reduced
+    system implies a proof on the full one, and a reduced-system CEX maps
+    to a full-system CEX by simulating the removed registers.
+    """
+    roots = list(roots)
+    keep = state_support(system, roots)
+    reduced = TransitionSystem(f"{system.name}#coi")
+    reduced.inputs = dict(system.inputs)
+    for name, v in system.states.items():
+        if name in keep:
+            reduced.states[name] = v
+            if name in system.init:
+                reduced.init[name] = system.init[name]
+            reduced.next[name] = system.next[name]
+    kept_names = set(reduced.inputs) | set(reduced.states)
+    for name, e in system.defines.items():
+        if E.support(e) <= kept_names:
+            reduced.defines[name] = e
+    for cond in system.constraints:
+        if E.support(cond) <= kept_names:
+            reduced.constraints.append(cond)
+    return reduced

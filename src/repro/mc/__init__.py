@@ -1,0 +1,18 @@
+"""Model checking: bounded model checking and k-induction over the IR."""
+
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult, ProofStats, Status
+from repro.mc.bmc import bmc
+from repro.mc.kinduction import KInductionOptions, k_induction
+from repro.mc.engine import ProofEngine
+
+__all__ = [
+    "CheckResult",
+    "KInductionOptions",
+    "ProofEngine",
+    "ProofStats",
+    "SafetyProperty",
+    "Status",
+    "bmc",
+    "k_induction",
+]

@@ -1,0 +1,146 @@
+"""Bounded model checking.
+
+BMC finds real, initial-state-rooted counterexamples: the formula
+``init ∧ trans(0..t-1) ∧ constraints ∧ bad@t`` is checked for each depth
+``t`` up to the bound, reusing one incremental solver (the ``bad@t`` check
+rides on an assumption literal so it never pollutes later depths).
+
+As the paper's background section notes, a BMC pass guarantees correctness
+only up to the analysis bound — it is the *base case* machinery that
+k-induction builds on to get unbounded proofs.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.frame import FrameSolver, StatsTimer
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult, ProofStats, Status
+from repro.trace.trace import TraceKind
+
+
+def bmc(system: TransitionSystem, prop: SafetyProperty, bound: int,
+        lemmas: list[tuple[E.Expr, int]] | None = None,
+        conflict_budget: int | None = None) -> CheckResult:
+    """Search for a counterexample to ``prop`` within ``bound`` cycles.
+
+    ``lemmas`` are ``(good_expr, valid_from)`` pairs *already proven*
+    invariant; each is assumed at every cycle from its ``valid_from`` on
+    (monitor warm-up cycles are exempt).  Returns VIOLATED with a trace,
+    or BOUNDED_OK.
+
+    ``conflict_budget`` (total SAT conflicts across the run) turns the
+    search into a best-effort probe: when exhausted, the result is
+    BOUNDED_OK with an 'inconclusive' note — fine for bug *hunting*,
+    never used for proofs.
+    """
+    resolved = prop.resolved_against(system)
+    lemma_pairs = [(system.resolve_defines(l), vf)
+                   for l, vf in (lemmas or [])]
+    stats = ProofStats()
+    frame = FrameSolver(system)
+    with StatsTimer(stats):
+        frame.add_init()
+        for l, vf in lemma_pairs:
+            if vf <= 0:
+                frame.assert_at(l, 0)
+        for t in range(bound + 1):
+            if t > 0:
+                frame.add_frame(t - 1)
+                for l, vf in lemma_pairs:
+                    if vf <= t:
+                        frame.assert_at(l, t)
+            stats.max_depth = t
+            if t < resolved.valid_from:
+                continue
+            bad_t = frame.unroller.at_time(resolved.bad, t)
+            assumption = frame.assumption_for(bad_t)
+            verdict = frame.solve_limited([assumption],
+                                          conflict_budget=conflict_budget)
+            if verdict is None:
+                _merge(stats, frame)
+                return CheckResult(
+                    prop.name, Status.BOUNDED_OK, k=t, stats=stats,
+                    detail=f"probe budget exhausted at depth {t} "
+                           "(inconclusive)")
+            if verdict:
+                trace = frame.extract_trace(
+                    t + 1, TraceKind.BMC_CEX,
+                    property_name=prop.name,
+                    note=f"bad at cycle {t}")
+                _merge(stats, frame)
+                return CheckResult(prop.name, Status.VIOLATED, k=t,
+                                   cex=trace, stats=stats,
+                                   detail=f"counterexample at depth {t}")
+    _merge(stats, frame)
+    return CheckResult(prop.name, Status.BOUNDED_OK, k=bound, stats=stats,
+                       detail=f"no counterexample within {bound} cycles")
+
+
+def _merge(stats: ProofStats, frame: FrameSolver) -> None:
+    snap = frame.stats_snapshot()
+    stats.sat_queries = snap.sat_queries
+    stats.conflicts = snap.conflicts
+    stats.decisions = snap.decisions
+    stats.propagations = snap.propagations
+    stats.clauses = snap.clauses
+    stats.variables = snap.variables
+
+
+def bmc_probe(system: TransitionSystem, prop: SafetyProperty, bound: int,
+              lemmas: list[tuple[E.Expr, int]] | None = None,
+              conflict_budget: int = 4000) -> CheckResult:
+    """Single-shot, budgeted bug probe.
+
+    Unrolls the full window once and asks for *any* violation in it
+    (one SAT query over the disjunction of per-cycle failures).  Real
+    counterexamples — satisfiable queries — surface quickly; proving the
+    absence of one within the window is deliberately cut off by the
+    conflict budget, because callers use this as a cheap triage before
+    more expensive reasoning, never as a proof.
+    """
+    resolved = prop.resolved_against(system)
+    lemma_pairs = [(system.resolve_defines(l), vf)
+                   for l, vf in (lemmas or [])]
+    stats = ProofStats()
+    frame = FrameSolver(system)
+    with StatsTimer(stats):
+        frame.add_init()
+        bads = []
+        for t in range(bound + 1):
+            if t > 0:
+                frame.add_frame(t - 1)
+            for l, vf in lemma_pairs:
+                if vf <= t:
+                    frame.assert_at(l, t)
+            if t >= resolved.valid_from:
+                bads.append(frame.unroller.at_time(resolved.bad, t))
+        stats.max_depth = bound
+        any_bad = E.bool_or(*bads) if bads else E.false()
+        assumption = frame.assumption_for(any_bad)
+        verdict = frame.solve_limited([assumption],
+                                      conflict_budget=conflict_budget)
+    _merge(stats, frame)
+    if verdict is None:
+        return CheckResult(prop.name, Status.BOUNDED_OK, k=bound,
+                           stats=stats,
+                           detail="probe budget exhausted (inconclusive)")
+    if not verdict:
+        return CheckResult(prop.name, Status.BOUNDED_OK, k=bound,
+                           stats=stats,
+                           detail=f"no counterexample within {bound} cycles")
+    # Locate the earliest failing cycle in the model for a tight trace.
+    fail_at = bound
+    for t in range(resolved.valid_from, bound + 1):
+        bad_t = frame.unroller.at_time(resolved.bad, t)
+        lit = frame.blaster.blast_bool(bad_t)
+        if frame.cnf.lit_value(lit):
+            fail_at = t
+            break
+    trace = frame.extract_trace(fail_at + 1, TraceKind.BMC_CEX,
+                                property_name=prop.name,
+                                note=f"bad at cycle {fail_at}")
+    return CheckResult(prop.name, Status.VIOLATED, k=fail_at, cex=trace,
+                       stats=stats,
+                       detail=f"counterexample at depth {fail_at}")

@@ -1,0 +1,134 @@
+"""High-level proof engine facade.
+
+:class:`ProofEngine` is the "formal tool" box in the paper's Fig. 1/Fig. 2
+diagrams: it owns a design, applies cone-of-influence reduction per
+property, runs BMC or k-induction, manages the proven-lemma pool, and
+reports uniform :class:`~repro.mc.result.CheckResult` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import expr as E
+from repro.ir.passes import cone_of_influence
+from repro.ir.system import TransitionSystem
+from repro.mc.bmc import bmc, bmc_probe
+from repro.mc.kinduction import KInductionOptions, k_induction
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult, Status
+
+
+@dataclass
+class EngineConfig:
+    """Engine-wide defaults (overridable per call)."""
+
+    max_k: int = 10
+    bmc_bound: int = 20
+    use_coi: bool = True
+    simple_path: bool = False
+
+
+class ProofEngine:
+    """The formal tool: proves properties, accumulates proven lemmas."""
+
+    def __init__(self, system: TransitionSystem,
+                 config: EngineConfig | None = None):
+        system.validate()
+        self.system = system
+        self.config = config or EngineConfig()
+        # (name, good expr, valid_from) — proven global assumptions.
+        self.lemmas: list[tuple[str, E.Expr, int]] = []
+
+    # ------------------------------------------------------------------
+    # Lemma pool
+    # ------------------------------------------------------------------
+
+    def add_lemma(self, name: str, good: E.Expr,
+                  valid_from: int = 0) -> None:
+        """Register an *already proven* invariant as a global assumption.
+
+        ``valid_from`` exempts monitor warm-up cycles (a lemma built from
+        ``$past`` chains says nothing before its chains fill).
+        """
+        if good.width != 1:
+            raise ValueError("lemmas must be 1-bit expressions")
+        self.lemmas.append((name, good, valid_from))
+
+    def lemma_pairs(self) -> list[tuple[E.Expr, int]]:
+        return [(g, vf) for _, g, vf in self.lemmas]
+
+    def clear_lemmas(self) -> None:
+        self.lemmas.clear()
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def check_bmc(self, prop: SafetyProperty,
+                  bound: int | None = None,
+                  use_lemmas: bool = True,
+                  conflict_budget: int | None = None) -> CheckResult:
+        """Bounded search for a real counterexample."""
+        system = self._scoped_system(prop)
+        lemmas = self.lemma_pairs() if use_lemmas else []
+        return bmc(system, prop, bound or self.config.bmc_bound,
+                   lemmas=lemmas, conflict_budget=conflict_budget)
+
+    def probe_bugs(self, prop: SafetyProperty,
+                   bound: int | None = None,
+                   conflict_budget: int = 4000) -> CheckResult:
+        """Cheap single-shot bug triage (see :func:`repro.mc.bmc.bmc_probe`)."""
+        system = self._scoped_system(prop)
+        return bmc_probe(system, prop, bound or self.config.bmc_bound,
+                         lemmas=self.lemma_pairs(),
+                         conflict_budget=conflict_budget)
+
+    def prove(self, prop: SafetyProperty,
+              max_k: int | None = None,
+              use_lemmas: bool = True,
+              extra_lemmas: list[tuple[E.Expr, int]] | None = None,
+              simple_path: bool | None = None) -> CheckResult:
+        """k-induction proof attempt (the paper's core proof method)."""
+        system = self._scoped_system(prop, extra_lemmas)
+        lemmas = list(self.lemma_pairs()) if use_lemmas else []
+        lemmas += list(extra_lemmas or [])
+        options = KInductionOptions(
+            max_k=max_k if max_k is not None else self.config.max_k,
+            simple_path=self.config.simple_path
+            if simple_path is None else simple_path)
+        return k_induction(system, prop, options, lemmas=lemmas)
+
+    def prove_or_refute(self, prop: SafetyProperty,
+                        max_k: int | None = None) -> CheckResult:
+        """Induction first; on UNKNOWN, deepen BMC to look for a real bug."""
+        result = self.prove(prop, max_k=max_k)
+        if result.status is not Status.UNKNOWN:
+            return result
+        refutation = self.check_bmc(prop)
+        if refutation.status is Status.VIOLATED:
+            return refutation
+        result.detail += (
+            f"; no counterexample within {self.config.bmc_bound} cycles")
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _scoped_system(self, prop: SafetyProperty,
+                       extra_lemmas: list[tuple[E.Expr, int]] | None = None
+                       ) -> TransitionSystem:
+        """Cone-of-influence-reduce the design for this query.
+
+        The reduction must keep everything the property, the active lemmas,
+        and the environment constraints mention; lemma expressions are
+        roots too because they are asserted at every frame.
+        """
+        if not self.config.use_coi:
+            return self.system
+        roots = [self.system.resolve_defines(prop.bad)]
+        for _, good, _vf in self.lemmas:
+            roots.append(self.system.resolve_defines(good))
+        for good, _vf in (extra_lemmas or []):
+            roots.append(self.system.resolve_defines(good))
+        roots.extend(self.system.constraints)
+        return cone_of_influence(self.system, roots)

@@ -1,0 +1,64 @@
+"""Safety properties as the model checker consumes them.
+
+A :class:`SafetyProperty` is a *compiled* property: a width-1 ``bad``
+expression over a (possibly monitor-augmented) transition system, plus the
+number of warm-up cycles the monitor needs before the check is meaningful
+(``valid_from`` — e.g. ``$past`` chains).  The SVA frontend produces these;
+hand-written checks can construct them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PropertyError
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+
+
+@dataclass
+class SafetyProperty:
+    """A compiled safety check: "``bad`` never holds from ``valid_from`` on"."""
+
+    name: str
+    bad: E.Expr
+    valid_from: int = 0
+    source_text: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bad.width != 1:
+            raise PropertyError(
+                f"property {self.name!r}: bad expression must be 1-bit")
+        if self.valid_from < 0:
+            raise PropertyError(
+                f"property {self.name!r}: negative valid_from")
+
+    @staticmethod
+    def from_invariant(name: str, good: E.Expr, valid_from: int = 0,
+                       source_text: str = "") -> "SafetyProperty":
+        """Build from the *good* (invariant) polarity."""
+        return SafetyProperty(name, E.not_(good), valid_from, source_text)
+
+    @property
+    def good(self) -> E.Expr:
+        return E.not_(self.bad)
+
+    def resolved_against(self, system: TransitionSystem) -> "SafetyProperty":
+        """Resolve define references so ``bad`` ranges over inputs/states."""
+        return SafetyProperty(self.name, system.resolve_defines(self.bad),
+                              self.valid_from, self.source_text)
+
+    def conjoined_with(self, others: list["SafetyProperty"],
+                       name: str | None = None) -> "SafetyProperty":
+        """The conjunction property (bad = any component bad).
+
+        Used by Houdini-style joint induction: proving the conjunction
+        inductively proves every conjunct.
+        """
+        bad = self.bad
+        valid_from = self.valid_from
+        for other in others:
+            bad = E.or_(bad, other.bad)
+            valid_from = max(valid_from, other.valid_from)
+        return SafetyProperty(name or f"{self.name}+{len(others)}lemmas",
+                              bad, valid_from)

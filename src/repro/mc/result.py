@@ -1,0 +1,77 @@
+"""Results and statistics for model-checking runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.trace.trace import Trace
+
+
+class Status(Enum):
+    """Verdict of a check."""
+
+    PROVEN = "proven"            # property holds for all time
+    VIOLATED = "violated"        # real counterexample from the initial state
+    BOUNDED_OK = "bounded_ok"    # no CEX within the explored bound (BMC)
+    UNKNOWN = "unknown"          # induction did not converge within max_k
+
+    @property
+    def conclusive(self) -> bool:
+        return self in (Status.PROVEN, Status.VIOLATED)
+
+
+@dataclass
+class ProofStats:
+    """Aggregated effort measures for one verification call.
+
+    ``proof time`` in the paper's sense — the cost a verification engineer
+    waits for — maps to ``wall_seconds``; conflicts/decisions give a
+    machine-independent effort measure the benchmarks also report.
+    """
+
+    wall_seconds: float = 0.0
+    sat_queries: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    clauses: int = 0
+    variables: int = 0
+    max_depth: int = 0
+
+    def accumulate(self, other: "ProofStats") -> None:
+        self.wall_seconds += other.wall_seconds
+        self.sat_queries += other.sat_queries
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.clauses = max(self.clauses, other.clauses)
+        self.variables = max(self.variables, other.variables)
+        self.max_depth = max(self.max_depth, other.max_depth)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a BMC or k-induction run on one property."""
+
+    property_name: str
+    status: Status
+    k: int = 0
+    cex: Trace | None = None        # initial-state-rooted counterexample
+    step_cex: Trace | None = None   # induction-step CEX (arbitrary pre-state)
+    stats: ProofStats = field(default_factory=ProofStats)
+    detail: str = ""
+
+    @property
+    def proven(self) -> bool:
+        return self.status is Status.PROVEN
+
+    @property
+    def violated(self) -> bool:
+        return self.status is Status.VIOLATED
+
+    def one_line(self) -> str:
+        core = f"{self.property_name}: {self.status.value} (k={self.k}, " \
+               f"{self.stats.wall_seconds:.3f}s, " \
+               f"{self.stats.conflicts} conflicts)"
+        return core if not self.detail else f"{core} — {self.detail}"

@@ -1,0 +1,100 @@
+"""Time unrolling of transition systems.
+
+The unroller maps every design variable ``v`` to timed copies ``v@t`` and
+produces the standard path formulas:
+
+* ``init_constraints()`` — time-0 equations for initialized registers;
+* ``transition(t)`` — equations linking states at ``t`` and ``t+1``;
+* ``constraints_at(t)`` — the system's environment assumptions at ``t``.
+
+Timed variables are plain IR variables with mangled names, so the same
+bit-blaster/CNF pipeline used for combinational formulas handles unrolled
+paths with no special cases.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+
+SEPARATOR = "@"
+
+
+def timed_name(name: str, t: int) -> str:
+    return f"{name}{SEPARATOR}{t}"
+
+
+def untimed_name(name: str) -> tuple[str, int]:
+    base, _, t = name.rpartition(SEPARATOR)
+    return base, int(t)
+
+
+class Unroller:
+    """Produces timed copies of a system's expressions."""
+
+    def __init__(self, system: TransitionSystem):
+        system.validate()
+        self.system = system
+        self._maps: dict[int, dict[str, E.Expr]] = {}
+
+    def timed_var(self, name: str, t: int) -> E.Expr:
+        """The timed copy of input/state variable ``name`` at time ``t``."""
+        return self._mapping(t)[name]
+
+    def at_time(self, expr: E.Expr, t: int) -> E.Expr:
+        """Rewrite an expression over design vars into its time-``t`` copy.
+
+        ``expr`` must already be resolved (no define names); the system's
+        :meth:`~repro.ir.system.TransitionSystem.resolve_defines` does that.
+        """
+        return E.substitute(expr, self._mapping(t))
+
+    def init_constraints(self) -> list[E.Expr]:
+        """Equations pinning initialized registers at time 0."""
+        out = []
+        for name, init_expr in self.system.init.items():
+            out.append(E.eq(self.timed_var(name, 0),
+                            self.at_time(init_expr, 0)))
+        return out
+
+    def transition(self, t: int) -> list[E.Expr]:
+        """Equations defining states at ``t+1`` from the frame at ``t``."""
+        out = []
+        for name, next_expr in self.system.next.items():
+            out.append(E.eq(self.timed_var(name, t + 1),
+                            self.at_time(next_expr, t)))
+        return out
+
+    def constraints_at(self, t: int) -> list[E.Expr]:
+        """Environment assumptions instantiated at time ``t``."""
+        return [self.at_time(c, t) for c in self.system.constraints]
+
+    def state_distinct(self, t1: int, t2: int) -> E.Expr:
+        """At least one register differs between frames ``t1`` and ``t2``.
+
+        Used for the optional simple-path constraint that makes k-induction
+        complete for finite systems.
+        """
+        diffs = [E.ne(self.timed_var(name, t1), self.timed_var(name, t2))
+                 for name in self.system.states]
+        if not diffs:
+            return E.false()
+        return E.bool_or(*diffs)
+
+    def env_at(self, values: dict[str, int], t: int) -> dict[str, int]:
+        """Project a timed valuation (``v@t`` keys) onto frame ``t``."""
+        frame = {}
+        for name in list(self.system.inputs) + list(self.system.states):
+            frame[name] = values[timed_name(name, t)]
+        return frame
+
+    def _mapping(self, t: int) -> dict[str, E.Expr]:
+        found = self._maps.get(t)
+        if found is None:
+            found = {}
+            for name, v in self.system.inputs.items():
+                found[name] = E.var(timed_name(name, t), v.width)
+            for name, v in self.system.states.items():
+                found[name] = E.var(timed_name(name, t), v.width)
+            self._maps[t] = found
+        return found

@@ -1,0 +1,5 @@
+"""Reporting: aligned text tables, markdown, CSV for experiment output."""
+
+from repro.report.tables import Table
+
+__all__ = ["Table"]

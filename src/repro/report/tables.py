@@ -1,0 +1,76 @@
+"""Small table renderer used by benchmarks, examples, and the CLI.
+
+Renders the same data as an aligned text table (for terminals and bench
+logs), GitHub markdown (for EXPERIMENTS.md), or CSV (for downstream
+plotting).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+
+class Table:
+    """Column-aligned table with a title."""
+
+    def __init__(self, columns: list[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([_fmt(c) for c in cells])
+
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(f"{self.title}\n")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            out.write("  ".join(c.ljust(w)
+                                for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        out = io.StringIO()
+        if self.title:
+            out.write(f"### {self.title}\n\n")
+        out.write("| " + " | ".join(self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self.rows:
+            out.write("| " + " | ".join(row) + " |\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(_csv_escape(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_csv_escape(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _csv_escape(cell: str) -> str:
+    if "," in cell or '"' in cell or "\n" in cell:
+        return '"' + cell.replace('"', '""') + '"'
+    return cell

@@ -1,0 +1,540 @@
+"""Conflict-driven clause-learning (CDCL) SAT solver.
+
+A from-scratch MiniSat-lineage solver providing the proof engine for the
+model checker.  Features: two-watched-literal propagation, VSIDS variable
+activity with phase saving, first-UIP clause learning with recursive
+self-subsumption minimization, Luby restarts, and glue-(LBD-)aware learnt
+clause database reduction.  The public interface is incremental in the
+"fresh clauses + solve under assumptions" style:
+
+>>> s = Solver()
+>>> a, b = s.add_var(), s.add_var()
+>>> s.add_clause([a, b])
+>>> s.solve(assumptions=[-a])
+True
+>>> s.model_value(b)
+True
+
+Literals use DIMACS conventions externally (nonzero ints, negative =
+negated) and an internal packed encoding (``var << 1 | sign``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SatError
+
+_UNDEF = 2
+
+
+@dataclass
+class SatStats:
+    """Cumulative search statistics (monotone across solve() calls)."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    learned_literals: int = 0
+    db_reductions: int = 0
+    max_vars: int = 0
+    clauses_added: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity", "lbd")
+
+    def __init__(self, lits: list[int], learnt: bool):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = 0
+
+
+def _lit(internal_var: int, negative: bool) -> int:
+    return internal_var << 1 | int(negative)
+
+
+class Solver:
+    """Incremental CDCL solver."""
+
+    def __init__(self, restart_base: int = 100,
+                 var_decay: float = 0.95, clause_decay: float = 0.999):
+        self._nvars = 0
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._watches: list[list[_Clause]] = [[], []]  # indexed by lit
+        self._assigns: list[int] = [_UNDEF]  # indexed by var (1-based)
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[int] = [0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._ok = True
+        self._var_inc = 1.0
+        self._var_decay = var_decay
+        self._cla_inc = 1.0
+        self._cla_decay = clause_decay
+        self._restart_base = restart_base
+        self._max_learnts = 2000.0
+        self._learnt_growth = 1.3
+        self._order: list[tuple[float, int]] = []  # lazy max-heap entries
+        self._seen: list[int] = [0]
+        self._conflict_limit: int | None = None
+        self.stats = SatStats()
+        self._model: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def add_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) DIMACS index."""
+        self._nvars += 1
+        self._assigns.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        self.stats.max_vars = self._nvars
+        self._heap_push(self._nvars)
+        return self._nvars
+
+    def num_vars(self) -> int:
+        return self._nvars
+
+    def add_clause(self, dimacs_lits: list[int]) -> bool:
+        """Add a clause; returns False if the formula is now trivially UNSAT.
+
+        Clauses may only be added at decision level 0 (i.e. not from inside
+        a model callback); the incremental style supported here is
+        "add clauses between solve() calls".
+        """
+        if self._trail_lim:
+            raise SatError("add_clause called while search is in progress")
+        if not self._ok:
+            return False
+        self.stats.clauses_added += 1
+        lits = []
+        seen_pos: set[int] = set()
+        for d in dimacs_lits:
+            lit = self._from_dimacs(d)
+            value = self._value(lit)
+            if value == 1 or (lit ^ 1) in seen_pos:
+                return True  # satisfied or tautological at level 0
+            if value == 0 or lit in seen_pos:
+                continue  # falsified or duplicate literal
+            seen_pos.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(lits, learnt=False)
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> bool:
+        """Search for a model extending ``assumptions`` (DIMACS literals)."""
+        result = self.solve_limited(assumptions)
+        if result is None:  # pragma: no cover - only with budgets
+            raise SatError("solve() without budget cannot be indeterminate")
+        return result
+
+    def solve_limited(self, assumptions: list[int] | None = None,
+                      conflict_budget: int | None = None) -> bool | None:
+        """Budgeted solve: returns None when the conflict budget runs out.
+
+        Used for best-effort probes (e.g. the repair flow's bug check)
+        where an inconclusive answer is acceptable and bounded latency
+        matters more than completeness.
+        """
+        if not self._ok:
+            return False
+        assumed = [self._from_dimacs(d) for d in (assumptions or [])]
+        for lit in assumed:
+            if (lit >> 1) > self._nvars:
+                raise SatError(f"assumption over unknown variable {lit >> 1}")
+        self._conflict_limit = None if conflict_budget is None else \
+            self.stats.conflicts + conflict_budget
+        result = self._search(assumed)
+        self._conflict_limit = None
+        self._cancel_until(0)
+        return result
+
+    def model_value(self, var: int) -> bool:
+        """Value of ``var`` in the most recent satisfying model."""
+        if not self._model:
+            raise SatError("no model available (last solve returned False?)")
+        if not (1 <= var <= self._nvars):
+            raise SatError(f"variable {var} out of range")
+        return self._model[var] == 1
+
+    def model(self) -> list[int]:
+        """The model as a list of DIMACS literals (index 0 unused)."""
+        return [v if self._model[v] == 1 else -v
+                for v in range(1, self._nvars + 1)]
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+
+    def _search(self, assumptions: list[int]) -> bool | None:
+        conflicts_until_restart = self._luby_limit()
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if self._conflict_limit is not None and \
+                        self.stats.conflicts >= self._conflict_limit:
+                    return None
+                conflicts_until_restart -= 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return False
+                if self._current_level_is_assumed(assumptions):
+                    # The conflict is forced by the assumptions alone.
+                    return False
+                learnt, bt_level = self._analyze(conflict)
+                self._cancel_until(max(bt_level, 0))
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if len(self._learnts) >= self._max_learnts:
+                    self._reduce_db()
+                continue
+            if conflicts_until_restart <= 0 and \
+                    self._decision_level() > len(assumptions):
+                self.stats.restarts += 1
+                self._cancel_until(len(assumptions))
+                conflicts_until_restart = self._luby_limit()
+                continue
+            # Extend assumptions first, then decide.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                self._model = list(self._assigns)
+                return True
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def _current_level_is_assumed(self, assumptions: list[int]) -> bool:
+        """True when every open decision level is an assumption level and a
+        conflict therefore contradicts the assumptions themselves.
+
+        Called only on a conflict; precise failed-assumption cores are not
+        needed by the model checker, so we only detect the condition."""
+        return 0 < self._decision_level() <= len(assumptions)
+
+    def _propagate(self) -> _Clause | None:
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            watch_list = self._watches[p]
+            kept: list[_Clause] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                lits = clause.lits
+                # Normalize: the falsified literal goes to position 1.
+                if lits[0] == p ^ 1:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1] ^ 1].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(first) == 0:
+                    # Conflict: keep the rest of the watch list intact.
+                    kept.extend(watch_list[i:])
+                    self._watches[p] = kept
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            self._watches[p] = kept
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learnt clause lits, backtrack level)."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        to_clear: list[int] = []
+        counter = 0
+        p = -1
+        index = len(self._trail) - 1
+        clause: _Clause | None = conflict
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 1 if clause.lits and p != -1 and \
+                clause.lits[0] == p else 0
+            for q in clause.lits[start:]:
+                v = q >> 1
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = 1
+                    to_clear.append(v)
+                    self._bump_var(v)
+                    if self._level[v] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            p = self._trail[index]
+            v = p >> 1
+            index -= 1
+            seen[v] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[v]
+        learnt[0] = p ^ 1
+        self._minimize(learnt)
+        # Compute backtrack level: the second-highest level in the clause.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_index = 1
+            for i in range(2, len(learnt)):
+                if self._level[learnt[i] >> 1] > \
+                        self._level[learnt[max_index] >> 1]:
+                    max_index = i
+            learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+            bt_level = self._level[learnt[1] >> 1]
+        for v in to_clear:
+            seen[v] = 0
+        return learnt, bt_level
+
+    def _minimize(self, learnt: list[int]) -> None:
+        """Drop literals implied by the rest of the clause (self-subsumption).
+
+        A literal can be removed if its reason's literals are all already in
+        the clause (marked seen).  This is MiniSat's 'basic' minimization.
+        """
+        seen = self._seen
+        kept = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reason[lit >> 1]
+            if reason is None:
+                kept.append(lit)
+                continue
+            removable = True
+            for q in reason.lits:
+                v = q >> 1
+                if q != (lit ^ 1) and not seen[v] and self._level[v] > 0:
+                    removable = False
+                    break
+            if not removable:
+                kept.append(lit)
+        learnt[:] = kept
+
+    def _record_learnt(self, learnt: list[int]) -> None:
+        self.stats.learned += 1
+        self.stats.learned_literals += len(learnt)
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(list(learnt), learnt=True)
+        clause.lbd = self._compute_lbd(learnt)
+        self._bump_clause(clause)
+        self._attach(clause)
+        self._learnts.append(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _compute_lbd(self, lits: list[int]) -> int:
+        return len({self._level[l >> 1] for l in lits})
+
+    def _reduce_db(self) -> None:
+        """Remove the worse half of learnt clauses (high LBD, low activity)."""
+        self.stats.db_reductions += 1
+        self._max_learnts *= self._learnt_growth
+        locked = {id(self._reason[v]) for v in range(1, self._nvars + 1)
+                  if self._reason[v] is not None}
+        self._learnts.sort(key=lambda c: (-c.lbd, c.activity))
+        keep_from = len(self._learnts) // 2
+        removed: list[_Clause] = []
+        kept: list[_Clause] = []
+        for i, clause in enumerate(self._learnts):
+            protect = (id(clause) in locked or len(clause.lits) == 2
+                       or clause.lbd <= 2 or i >= keep_from)
+            (kept if protect else removed).append(clause)
+        for clause in removed:
+            self._detach(clause)
+        self._learnts = kept
+
+    # ------------------------------------------------------------------
+    # Assignment bookkeeping
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+        value = self._value(lit)
+        if value != _UNDEF:
+            return value == 1
+        v = lit >> 1
+        self._assigns[v] = 1 - (lit & 1)
+        self._phase[v] = self._assigns[v]
+        self._level[v] = self._decision_level()
+        self._reason[v] = reason
+        self._trail.append(lit)
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            v = lit >> 1
+            self._assigns[v] = _UNDEF
+            self._reason[v] = None
+            self._heap_push(v)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _value(self, lit: int) -> int:
+        a = self._assigns[lit >> 1]
+        if a == _UNDEF:
+            return _UNDEF
+        return a ^ (lit & 1)
+
+    # ------------------------------------------------------------------
+    # Branching heuristics
+    # ------------------------------------------------------------------
+
+    def _pick_branch(self) -> int | None:
+        while self._order:
+            neg_activity, v = heapq.heappop(self._order)
+            if self._assigns[v] == _UNDEF and \
+                    -neg_activity == self._activity[v]:
+                return _lit(v, negative=self._phase[v] == 0)
+        # Heap exhausted by staleness; rebuild from scratch.
+        for v in range(1, self._nvars + 1):
+            if self._assigns[v] == _UNDEF:
+                self._rebuild_heap()
+                return self._pick_branch_from_rebuilt()
+        return None
+
+    def _pick_branch_from_rebuilt(self) -> int | None:
+        while self._order:
+            neg_activity, v = heapq.heappop(self._order)
+            if self._assigns[v] == _UNDEF:
+                return _lit(v, negative=self._phase[v] == 0)
+        return None
+
+    def _rebuild_heap(self) -> None:
+        self._order = [(-self._activity[v], v)
+                       for v in range(1, self._nvars + 1)
+                       if self._assigns[v] == _UNDEF]
+        heapq.heapify(self._order)
+
+    def _heap_push(self, v: int) -> None:
+        heapq.heappush(self._order, (-self._activity[v], v))
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for u in range(1, self._nvars + 1):
+                self._activity[u] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._assigns[v] == _UNDEF:
+            self._heap_push(v)
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    # ------------------------------------------------------------------
+    # Watches / restarts
+    # ------------------------------------------------------------------
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0] ^ 1].append(clause)
+        self._watches[clause.lits[1] ^ 1].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            try:
+                self._watches[lit ^ 1].remove(clause)
+            except ValueError:
+                pass
+
+    def _luby_limit(self) -> int:
+        return self._restart_base * _luby(self.stats.restarts + 1)
+
+    def _from_dimacs(self, d: int) -> int:
+        if d == 0:
+            raise SatError("literal 0 is not valid")
+        v = abs(d)
+        if v > self._nvars:
+            raise SatError(f"variable {v} was never allocated")
+        return _lit(v, negative=d < 0)
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence:
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq

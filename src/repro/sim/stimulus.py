@@ -1,0 +1,103 @@
+"""Stimulus generators for simulation runs.
+
+A stimulus is an iterable of input maps, one per cycle.  The random
+generator is constraint-aware: when the design carries environment
+constraints over inputs (e.g. ``rst == 0`` or one-hot request lines),
+it rejection-samples inputs until the constraints hold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.utils.bits import mask
+
+
+class Stimulus:
+    """Base class; subclasses yield one input map per cycle."""
+
+    def cycles(self, system: TransitionSystem,
+               state_values: Mapping[str, int] | None = None
+               ) -> Iterator[dict[str, int]]:
+        raise NotImplementedError
+
+
+class VectorStimulus(Stimulus):
+    """Fixed, explicit per-cycle input vectors."""
+
+    def __init__(self, vectors: Sequence[Mapping[str, int]]):
+        self.vectors = [dict(v) for v in vectors]
+
+    def cycles(self, system: TransitionSystem,
+               state_values: Mapping[str, int] | None = None
+               ) -> Iterator[dict[str, int]]:
+        for v in self.vectors:
+            yield dict(v)
+
+
+class RandomStimulus(Stimulus):
+    """Seeded uniform-random inputs with constraint rejection sampling.
+
+    Parameters
+    ----------
+    length:
+        Number of cycles to generate.
+    seed:
+        RNG seed; runs are fully deterministic given the seed.
+    pinned:
+        Input values held constant every cycle (e.g. ``{"rst": 0}``).
+    max_retries:
+        Rejection-sampling budget per cycle before giving up; constraints
+        that depend only on state cannot be satisfied by resampling inputs,
+        so a tight budget surfaces harness errors quickly.
+    """
+
+    def __init__(self, length: int, seed: int = 0,
+                 pinned: Mapping[str, int] | None = None,
+                 max_retries: int = 200):
+        self.length = length
+        self.seed = seed
+        self.pinned = dict(pinned or {})
+        self.max_retries = max_retries
+
+    def cycles(self, system: TransitionSystem,
+               state_values: Mapping[str, int] | None = None
+               ) -> Iterator[dict[str, int]]:
+        rng = random.Random(self.seed)
+        input_constraints = [
+            c for c in system.constraints
+            if E.support(c) & set(system.inputs)]
+        for _ in range(self.length):
+            inputs = self._sample(system, rng, input_constraints,
+                                  state_values)
+            yield inputs
+
+    def _sample(self, system: TransitionSystem, rng: random.Random,
+                constraints: list[E.Expr],
+                state_values: Mapping[str, int] | None) -> dict[str, int]:
+        for _ in range(self.max_retries):
+            inputs = {}
+            for name, v in system.inputs.items():
+                if name in self.pinned:
+                    inputs[name] = self.pinned[name] & mask(v.width)
+                else:
+                    inputs[name] = rng.randrange(1 << v.width)
+            if not constraints:
+                return inputs
+            env = dict(inputs)
+            if state_values:
+                env.update(state_values)
+            try:
+                if all(E.evaluate(c, env) for c in constraints):
+                    return inputs
+            except Exception:
+                # Constraint mentions state we were not given; treat the
+                # sample as acceptable rather than guessing.
+                return inputs
+        raise SimulationError(
+            "could not satisfy input constraints after "
+            f"{self.max_retries} retries")

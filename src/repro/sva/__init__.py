@@ -1,0 +1,32 @@
+"""SVA property frontend.
+
+Parses a practical subset of SystemVerilog Assertions and compiles each
+property into a safety monitor over the design's transition system:
+
+* boolean layer: full expression syntax over design signals, plus
+  ``$past(e[, n])``, ``$stable``, ``$rose``, ``$fell``, ``$onehot``,
+  ``$onehot0``, ``$countones``, ``$isunknown``;
+* sequence layer: bounded concatenation with ``##N`` delays;
+* property layer: overlapping ``|->`` and non-overlapping ``|=>``
+  implication, ``disable iff (expr)``, bare boolean invariants.
+
+Compilation adds monitor registers (delay chains for ``$past`` and for
+sequence matching) to a clone of the design and returns a
+:class:`~repro.mc.property.SafetyProperty`.  A :class:`MonitorContext`
+accumulates several properties over one shared clone so that proven
+helpers can be assumed while proving targets — the mechanism behind the
+paper's lemma flow.
+"""
+
+from repro.sva.ast import PropertyAst, SequenceAst
+from repro.sva.parser import parse_properties, parse_property
+from repro.sva.compile import MonitorContext, compile_property
+
+__all__ = [
+    "MonitorContext",
+    "PropertyAst",
+    "SequenceAst",
+    "compile_property",
+    "parse_properties",
+    "parse_property",
+]

@@ -1,0 +1,49 @@
+"""AST for the SVA subset (property and sequence layers).
+
+The boolean layer reuses :mod:`repro.hdl.ast` expression nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl import ast as hast
+
+
+@dataclass
+class SequenceAst:
+    """A bounded sequence: expressions separated by fixed ``##N`` delays.
+
+    ``elements[i] = (delay_from_previous, expr)``; the first element's
+    delay is 0 by construction.  The sequence *matches at cycle t* when
+    every element holds at its offset, with the match anchored at the
+    cycle of the **last** element.
+    """
+
+    elements: list[tuple[int, hast.HdlExpr]] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Total delay from first to last element."""
+        return sum(d for d, _ in self.elements)
+
+    @property
+    def is_simple(self) -> bool:
+        return len(self.elements) == 1
+
+
+@dataclass
+class PropertyAst:
+    """One parsed property.
+
+    ``op`` is ``"|->"`` (overlapping), ``"|=>"`` (non-overlapping), or
+    ``None`` for a bare boolean invariant (antecedent is then None).
+    """
+
+    name: str
+    antecedent: SequenceAst | None
+    op: str | None
+    consequent: SequenceAst
+    disable: hast.HdlExpr | None = None
+    source_text: str = ""
+    line: int = 0

@@ -1,0 +1,355 @@
+"""Compilation of SVA properties into safety monitors.
+
+Every property becomes a ``bad`` expression over a monitor-augmented clone
+of the design:
+
+* ``$past``/``$stable``/``$rose``/``$fell`` spawn delay-chain registers
+  with *nondeterministic* initial values; the property's ``valid_from``
+  skips the warm-up cycles where the chain content is undefined;
+* sequence antecedents spawn match-chain registers initialized to 0 (no
+  match can predate time zero, so no warm-up is needed);
+* ``disable iff`` gates the failure condition.
+
+Monitor registers are genuine state: in the k-induction step case they
+start arbitrary, exactly like commercial tools treat assertion state —
+which is why ``$past``-style properties often *need* helper invariants,
+the phenomenon the paper's flows address.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import PropertyError
+from repro.hdl import ast as hast
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+from repro.sva.ast import PropertyAst, SequenceAst
+from repro.sva.parser import parse_property
+
+_uid_counter = itertools.count()
+
+
+class MonitorContext:
+    """Accumulates compiled properties over one shared design clone.
+
+    The shared clone matters: when the repair flow proves a helper
+    assertion and then assumes it while re-proving the target, both
+    properties' monitor registers must live in the *same* transition
+    system.
+    """
+
+    def __init__(self, system: TransitionSystem):
+        self.base = system
+        self.system = system.clone(f"{system.name}+monitors")
+        self.properties: dict[str, SafetyProperty] = {}
+
+    def add(self, text_or_ast: str | PropertyAst,
+            name: str | None = None) -> SafetyProperty:
+        """Parse (if needed) and compile one property into the context."""
+        if isinstance(text_or_ast, str):
+            ast_node = parse_property(text_or_ast, name=name)
+        else:
+            ast_node = text_or_ast
+        if name is not None:
+            ast_node.name = name
+        final_name = ast_node.name
+        if final_name in self.properties:
+            final_name = f"{final_name}_{next(_uid_counter)}"
+        compiler = _PropertyCompiler(self.system, final_name)
+        prop = compiler.compile(ast_node)
+        self.properties[final_name] = prop
+        return prop
+
+
+def compile_property(system: TransitionSystem,
+                     text_or_ast: str | PropertyAst,
+                     name: str | None = None
+                     ) -> tuple[TransitionSystem, SafetyProperty]:
+    """One-shot convenience: compile a property onto a fresh clone."""
+    ctx = MonitorContext(system)
+    prop = ctx.add(text_or_ast, name=name)
+    return ctx.system, prop
+
+
+# ---------------------------------------------------------------------------
+
+
+class _PropertyCompiler:
+    """Lowers one property AST against a (mutable) monitored system."""
+
+    def __init__(self, system: TransitionSystem, prop_name: str):
+        self.system = system
+        self.prop_name = prop_name
+        self.valid_from = 0
+        self._mon_index = itertools.count()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _mon_name(self, tag: str) -> str:
+        return f"_mon.{self.prop_name}.{tag}{next(self._mon_index)}"
+
+    def _delay_reg(self, value: E.Expr, tag: str,
+                   init: E.Expr | None) -> E.Expr:
+        """One monitor register whose next value is ``value``."""
+        name = self._mon_name(tag)
+        reg = self.system.add_state(name, value.width)
+        # Next functions must range over inputs/states only; property
+        # expressions may reference defines, so resolve them here.
+        self.system.set_next(name, self.system.resolve_defines(value))
+        if init is not None:
+            self.system.set_init(name, init)
+        return reg
+
+    def _past(self, value: E.Expr, depth: int) -> E.Expr:
+        """A ``depth``-cycle delayed copy (nondeterministic warm-up)."""
+        current = value
+        for _ in range(depth):
+            current = self._delay_reg(current, "past", init=None)
+        self.valid_from = max(self.valid_from, depth)
+        return current
+
+    def _delayed_match(self, flag: E.Expr, depth: int) -> E.Expr:
+        """Delay a 1-bit match flag; warm-up cycles read as 'no match'."""
+        current = flag
+        for _ in range(depth):
+            current = self._delay_reg(current, "seq", init=E.false())
+        return current
+
+    # -- expression lowering ---------------------------------------------
+
+    def lower(self, e: hast.HdlExpr) -> E.Expr:
+        value = self._lower(e)
+        if isinstance(value, _Unsized):
+            return E.const(value.value, 32)
+        return value
+
+    def lower_bool(self, e: hast.HdlExpr) -> E.Expr:
+        value = self._lower(e)
+        if isinstance(value, _Unsized):
+            return E.true() if value.value else E.false()
+        return value if value.width == 1 else E.redor(value)
+
+    def _signal(self, name: str, line: int) -> E.Expr:
+        if not self.system.has_signal(name):
+            raise PropertyError(
+                f"property {self.prop_name!r} references unknown signal "
+                f"{name!r} (line {line})")
+        ref = self.system.lookup(name)
+        # Defines are referenced by variable so traces stay readable; the
+        # model checker resolves them via resolve_defines.
+        if name in self.system.defines:
+            return E.var(name, ref.width)
+        return ref
+
+    def _lower(self, e: hast.HdlExpr):
+        if isinstance(e, hast.Number):
+            if e.is_fill:
+                return _Unsized(e.value)
+            if e.width is None:
+                return _Unsized(e.value)
+            return E.const(e.value, e.width)
+        if isinstance(e, hast.Ident):
+            return self._signal(e.name, e.line)
+        if isinstance(e, hast.Unary):
+            return self._lower_unary(e)
+        if isinstance(e, hast.Binary):
+            return self._lower_binary(e)
+        if isinstance(e, hast.Ternary):
+            cond = self.lower_bool(e.cond)
+            a, b = self._unify(self._lower(e.then), self._lower(e.other))
+            return E.ite(cond, a, b)
+        if isinstance(e, hast.Concat):
+            parts = [self._must_sized(self._lower(p), p) for p in e.parts]
+            out = parts[0]
+            for p in parts[1:]:
+                out = E.concat(out, p)
+            return out
+        if isinstance(e, hast.Repl):
+            count = self._const_int(e.count)
+            return E.repeat(self._must_sized(self._lower(e.operand),
+                                             e.operand), count)
+        if isinstance(e, hast.Index):
+            base = self._must_sized(self._lower(e.base), e.base)
+            index = self._lower(e.index)
+            if isinstance(index, _Unsized):
+                return E.extract(base, index.value, index.value)
+            shifted = E.lshr(base, _resize(index, base.width))
+            return E.extract(shifted, 0, 0)
+        if isinstance(e, hast.Slice):
+            base = self._must_sized(self._lower(e.base), e.base)
+            return E.extract(base, self._const_int(e.msb),
+                             self._const_int(e.lsb))
+        if isinstance(e, hast.Call):
+            return self._lower_call(e)
+        raise PropertyError(
+            f"unsupported expression in property {self.prop_name!r}")
+
+    def _lower_call(self, e: hast.Call):
+        if e.func == "$past":
+            value = self._must_sized(self._lower(e.args[0]), e.args[0])
+            depth = self._const_int(e.args[1]) if len(e.args) > 1 else 1
+            if depth < 1:
+                raise PropertyError("$past depth must be >= 1")
+            return self._past(value, depth)
+        if e.func == "$stable":
+            value = self._must_sized(self._lower(e.args[0]), e.args[0])
+            return E.eq(value, self._past(value, 1))
+        if e.func == "$changed":
+            value = self._must_sized(self._lower(e.args[0]), e.args[0])
+            return E.ne(value, self._past(value, 1))
+        if e.func == "$rose":
+            value = self._must_sized(self._lower(e.args[0]), e.args[0])
+            b = E.extract(value, 0, 0)
+            return E.and_(b, E.not_(self._past(b, 1)))
+        if e.func == "$fell":
+            value = self._must_sized(self._lower(e.args[0]), e.args[0])
+            b = E.extract(value, 0, 0)
+            return E.and_(E.not_(b), self._past(b, 1))
+        if e.func == "$countones":
+            return E.countones(self._must_sized(self._lower(e.args[0]),
+                                                e.args[0]))
+        if e.func == "$onehot":
+            return E.onehot(self._must_sized(self._lower(e.args[0]),
+                                             e.args[0]))
+        if e.func == "$onehot0":
+            return E.onehot0(self._must_sized(self._lower(e.args[0]),
+                                              e.args[0]))
+        if e.func == "$isunknown":
+            return E.false()
+        raise PropertyError(
+            f"unsupported system function {e.func!r} in property "
+            f"{self.prop_name!r}")
+
+    def _lower_unary(self, e: hast.Unary):
+        if e.op == "!":
+            return E.not_(self.lower_bool(e.operand))
+        operand = self._must_sized(self._lower(e.operand), e.operand)
+        table = {
+            "~": E.not_, "-": E.neg, "+": lambda x: x,
+            "&": E.redand, "|": E.redor, "^": E.redxor,
+        }
+        if e.op in table:
+            return table[e.op](operand)
+        if e.op in ("~&",):
+            return E.not_(E.redand(operand))
+        if e.op in ("~|",):
+            return E.not_(E.redor(operand))
+        if e.op in ("~^", "^~"):
+            return E.not_(E.redxor(operand))
+        raise PropertyError(f"unsupported unary {e.op!r} in property")
+
+    def _lower_binary(self, e: hast.Binary):
+        if e.op == "&&":
+            return E.and_(self.lower_bool(e.left), self.lower_bool(e.right))
+        if e.op == "||":
+            return E.or_(self.lower_bool(e.left), self.lower_bool(e.right))
+        if e.op == "->":
+            return E.bool_implies(self.lower_bool(e.left),
+                                  self.lower_bool(e.right))
+        a = self._lower(e.left)
+        b = self._lower(e.right)
+        if e.op in ("<<", ">>", ">>>"):
+            a = self._must_sized(a, e.left)
+            if isinstance(b, _Unsized):
+                b = E.const(b.value, max(1, b.value.bit_length()))
+            return {"<<": E.shl, ">>": E.lshr, ">>>": E.ashr}[e.op](a, b)
+        a, b = self._unify(a, b)
+        table = {
+            "+": E.add, "-": E.sub, "*": E.mul,
+            "&": E.and_, "|": E.or_, "^": E.xor,
+            "==": E.eq, "!=": E.ne, "===": E.eq, "!==": E.ne,
+            "<": E.ult, "<=": E.ule, ">": E.ugt, ">=": E.uge,
+        }
+        if e.op in ("~^", "^~"):
+            return E.not_(E.xor(a, b))
+        if e.op in table:
+            return table[e.op](a, b)
+        raise PropertyError(f"unsupported operator {e.op!r} in property")
+
+    def _unify(self, a, b):
+        if isinstance(a, _Unsized) and isinstance(b, _Unsized):
+            return E.const(a.value, 32), E.const(b.value, 32)
+        if isinstance(a, _Unsized):
+            return E.const(a.value, b.width), b
+        if isinstance(b, _Unsized):
+            return a, E.const(b.value, a.width)
+        width = max(a.width, b.width)
+        return _resize(a, width), _resize(b, width)
+
+    def _must_sized(self, value, node) -> E.Expr:
+        if isinstance(value, _Unsized):
+            return E.const(value.value, 32)
+        return value
+
+    def _const_int(self, e: hast.HdlExpr) -> int:
+        value = self._lower(e)
+        if isinstance(value, _Unsized):
+            return value.value
+        if value.is_const:
+            return value.value
+        raise PropertyError(
+            f"expected a constant in property {self.prop_name!r}")
+
+    # -- property compilation ---------------------------------------------
+
+    def _sequence_match(self, seq: SequenceAst) -> E.Expr:
+        """1-bit flag: the sequence's last element matched this cycle."""
+        if seq.elements and seq.elements[0][0] != 0:
+            raise PropertyError(
+                f"property {self.prop_name!r}: a leading ## delay is only "
+                "meaningful in a consequent")
+        matched: E.Expr | None = None
+        for delay, expr in seq.elements:
+            flag = self.lower_bool(expr)
+            if matched is None:
+                matched = flag
+            else:
+                matched = E.and_(self._delayed_match(matched, delay), flag)
+        assert matched is not None
+        return matched
+
+    def compile(self, prop: PropertyAst) -> SafetyProperty:
+        if prop.antecedent is None:
+            if prop.consequent.elements[0][0] != 0:
+                raise PropertyError(
+                    f"property {self.prop_name!r}: a bare invariant cannot "
+                    "start with a ## delay")
+            good = self.lower_bool(prop.consequent.elements[0][1])
+            bad = E.not_(good)
+        else:
+            matched = self._sequence_match(prop.antecedent)
+            if prop.op == "|=>":
+                matched = self._delayed_match(matched, 1)
+            # Consequent: every element must hold at its offset from the
+            # antecedent match; failure of any element is a violation.
+            fails = []
+            offset = 0
+            delayed = matched
+            for delay, expr in prop.consequent.elements:
+                delayed = self._delayed_match(delayed, delay)
+                offset += delay
+                fails.append(E.and_(delayed,
+                                    E.not_(self.lower_bool(expr))))
+            bad = E.bool_or(*fails)
+        if prop.disable is not None:
+            bad = E.and_(bad, E.not_(self.lower_bool(prop.disable)))
+        return SafetyProperty(self.prop_name, bad,
+                              valid_from=self.valid_from,
+                              source_text=prop.source_text.strip())
+
+
+class _Unsized:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+
+def _resize(value: E.Expr, width: int) -> E.Expr:
+    if value.width == width:
+        return value
+    if value.width > width:
+        return E.extract(value, width - 1, 0)
+    return E.zext(value, width)

@@ -1,0 +1,133 @@
+"""Parser for the SVA subset.
+
+Accepts either full declarations::
+
+    property equal_count;
+      &count1 |-> &count2;
+    endproperty
+
+or bare property bodies (``count1 == count2``), which is how helper
+assertions extracted from LLM responses are usually phrased.  Also accepts
+(and ignores) a leading clocking event ``@(posedge clk)``, since the model
+has a single implicit clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PropertyError
+from repro.hdl import ast as hast
+from repro.hdl.lexer import tokenize
+from repro.hdl.parser import TokenStream, parse_expr
+from repro.sva.ast import PropertyAst, SequenceAst
+
+
+def parse_property(text: str, name: str | None = None) -> PropertyAst:
+    """Parse a single property declaration or bare body."""
+    props = parse_properties(text, default_name=name)
+    if len(props) != 1:
+        raise PropertyError(
+            f"expected exactly one property, found {len(props)}")
+    return props[0]
+
+
+def parse_properties(text: str,
+                     default_name: str | None = None) -> list[PropertyAst]:
+    """Parse every property in ``text``.
+
+    ``property ... endproperty`` blocks are parsed in order; if the text
+    contains none, the whole text is treated as one bare property body.
+    """
+    try:
+        ts = TokenStream(tokenize(text))
+    except Exception as exc:
+        raise PropertyError(f"cannot tokenize property text: {exc}")
+    props: list[PropertyAst] = []
+    anonymous = 0
+    if not ts.at_kw("property"):
+        body = _parse_property_body(ts, default_name or "prop", text)
+        _expect_end(ts)
+        return [body]
+    while ts.at_kw("property"):
+        line = ts.next().line
+        name_token = ts.expect("id")
+        ts.expect("op", ";")
+        prop = _parse_property_body(ts, name_token.text, text)
+        prop.line = line
+        ts.accept("op", ";")
+        ts.expect("keyword", "endproperty")
+        props.append(prop)
+        anonymous += 1
+    _expect_end(ts)
+    return props
+
+
+def _expect_end(ts: TokenStream) -> None:
+    if not ts.at("eof"):
+        token = ts.peek()
+        raise PropertyError(
+            f"unexpected trailing input {token.text!r} at line {token.line}")
+
+
+def _parse_property_body(ts: TokenStream, name: str,
+                         source_text: str) -> PropertyAst:
+    disable = None
+    if ts.accept("keyword", "disable"):
+        ts.expect("keyword", "iff")
+        ts.expect("op", "(")
+        disable = parse_expr(ts)
+        ts.expect("op", ")")
+    if ts.at_op("@"):
+        # Clocking event: accepted and discarded (single implicit clock).
+        ts.next()
+        ts.expect("op", "(")
+        depth = 1
+        while depth:
+            token = ts.next()
+            if token.kind == "eof":
+                raise PropertyError("unterminated clocking event")
+            if token.kind == "op" and token.text == "(":
+                depth += 1
+            elif token.kind == "op" and token.text == ")":
+                depth -= 1
+    antecedent = _parse_sequence(ts)
+    op = None
+    consequent = antecedent
+    if ts.accept("op", "|->"):
+        op = "|->"
+    elif ts.accept("op", "|=>"):
+        op = "|=>"
+    if op is not None:
+        consequent = _parse_sequence(ts)
+        result = PropertyAst(name, antecedent, op, consequent,
+                             disable=disable, source_text=source_text)
+    else:
+        if not antecedent.is_simple:
+            raise PropertyError(
+                f"property {name!r}: a bare sequence needs an implication "
+                "(use `seq |-> 1'b1` to assert matchability)")
+        result = PropertyAst(name, None, None, antecedent,
+                             disable=disable, source_text=source_text)
+    ts.accept("op", ";")
+    return result
+
+
+def _parse_sequence(ts: TokenStream) -> SequenceAst:
+    elements: list[tuple[int, hast.HdlExpr]] = []
+    delay = 0
+    if ts.at_op("##"):
+        # Leading delay (meaningful in consequents: `|-> ##2 expr`).
+        ts.next()
+        number = ts.expect("number")
+        delay = number.value
+    while True:
+        expr = parse_expr(ts)
+        elements.append((delay, expr))
+        if ts.accept("op", "##"):
+            number = ts.expect("number")
+            delay = number.value
+            if delay < 0 or number.width is not None and delay > 64:
+                raise PropertyError(
+                    f"unsupported ## delay {number.text}")
+            continue
+        break
+    return SequenceAst(elements)

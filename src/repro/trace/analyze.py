@@ -1,0 +1,59 @@
+"""Counterexample analysis utilities.
+
+These are the primitives both the CEX-guided invariant engine and the
+reporting layer use: extracting the (possibly unreachable) induction
+pre-state, finding which signals disagree, and testing candidate
+invariants against trace cycles.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.trace.trace import Trace
+
+
+def pre_state(trace: Trace) -> dict[str, int]:
+    """State-variable valuation at the first cycle of the trace.
+
+    For an induction-step CEX this is the arbitrary unreachable state the
+    inductive step started from — the thing a strengthening helper
+    assertion must rule out.
+    """
+    if not trace.length:
+        return {}
+    return {s.name: trace.value(s.name, 0)
+            for s in trace.signals if s.kind == "state"}
+
+
+def signals_differing(trace: Trace, a: str, b: str,
+                      time: int) -> list[int]:
+    """Bit positions where signals ``a`` and ``b`` differ at ``time``."""
+    va = trace.value(a, time)
+    vb = trace.value(b, time)
+    diff = va ^ vb
+    return [i for i in range(max(trace.signal(a).width,
+                                 trace.signal(b).width))
+            if (diff >> i) & 1]
+
+
+def violated_here(system: TransitionSystem, trace: Trace,
+                  candidate: E.Expr, time: int = 0) -> bool:
+    """Does the width-1 ``candidate`` evaluate false at ``time``?
+
+    The candidate may reference defines; they are resolved against the
+    system before evaluation.
+    """
+    resolved = system.resolve_defines(candidate)
+    env = {s.name: trace.value(s.name, time)
+           for s in trace.signals if s.kind in ("input", "state")}
+    return E.evaluate(resolved, env) == 0
+
+
+def first_violation(system: TransitionSystem, trace: Trace,
+                    candidate: E.Expr) -> int | None:
+    """Earliest cycle where ``candidate`` is false, or None."""
+    for t in range(trace.length):
+        if violated_here(system, trace, candidate, t):
+            return t
+    return None

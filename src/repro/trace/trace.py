@@ -1,0 +1,101 @@
+"""The trace model: a full valuation of a design over a window of cycles.
+
+Traces come from three places — BMC counterexamples (rooted at the initial
+state), induction-step counterexamples (rooted at an *arbitrary, possibly
+unreachable* state, which is exactly what the paper's Fig. 2 flow feeds to
+the LLM), and plain simulation runs.  The ``kind`` field records which, so
+downstream consumers (waveform renderer, prompt builder, CEX analyzer)
+can phrase their output correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.errors import TraceError
+from repro.ir.system import Signal, TransitionSystem
+
+
+class TraceKind(Enum):
+    """Provenance of a trace."""
+
+    BMC_CEX = "bmc_counterexample"
+    STEP_CEX = "induction_step_counterexample"
+    SIMULATION = "simulation"
+
+
+@dataclass
+class Trace:
+    """An ordered set of signals with one value per signal per cycle."""
+
+    signals: list[Signal]
+    steps: list[dict[str, int]]
+    kind: TraceKind = TraceKind.SIMULATION
+    property_name: str | None = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        names = {s.name for s in self.signals}
+        for t, step in enumerate(self.steps):
+            missing = names - set(step)
+            if missing:
+                raise TraceError(
+                    f"trace step {t} missing signals: {sorted(missing)[:5]}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def value(self, name: str, time: int) -> int:
+        if not (0 <= time < len(self.steps)):
+            raise TraceError(f"time {time} outside trace of length {self.length}")
+        try:
+            return self.steps[time][name]
+        except KeyError:
+            raise TraceError(f"signal {name!r} not recorded in trace")
+
+    def signal(self, name: str) -> Signal:
+        for s in self.signals:
+            if s.name == name:
+                return s
+        raise TraceError(f"signal {name!r} not recorded in trace")
+
+    def signal_names(self) -> list[str]:
+        return [s.name for s in self.signals]
+
+    def values_over_time(self, name: str) -> list[int]:
+        return [step[name] for step in self.steps]
+
+    def restricted(self, names: Iterable[str]) -> "Trace":
+        """A sub-trace containing only the named signals (kept order)."""
+        wanted = set(names)
+        kept = [s for s in self.signals if s.name in wanted]
+        steps = [{s.name: step[s.name] for s in kept} for step in self.steps]
+        return Trace(kept, steps, kind=self.kind,
+                     property_name=self.property_name, note=self.note)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_model_values(system: TransitionSystem,
+                          per_time_env: list[Mapping[str, int]],
+                          kind: TraceKind,
+                          property_name: str | None = None,
+                          note: str = "") -> "Trace":
+        """Build a trace from per-cycle input/state valuations.
+
+        Define values are recomputed from each cycle's environment so the
+        trace shows every named signal, exactly like a simulator dump.
+        """
+        signals = list(system.signals())
+        steps = []
+        for env in per_time_env:
+            steps.append(system.env_with_defines(dict(env)))
+        return Trace(signals, steps, kind=kind,
+                     property_name=property_name, note=note)

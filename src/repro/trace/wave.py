@@ -1,0 +1,113 @@
+"""ASCII waveform rendering (the paper's Fig. 3, in text form).
+
+Two renderers: :func:`render_wave` prints one row per signal with hex
+values per cycle, and :func:`render_bit_wave` expands chosen signals into
+per-bit ``0``/``1`` rows with an optional difference marker — this is the
+view that makes the paper's "bit 31 of count2 is not logic 1" CEX visible,
+and it is the text embedded into the Fig. 2 repair prompt.
+"""
+
+from __future__ import annotations
+
+from repro.trace.trace import Trace, TraceKind
+
+
+def _hex_width(width: int) -> int:
+    return max(1, (width + 3) // 4)
+
+
+def render_wave(trace: Trace, signals: list[str] | None = None,
+                max_cycles: int | None = None,
+                title: str | None = None) -> str:
+    """Render a compact hex waveform table.
+
+    One column per cycle, one row per signal; values in hex.  Induction-step
+    counterexamples are labelled with relative times (``k+0, k+1, ...``)
+    because their window starts in an arbitrary, possibly unreachable state.
+    """
+    names = signals if signals is not None else trace.signal_names()
+    cycles = trace.length if max_cycles is None else min(max_cycles,
+                                                         trace.length)
+    relative = trace.kind is TraceKind.STEP_CEX
+    header_cells = [f"k+{t}" if relative else str(t) for t in range(cycles)]
+    widths = {}
+    for name in names:
+        sig = trace.signal(name)
+        widths[name] = max(_hex_width(sig.width), len(header_cells[0]), 3)
+    name_col = max((len(n) for n in names), default=4) + 2
+
+    lines = []
+    if title:
+        lines.append(title)
+    elif trace.kind is TraceKind.STEP_CEX:
+        lines.append("induction step counterexample "
+                     f"({trace.property_name or 'property'})")
+    elif trace.kind is TraceKind.BMC_CEX:
+        lines.append(f"counterexample ({trace.property_name or 'property'})")
+    header = "time".ljust(name_col) + " ".join(
+        cell.rjust(widths[names[0]] if names else 4)
+        for cell in header_cells)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        sig = trace.signal(name)
+        hw = widths[name]
+        cells = []
+        for t in range(cycles):
+            cells.append(format(trace.value(name, t),
+                                f"0{_hex_width(sig.width)}x").rjust(hw))
+        lines.append(name.ljust(name_col) + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_bit_wave(trace: Trace, signal: str,
+                    bit_high_to_low: bool = True,
+                    max_cycles: int | None = None,
+                    compare_with: str | None = None) -> str:
+    """Per-bit expansion of one signal, optionally diffed against another.
+
+    When ``compare_with`` is given, a marker row flags every (bit, cycle)
+    where the two signals disagree — e.g. bit 31 of ``count2`` versus
+    ``count1`` in the paper's Fig. 3.
+    """
+    sig = trace.signal(signal)
+    cycles = trace.length if max_cycles is None else min(max_cycles,
+                                                         trace.length)
+    bit_range = range(sig.width - 1, -1, -1) if bit_high_to_low \
+        else range(sig.width)
+    name_col = len(f"{signal}[{sig.width - 1}]") + 2
+    lines = [f"bits of {signal}" +
+             (f" (marked where != {compare_with})" if compare_with else "")]
+    header = "bit".ljust(name_col) + " ".join(
+        (f"k+{t}" if trace.kind is TraceKind.STEP_CEX else str(t)).rjust(3)
+        for t in range(cycles))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for b in bit_range:
+        cells = []
+        for t in range(cycles):
+            v = (trace.value(signal, t) >> b) & 1
+            marker = ""
+            if compare_with is not None:
+                other = (trace.value(compare_with, t) >> b) & 1
+                marker = "*" if other != v else ""
+            cells.append(f"{v}{marker}".rjust(3))
+        lines.append(f"{signal}[{b}]".ljust(name_col) + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_for_prompt(trace: Trace, signals: list[str] | None = None,
+                      max_cycles: int = 8) -> str:
+    """The waveform text embedded into LLM prompts (Fig. 2 CEX input).
+
+    Uses the compact hex table plus an explicit pre-state listing, because
+    the induction pre-state is what the helper assertion must rule out.
+    """
+    parts = [render_wave(trace, signals=signals, max_cycles=max_cycles)]
+    if trace.kind is TraceKind.STEP_CEX and trace.length:
+        state_names = [s.name for s in trace.signals if s.kind == "state"]
+        listing = ", ".join(
+            f"{n}={trace.value(n, 0):#x}" for n in state_names)
+        parts.append("")
+        parts.append(f"arbitrary induction pre-state (cycle k+0): {listing}")
+    return "\n".join(parts)

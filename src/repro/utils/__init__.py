@@ -1,0 +1,23 @@
+"""Shared utilities: bit manipulation, deterministic RNG, text tables."""
+
+from repro.utils.bits import (
+    bin2gray,
+    gray2bin,
+    mask,
+    parity,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "bin2gray",
+    "gray2bin",
+    "mask",
+    "parity",
+    "popcount",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+]

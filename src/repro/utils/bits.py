@@ -1,0 +1,81 @@
+"""Bit-manipulation helpers shared across the IR, simulator, and bit-blaster.
+
+All word-level values in the library are Python ints in ``[0, 2**width)``;
+these helpers centralize the two's-complement and masking conventions so the
+semantics used by the expression evaluator, the simulator, and the AIG
+bit-blaster provably agree (the test suite cross-checks them).
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits. ``mask(0) == 0``."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Wrap an arbitrary Python int into ``[0, 2**width)`` (two's complement)."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret a ``width``-bit unsigned value as two's-complement signed."""
+    value = value & mask(width)
+    if width > 0 and value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(f"cannot sign-extend {from_width} bits down to {to_width}")
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (``$countones``). ``value`` must be non-negative."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative (masked) value")
+    return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """XOR-reduction of all bits: 1 if an odd number of bits are set."""
+    return popcount(value) & 1
+
+
+def bin2gray(value: int) -> int:
+    """Binary to reflected Gray code."""
+    return value ^ (value >> 1)
+
+
+def gray2bin(gray: int) -> int:
+    """Reflected Gray code back to binary."""
+    result = 0
+    while gray:
+        result ^= gray
+        gray >>= 1
+    return result
+
+
+def bit(value: int, index: int) -> int:
+    """The ``index``-th bit of ``value`` (LSB = index 0)."""
+    return (value >> index) & 1
+
+
+def bits_lsb_first(value: int, width: int) -> list[int]:
+    """Explode a value into ``width`` bits, least-significant first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits_lsb_first(bits: list[int]) -> int:
+    """Inverse of :func:`bits_lsb_first`."""
+    result = 0
+    for i, b in enumerate(bits):
+        if b:
+            result |= 1 << i
+    return result

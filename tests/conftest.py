@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+
+
+@pytest.fixture
+def counter_system() -> TransitionSystem:
+    """A 4-bit wrapping counter with enable."""
+    s = TransitionSystem("counter4")
+    en = s.add_input("en", 1)
+    c = s.add_state("count", 4, init=E.const(0, 4))
+    s.set_next("count", E.ite(en, E.add(c, E.const(1, 4)), c))
+    return s
+
+
+@pytest.fixture
+def sync_counters_system() -> TransitionSystem:
+    """The paper's Listing 1 pair, 8-bit for test speed."""
+    s = TransitionSystem("sync8")
+    c1 = s.add_state("count1", 8, init=E.const(0, 8))
+    c2 = s.add_state("count2", 8, init=E.const(0, 8))
+    one = E.const(1, 8)
+    s.set_next("count1", E.add(c1, one))
+    s.set_next("count2", E.add(c2, one))
+    return s
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    """Reference SAT decision by exhaustive enumeration (<= 16 vars)."""
+    import itertools
+
+    assert num_vars <= 16
+    for bits in itertools.product((False, True), repeat=num_vars):
+        if all(any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1])
+                   for l in clause) for clause in clauses):
+            return True
+    return False

@@ -1,0 +1,182 @@
+"""AIG graph and bit-blaster tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.graph import AIG, FALSE, TRUE, is_negated, negate, node_of
+from repro.aig.bitblast import BitBlaster
+from repro.errors import BitBlastError
+from repro.ir import expr as E
+from repro.utils.bits import mask, to_signed
+
+
+class TestGraphSimplification:
+    def test_constants(self):
+        g = AIG()
+        a = g.new_input()
+        assert g.and_(a, FALSE) == FALSE
+        assert g.and_(a, TRUE) == a
+        assert g.and_(a, a) == a
+        assert g.and_(a, negate(a)) == FALSE
+
+    def test_structural_hashing(self):
+        g = AIG()
+        a, b = g.new_input(), g.new_input()
+        assert g.and_(a, b) == g.and_(b, a)
+        n = g.num_nodes
+        g.and_(a, b)
+        assert g.num_nodes == n
+
+    def test_derived_gates(self):
+        g = AIG()
+        a, b, s = g.new_input(), g.new_input(), g.new_input()
+        xor_lit = g.xor_(a, b)
+        mux_lit = g.mux(s, a, b)
+        for va in (False, True):
+            for vb in (False, True):
+                for vs in (False, True):
+                    got = g.evaluate([va, vb, vs], [xor_lit, mux_lit])
+                    assert got[0] == (va ^ vb)
+                    assert got[1] == (va if vs else vb)
+
+    def test_full_adder_truth_table(self):
+        g = AIG()
+        a, b, c = g.new_input(), g.new_input(), g.new_input()
+        s, carry = g.full_adder(a, b, c)
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vc in (0, 1):
+                    got = g.evaluate([bool(va), bool(vb), bool(vc)],
+                                     [s, carry])
+                    total = va + vb + vc
+                    assert got[0] == bool(total & 1)
+                    assert got[1] == bool(total >> 1)
+
+    def test_bad_literal_rejected(self):
+        g = AIG()
+        with pytest.raises(BitBlastError):
+            g.and_(TRUE, 999)
+
+    def test_literal_helpers(self):
+        assert negate(4) == 5 and negate(5) == 4
+        assert node_of(7) == 3
+        assert is_negated(7) and not is_negated(6)
+
+
+def _blast_eval(expr, env, var_order=None):
+    """Blast an expression and evaluate the AIG under env."""
+    bb = BitBlaster()
+    lits = bb.blast(expr)
+    flat = []
+    for name in bb.known_vars():
+        width = len(bb.var_bits(name))
+        value = env[name]
+        flat.extend(bool((value >> i) & 1) for i in range(width))
+    got_bits = bb.aig.evaluate(flat, lits)
+    return sum(1 << i for i, bit in enumerate(got_bits) if bit)
+
+
+class TestBitBlastOps:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_arithmetic(self, a, b):
+        env = {"a": a, "b": b}
+        va, vb = E.var("a", 8), E.var("b", 8)
+        assert _blast_eval(E.add(va, vb), env) == (a + b) & 0xFF
+        assert _blast_eval(E.sub(va, vb), env) == (a - b) & 0xFF
+        assert _blast_eval(E.neg(va), env) == (-a) & 0xFF
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=25, deadline=None)
+    def test_multiplication(self, a, b):
+        env = {"a": a, "b": b}
+        va, vb = E.var("a", 6), E.var("b", 6)
+        assert _blast_eval(E.mul(va, vb), env) == (a * b) & 0x3F
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_shifts(self, a, sh):
+        env = {"a": a, "s": sh}
+        va, vs = E.var("a", 8), E.var("s", 4)
+        assert _blast_eval(E.shl(va, vs), env) == \
+            ((a << sh) & 0xFF if sh < 8 else 0)
+        assert _blast_eval(E.lshr(va, vs), env) == \
+            (a >> sh if sh < 8 else 0)
+        assert _blast_eval(E.ashr(va, vs), env) == \
+            (to_signed(a, 8) >> min(sh, 7)) & 0xFF
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_comparisons(self, a, b):
+        env = {"a": a, "b": b}
+        va, vb = E.var("a", 8), E.var("b", 8)
+        assert _blast_eval(E.eq(va, vb), env) == int(a == b)
+        assert _blast_eval(E.ult(va, vb), env) == int(a < b)
+        assert _blast_eval(E.ule(va, vb), env) == int(a <= b)
+        assert _blast_eval(E.slt(va, vb), env) == \
+            int(to_signed(a, 8) < to_signed(b, 8))
+        assert _blast_eval(E.sle(va, vb), env) == \
+            int(to_signed(a, 8) <= to_signed(b, 8))
+
+    @given(st.integers(0, 2**10 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_reductions_and_counting(self, a):
+        env = {"a": a}
+        va = E.var("a", 10)
+        assert _blast_eval(E.redand(va), env) == int(a == mask(10))
+        assert _blast_eval(E.redor(va), env) == int(a != 0)
+        assert _blast_eval(E.redxor(va), env) == bin(a).count("1") & 1
+        assert _blast_eval(E.countones(va), env) == bin(a).count("1")
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_ite_concat_extract(self, a, b, c):
+        env = {"a": a, "b": b, "c": int(c)}
+        va, vb, vc = E.var("a", 8), E.var("b", 8), E.var("c", 1)
+        assert _blast_eval(E.ite(vc, va, vb), env) == (a if c else b)
+        assert _blast_eval(E.concat(va, vb), env) == (a << 8) | b
+        assert _blast_eval(E.extract(va, 6, 2), env) == (a >> 2) & 0x1F
+
+    def test_var_width_conflict_rejected(self):
+        bb = BitBlaster()
+        bb.blast(E.var("x", 8))
+        with pytest.raises(BitBlastError):
+            bb.blast(E.var("x", 9))
+
+    def test_sharing_across_blasts(self):
+        bb = BitBlaster()
+        x = E.var("x", 8)
+        bb.blast(E.add(x, E.const(1, 8)))
+        nodes_before = bb.aig.num_nodes
+        bb.blast(E.add(x, E.const(1, 8)))
+        assert bb.aig.num_nodes == nodes_before
+
+
+class TestRandomizedCrossCheck:
+    def test_random_expressions_match_evaluator(self):
+        rng = random.Random(99)
+        variables = [E.var(f"v{i}", 8) for i in range(3)]
+
+        def random_expr(depth):
+            if depth == 0 or rng.random() < 0.3:
+                if rng.random() < 0.3:
+                    return E.const(rng.randrange(256), 8)
+                return rng.choice(variables)
+            op = rng.choice("add sub mul and or xor shl ite not".split())
+            a, b = random_expr(depth - 1), random_expr(depth - 1)
+            if op == "not":
+                return E.not_(a)
+            if op == "ite":
+                return E.ite(E.ult(a, b), a, b)
+            if op == "and":
+                return E.and_(a, b)
+            if op == "or":
+                return E.or_(a, b)
+            return getattr(E, op)(a, b)
+
+        for _ in range(60):
+            expr = random_expr(4)
+            env = {f"v{i}": rng.randrange(256) for i in range(3)}
+            assert _blast_eval(expr, env) == E.evaluate(expr, env)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bin2gray,
+    bit,
+    bits_lsb_first,
+    from_bits_lsb_first,
+    gray2bin,
+    mask,
+    parity,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    @pytest.mark.parametrize("width,expected", [(1, 1), (4, 15), (8, 255),
+                                                (32, 2**32 - 1)])
+    def test_values(self, width, expected):
+        assert mask(width) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestSignedness:
+    @pytest.mark.parametrize("value,width,expected", [
+        (0, 4, 0), (7, 4, 7), (8, 4, -8), (15, 4, -1),
+        (0x80, 8, -128), (0x7f, 8, 127),
+    ])
+    def test_to_signed(self, value, width, expected):
+        assert to_signed(value, width) == expected
+
+    @given(st.integers(-1000, 1000), st.integers(1, 16))
+    def test_roundtrip(self, value, width):
+        wrapped = to_unsigned(value, width)
+        assert 0 <= wrapped < (1 << width)
+        assert to_unsigned(to_signed(wrapped, width), width) == wrapped
+
+    @given(st.integers(0, 255))
+    def test_sign_extend_preserves_value(self, value):
+        assert to_signed(sign_extend(value, 8, 16), 16) == \
+            to_signed(value, 8)
+
+    def test_sign_extend_narrowing_rejected(self):
+        with pytest.raises(ValueError):
+            sign_extend(3, 8, 4)
+
+
+class TestPopcountParity:
+    @given(st.integers(0, 2**64 - 1))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_parity_is_popcount_lsb(self, value):
+        assert parity(value) == popcount(value) & 1
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestGray:
+    @given(st.integers(0, 2**20 - 1))
+    def test_gray_roundtrip(self, value):
+        assert gray2bin(bin2gray(value)) == value
+
+    @given(st.integers(0, 2**20 - 2))
+    def test_gray_unit_distance(self, value):
+        assert popcount(bin2gray(value) ^ bin2gray(value + 1)) == 1
+
+
+class TestBitExplosion:
+    @given(st.integers(0, 2**16 - 1))
+    def test_roundtrip(self, value):
+        assert from_bits_lsb_first(bits_lsb_first(value, 16)) == value
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_bit(self, value, index):
+        assert bit(value, index) == (value >> index) & 1

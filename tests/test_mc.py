@@ -1,0 +1,247 @@
+"""Model checker tests: unrolling, BMC, k-induction, engine facade."""
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc import (
+    KInductionOptions,
+    ProofEngine,
+    SafetyProperty,
+    Status,
+    bmc,
+    k_induction,
+)
+from repro.mc.bmc import bmc_probe
+from repro.mc.engine import EngineConfig
+from repro.mc.unroll import Unroller, timed_name, untimed_name
+from repro.trace.trace import TraceKind
+
+
+class TestUnroller:
+    def test_timed_names(self):
+        assert timed_name("count", 3) == "count@3"
+        assert untimed_name("count@3") == ("count", 3)
+
+    def test_at_time_substitutes_all_vars(self, counter_system):
+        u = Unroller(counter_system)
+        timed = u.at_time(counter_system.next["count"], 2)
+        assert E.support(timed) == {"count@2", "en@2"}
+
+    def test_init_constraints(self, counter_system):
+        u = Unroller(counter_system)
+        inits = u.init_constraints()
+        assert len(inits) == 1
+        assert E.evaluate(inits[0], {"count@0": 0}) == 1
+        assert E.evaluate(inits[0], {"count@0": 3}) == 0
+
+    def test_transition_links_frames(self, counter_system):
+        u = Unroller(counter_system)
+        (trans,) = u.transition(0)
+        assert E.evaluate(trans, {"count@0": 5, "en@0": 1,
+                                  "count@1": 6}) == 1
+        assert E.evaluate(trans, {"count@0": 5, "en@0": 0,
+                                  "count@1": 6}) == 0
+
+    def test_state_distinct(self, sync_counters_system):
+        u = Unroller(sync_counters_system)
+        d = u.state_distinct(0, 1)
+        same = {"count1@0": 1, "count2@0": 2, "count1@1": 1,
+                "count2@1": 2}
+        differ = dict(same, **{"count2@1": 3})
+        assert E.evaluate(d, same) == 0
+        assert E.evaluate(d, differ) == 1
+
+
+def _bad_unequal(width=8):
+    return E.ne(E.var("count1", width), E.var("count2", width))
+
+
+class TestBmc:
+    def test_good_design_bounded_ok(self, sync_counters_system):
+        prop = SafetyProperty("eq", _bad_unequal())
+        result = bmc(sync_counters_system, prop, bound=10)
+        assert result.status is Status.BOUNDED_OK
+        assert result.k == 10
+
+    def test_bug_found_at_right_depth(self):
+        s = TransitionSystem("bug")
+        c1 = s.add_state("count1", 8, init=E.const(0, 8))
+        c2 = s.add_state("count2", 8, init=E.const(0, 8))
+        s.set_next("count1", E.add(c1, E.const(1, 8)))
+        # count2 freezes when count1 == 3.
+        s.set_next("count2", E.ite(E.eq(c1, E.const(3, 8)), c2,
+                                   E.add(c2, E.const(1, 8))))
+        result = bmc(s, SafetyProperty("eq", _bad_unequal()), bound=10)
+        assert result.status is Status.VIOLATED
+        assert result.k == 4
+        assert result.cex is not None
+        assert result.cex.kind is TraceKind.BMC_CEX
+        assert result.cex.value("count1", 4) != result.cex.value("count2", 4)
+
+    def test_valid_from_skips_warmup(self, sync_counters_system):
+        # A property that is false at cycle 0 but checked only from 2.
+        bad = E.eq(E.var("count1", 8), E.const(0, 8))
+        prop = SafetyProperty("late", bad, valid_from=2)
+        result = bmc(sync_counters_system, prop, bound=5)
+        # count1==0 is bad; at cycles >= 2 count1 is 2.. so no violation
+        # until wrap at 256 (beyond the bound).
+        assert result.status is Status.BOUNDED_OK
+
+    def test_lemma_prunes_cex(self):
+        s = TransitionSystem("free2")
+        x = s.add_state("x", 4)
+        s.set_next("x", x)
+        prop = SafetyProperty("small", E.ugt(E.var("x", 4),
+                                             E.const(7, 4)))
+        # Without knowledge, x is nondeterministic at init: violated.
+        assert bmc(s, prop, bound=2).status is Status.VIOLATED
+        lemma = (E.ule(E.var("x", 4), E.const(7, 4)), 0)
+        assert bmc(s, prop, bound=2,
+                   lemmas=[lemma]).status is Status.BOUNDED_OK
+
+    def test_probe_finds_bug(self):
+        s = TransitionSystem("bugp")
+        c1 = s.add_state("count1", 8, init=E.const(0, 8))
+        c2 = s.add_state("count2", 8, init=E.const(0, 8))
+        s.set_next("count1", E.add(c1, E.const(1, 8)))
+        s.set_next("count2", E.ite(E.eq(c1, E.const(5, 8)), c2,
+                                   E.add(c2, E.const(1, 8))))
+        result = bmc_probe(s, SafetyProperty("eq", _bad_unequal()),
+                           bound=10)
+        assert result.status is Status.VIOLATED
+        assert result.k == 6
+
+    def test_probe_budget_inconclusive(self, sync_counters_system):
+        prop = SafetyProperty("eq", _bad_unequal())
+        result = bmc_probe(sync_counters_system, prop, bound=12,
+                           conflict_budget=1)
+        assert result.status is Status.BOUNDED_OK
+
+
+class TestKInduction:
+    def test_paper_example_fails_without_helper(self, sync_counters_system):
+        bad = E.and_(E.redand(E.var("count1", 8)),
+                     E.not_(E.redand(E.var("count2", 8))))
+        result = k_induction(sync_counters_system,
+                             SafetyProperty("equal_count", bad),
+                             KInductionOptions(max_k=3))
+        assert result.status is Status.UNKNOWN
+        assert result.step_cex is not None
+        assert result.step_cex.kind is TraceKind.STEP_CEX
+        # The pre-state must violate count1 == count2 (it is unreachable).
+        pre = {s.name: result.step_cex.value(s.name, 0)
+               for s in result.step_cex.signals if s.kind == "state"}
+        assert pre["count1"] != pre["count2"]
+
+    def test_paper_example_proves_with_helper(self, sync_counters_system):
+        bad = E.and_(E.redand(E.var("count1", 8)),
+                     E.not_(E.redand(E.var("count2", 8))))
+        helper = (E.eq(E.var("count1", 8), E.var("count2", 8)), 0)
+        result = k_induction(sync_counters_system,
+                             SafetyProperty("equal_count", bad),
+                             KInductionOptions(max_k=2), lemmas=[helper])
+        assert result.status is Status.PROVEN
+        assert result.k == 1
+
+    def test_helper_itself_proves(self, sync_counters_system):
+        prop = SafetyProperty.from_invariant(
+            "helper", E.eq(E.var("count1", 8), E.var("count2", 8)))
+        result = k_induction(sync_counters_system, prop)
+        assert result.status is Status.PROVEN and result.k == 1
+
+    def test_base_case_violation_is_real_bug(self):
+        s = TransitionSystem("bad_init")
+        x = s.add_state("x", 4, init=E.const(9, 4))
+        s.set_next("x", x)
+        prop = SafetyProperty.from_invariant(
+            "small", E.ule(E.var("x", 4), E.const(7, 4)))
+        result = k_induction(s, prop, KInductionOptions(max_k=3))
+        assert result.status is Status.VIOLATED
+        assert result.cex is not None
+
+    def test_simple_path_completes_finite_diameter(self):
+        # Reachable cycle {0, 1}; an unreachable good cycle {4, 5} can
+        # exit to the bad state 2, so plain induction never converges at
+        # any depth, while the simple-path constraint caps the good-path
+        # length and closes the proof.
+        s = TransitionSystem("ghost_cycle")
+        go = s.add_input("go", 1)
+        x = s.add_state("x", 3, init=E.const(0, 3))
+
+        def c(v):
+            return E.const(v, 3)
+
+        nxt = E.ite(E.eq(x, c(0)), c(1),
+              E.ite(E.eq(x, c(1)), c(0),
+              E.ite(E.eq(x, c(4)), c(5),
+              E.ite(E.eq(x, c(5)), E.ite(go, c(4), c(2)),
+                    c(0)))))
+        s.set_next("x", nxt)
+        prop = SafetyProperty.from_invariant(
+            "never2", E.ne(E.var("x", 3), E.const(2, 3)))
+        plain = k_induction(s, prop, KInductionOptions(max_k=4))
+        assert plain.status is Status.UNKNOWN
+        with_sp = k_induction(s, prop, KInductionOptions(
+            max_k=4, simple_path=True))
+        assert with_sp.status is Status.PROVEN
+        assert with_sp.k == 3
+
+    def test_deeper_k_proves_shift_property(self):
+        s = TransitionSystem("pipe")
+        din = s.add_input("din", 4)
+        q1 = s.add_state("q1", 4, init=E.const(0, 4), next_=din)
+        q2 = s.add_state("q2", 4, init=E.const(0, 4), next_=q1)
+        # Monitor register holding din delayed by 2 (nondet init).
+        p1 = s.add_state("p1", 4, next_=din)
+        p2 = s.add_state("p2", 4, next_=p1)
+        prop = SafetyProperty.from_invariant(
+            "match", E.eq(E.var("q2", 4), E.var("p2", 4)), valid_from=2)
+        result = k_induction(s, prop, KInductionOptions(max_k=4))
+        assert result.status is Status.PROVEN
+        assert result.k > 1  # needs history in the window
+
+    def test_stats_populated(self, sync_counters_system):
+        prop = SafetyProperty.from_invariant(
+            "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
+        result = k_induction(sync_counters_system, prop)
+        assert result.stats.sat_queries >= 2
+        assert result.stats.wall_seconds > 0
+        assert result.stats.variables > 0
+
+
+class TestEngine:
+    def test_coi_reduces_query(self, sync_counters_system):
+        sync_counters_system.add_state("noise", 8, init=E.const(0, 8),
+                                       next_=E.var("noise", 8))
+        engine = ProofEngine(sync_counters_system)
+        prop = SafetyProperty.from_invariant(
+            "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
+        scoped = engine._scoped_system(prop)
+        assert "noise" not in scoped.states
+
+    def test_lemma_pool_used(self, sync_counters_system):
+        engine = ProofEngine(sync_counters_system, EngineConfig(max_k=2))
+        bad = E.and_(E.redand(E.var("count1", 8)),
+                     E.not_(E.redand(E.var("count2", 8))))
+        prop = SafetyProperty("equal_count", bad)
+        assert engine.prove(prop).status is Status.UNKNOWN
+        engine.add_lemma("eq", E.eq(E.var("count1", 8),
+                                    E.var("count2", 8)))
+        assert engine.prove(prop).status is Status.PROVEN
+
+    def test_prove_or_refute_finds_deep_bug(self):
+        s = TransitionSystem("deepbug")
+        c = s.add_state("c", 8, init=E.const(0, 8))
+        s.set_next("c", E.add(c, E.const(1, 8)))
+        prop = SafetyProperty.from_invariant(
+            "small", E.ult(E.var("c", 8), E.const(10, 8)))
+        engine = ProofEngine(s, EngineConfig(max_k=2, bmc_bound=15))
+        result = engine.prove_or_refute(prop)
+        assert result.status is Status.VIOLATED
+        assert result.k == 10
+
+    def test_bad_lemma_width_rejected(self, sync_counters_system):
+        engine = ProofEngine(sync_counters_system)
+        with pytest.raises(ValueError):
+            engine.add_lemma("bad", E.var("count1", 8))

@@ -1,0 +1,237 @@
+"""CDCL SAT solver tests: units, models, assumptions, fuzz vs brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import brute_force_sat
+from repro.errors import SatError
+from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
+from repro.sat.solver import Solver, _luby
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() is True
+
+    def test_unit_propagation(self):
+        s = Solver()
+        a, b = s.add_var(), s.add_var()
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        assert s.solve() is True
+        assert s.model_value(a) and s.model_value(b)
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        a = s.add_var()
+        s.add_clause([a])
+        assert s.add_clause([-a]) is False
+        assert s.solve() is False
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        s.add_var()
+        assert s.add_clause([]) is False
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.add_var()
+        assert s.add_clause([a, -a]) is True
+        assert s.solve() is True
+
+    def test_duplicate_literals_collapsed(self):
+        s = Solver()
+        a, b = s.add_var(), s.add_var()
+        s.add_clause([a, a, b, b])
+        s.add_clause([-a])
+        assert s.solve() is True and s.model_value(b)
+
+    def test_unknown_variable_rejected(self):
+        s = Solver()
+        with pytest.raises(SatError):
+            s.add_clause([1])
+        s.add_var()
+        with pytest.raises(SatError):
+            s.add_clause([0])
+
+    def test_model_satisfies_clauses(self):
+        s = Solver()
+        variables = [s.add_var() for _ in range(6)]
+        clauses = [[variables[0], -variables[1]],
+                   [variables[1], variables[2], -variables[3]],
+                   [-variables[0], variables[4]],
+                   [variables[5]]]
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() is True
+        model = s.model()
+        for c in clauses:
+            assert any(model[abs(l) - 1] == l for l in c)
+
+    def test_model_unavailable_after_unsat(self):
+        s = Solver()
+        a = s.add_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        s.solve()
+        with pytest.raises(SatError):
+            s.model_value(a)
+
+
+class TestAssumptions:
+    def test_assumption_directs_model(self):
+        s = Solver()
+        a, b = s.add_var(), s.add_var()
+        s.add_clause([a, b])
+        assert s.solve([-a]) is True
+        assert s.model_value(b)
+
+    def test_unsat_under_assumptions_recoverable(self):
+        s = Solver()
+        a, b = s.add_var(), s.add_var()
+        s.add_clause([a, b])
+        assert s.solve([-a, -b]) is False
+        assert s.solve([a]) is True
+        assert s.solve([-b]) is True and s.model_value(a)
+
+    def test_conflicting_assumption_with_unit(self):
+        s = Solver()
+        a = s.add_var()
+        s.add_clause([a])
+        assert s.solve([-a]) is False
+        assert s.solve([a]) is True
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        a, b, c = s.add_var(), s.add_var(), s.add_var()
+        s.add_clause([a, b])
+        assert s.solve() is True
+        s.add_clause([-a])
+        s.add_clause([-b, c])
+        assert s.solve() is True
+        assert s.model_value(b) and s.model_value(c)
+
+
+class TestBudget:
+    def test_budget_exhaustion_returns_none(self):
+        # PHP(7,6) is UNSAT and needs far more than 3 conflicts.
+        s = Solver()
+        v = {}
+        for p in range(7):
+            for h in range(6):
+                v[p, h] = s.add_var()
+        for p in range(7):
+            s.add_clause([v[p, h] for h in range(6)])
+        for h in range(6):
+            for p1 in range(7):
+                for p2 in range(p1 + 1, 7):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve_limited(conflict_budget=3) is None
+        # And without a budget it completes.
+        assert s.solve() is False
+
+
+class TestHardInstances:
+    @pytest.mark.parametrize("pigeons,holes", [(4, 3), (5, 4), (6, 5)])
+    def test_pigeonhole_unsat(self, pigeons, holes):
+        s = Solver()
+        v = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                v[p, h] = s.add_var()
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve() is False
+
+    def test_xor_chain_sat(self):
+        # x1 ^ x2 ^ ... ^ x10 == 1 as CNF via intermediate variables.
+        s = Solver()
+        xs = [s.add_var() for _ in range(10)]
+        acc = xs[0]
+        for x in xs[1:]:
+            out = s.add_var()
+            # out == acc ^ x
+            s.add_clause([-out, acc, x])
+            s.add_clause([-out, -acc, -x])
+            s.add_clause([out, -acc, x])
+            s.add_clause([out, acc, -x])
+            acc = out
+        s.add_clause([acc])
+        assert s.solve() is True
+        parity = sum(s.model_value(x) for x in xs) % 2
+        assert parity == 1
+
+
+class TestFuzzAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_3sat(self, data):
+        num_vars = data.draw(st.integers(3, 9))
+        num_clauses = data.draw(st.integers(2, 40))
+        clauses = []
+        for _ in range(num_clauses):
+            size = data.draw(st.integers(1, 3))
+            clause = []
+            for _ in range(size):
+                v = data.draw(st.integers(1, num_vars))
+                clause.append(v if data.draw(st.booleans()) else -v)
+            clauses.append(clause)
+        solver = Solver(restart_base=8)
+        for _ in range(num_vars):
+            solver.add_var()
+        ok = all(solver.add_clause(list(c)) for c in clauses)
+        got = solver.solve() if ok else False
+        assert got == brute_force_sat(num_vars, clauses)
+
+    def test_seeded_batch_with_model_validation(self):
+        rng = random.Random(2024)
+        for _ in range(150):
+            num_vars = rng.randint(3, 10)
+            clauses = [[(v if rng.random() < 0.5 else -v)
+                        for v in (rng.randint(1, num_vars)
+                                  for _ in range(rng.randint(1, 3)))]
+                       for _ in range(rng.randint(3, 42))]
+            solver = Solver(restart_base=16)
+            for _ in range(num_vars):
+                solver.add_var()
+            ok = all(solver.add_clause(list(c)) for c in clauses)
+            got = solver.solve() if ok else False
+            assert got == brute_force_sat(num_vars, clauses)
+            if got:
+                model = solver.model()
+                for clause in clauses:
+                    assert any(model[abs(l) - 1] == l for l in clause)
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == \
+            [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        text = to_dimacs(3, [[1, -2], [2, 3], [-1]])
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3], [-1]]
+
+    def test_solver_from_dimacs(self):
+        solver = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert solver.solve() is True
+        assert solver.model_value(2)
+
+    def test_comments_and_blank_lines(self):
+        num_vars, clauses = parse_dimacs(
+            "c comment\n\np cnf 2 1\nc mid\n1 -2 0\n")
+        assert num_vars == 2 and clauses == [[1, -2]]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SatError):
+            parse_dimacs("p dnf 1 1\n1 0\n")

@@ -1,0 +1,157 @@
+"""Simulator, stimulus, and invariant-screening tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.sim import RandomStimulus, Simulator, VectorStimulus
+from repro.sim.screening import screen_invariants
+
+
+class TestReset:
+    def test_counts_from_zero(self, counter_system):
+        sim = Simulator(counter_system)
+        sim.reset()
+        values = [sim.step({"en": 1})["count"] for _ in range(20)]
+        assert values == [i % 16 for i in range(20)]
+
+    def test_enable_gates(self, counter_system):
+        sim = Simulator(counter_system)
+        sim.reset()
+        sim.step({"en": 1})
+        snap = sim.step({"en": 0})
+        assert snap["count"] == 1
+        assert sim.step({"en": 0})["count"] == 1
+
+    def test_uninitialized_needs_override(self):
+        s = TransitionSystem("free")
+        x = s.add_state("x", 4)
+        s.set_next("x", x)
+        sim = Simulator(s)
+        with pytest.raises(SimulationError):
+            sim.reset()
+        sim.reset(overrides={"x": 7})
+        assert sim.step({})["x"] == 7
+
+    def test_unknown_override_rejected(self, counter_system):
+        with pytest.raises(SimulationError):
+            Simulator(counter_system).reset(overrides={"ghost": 1})
+
+    def test_step_before_reset_rejected(self, counter_system):
+        with pytest.raises(SimulationError):
+            Simulator(counter_system).step({"en": 0})
+
+    def test_missing_input_rejected(self, counter_system):
+        sim = Simulator(counter_system)
+        sim.reset()
+        with pytest.raises(SimulationError):
+            sim.step({})
+
+
+class TestLoadState:
+    def test_unreachable_state_replay(self, sync_counters_system):
+        sim = Simulator(sync_counters_system)
+        sim.load_state({"count1": 10, "count2": 200})
+        snap = sim.step({})
+        assert snap["count1"] == 10 and snap["count2"] == 200
+        snap = sim.step({})
+        assert snap["count1"] == 11 and snap["count2"] == 201
+
+    def test_values_masked(self, counter_system):
+        sim = Simulator(counter_system)
+        sim.load_state({"count": 0x1F})
+        assert sim.state_values["count"] == 0xF
+
+    def test_missing_state_rejected(self, sync_counters_system):
+        with pytest.raises(SimulationError):
+            Simulator(sync_counters_system).load_state({"count1": 0})
+
+
+class TestConstraints:
+    def test_violation_detected(self, counter_system):
+        counter_system.add_constraint(
+            E.eq(counter_system.lookup("en"), E.true()))
+        sim = Simulator(counter_system)
+        sim.reset()
+        sim.step({"en": 1})
+        with pytest.raises(SimulationError):
+            sim.step({"en": 0})
+
+    def test_violation_ignored_when_disabled(self, counter_system):
+        counter_system.add_constraint(
+            E.eq(counter_system.lookup("en"), E.true()))
+        sim = Simulator(counter_system, check_constraints=False)
+        sim.reset()
+        sim.step({"en": 0})  # no exception
+
+
+class TestStimulus:
+    def test_vector_stimulus(self, counter_system):
+        sim = Simulator(counter_system)
+        sim.reset()
+        history = sim.run(VectorStimulus([{"en": 1}, {"en": 0},
+                                          {"en": 1}]).cycles(
+                                              counter_system))
+        assert [h["count"] for h in history] == [0, 1, 1]
+
+    def test_random_stimulus_deterministic(self, counter_system):
+        a = [dict(v) for v in RandomStimulus(10, seed=5).cycles(
+            counter_system)]
+        b = [dict(v) for v in RandomStimulus(10, seed=5).cycles(
+            counter_system)]
+        assert a == b
+
+    def test_random_stimulus_pins(self, counter_system):
+        for v in RandomStimulus(10, seed=1, pinned={"en": 1}).cycles(
+                counter_system):
+            assert v["en"] == 1
+
+    def test_rejection_sampling_respects_constraints(self):
+        s = TransitionSystem("constrained")
+        a = s.add_input("a", 4)
+        x = s.add_state("x", 4, init=E.const(0, 4), next_=a)
+        s.add_constraint(E.ult(a, E.const(4, 4)))
+        for v in RandomStimulus(30, seed=2).cycles(s):
+            assert v["a"] < 4
+
+
+class TestScreening:
+    def test_true_invariant_survives(self, sync_counters_system):
+        good = E.eq(E.var("count1", 8), E.var("count2", 8))
+        reports = screen_invariants(sync_counters_system, [good], runs=3,
+                                    cycles_per_run=20)
+        assert reports[0].passed
+
+    def test_false_candidate_caught(self, counter_system):
+        bogus = E.ult(E.var("count", 4), E.const(3, 4))
+        reports = screen_invariants(counter_system, [bogus], runs=3,
+                                    cycles_per_run=30)
+        assert not reports[0].passed
+        assert reports[0].failing_env is not None
+
+    def test_reports_align_with_candidates(self, counter_system):
+        always = E.ule(E.var("count", 4), E.const(15, 4))
+        never = E.ult(E.var("count", 4), E.const(1, 4))
+        reports = screen_invariants(counter_system, [always, never],
+                                    runs=2, cycles_per_run=20)
+        assert reports[0].passed and not reports[1].passed
+
+
+class TestSimulatorAgainstEvaluator:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**8 - 1), st.lists(st.booleans(), min_size=1,
+                                              max_size=20))
+    def test_counter_trajectory(self, start, enables):
+        s = TransitionSystem("c8")
+        en = s.add_input("en", 1)
+        c = s.add_state("count", 8, init=E.const(start, 8))
+        s.set_next("count", E.ite(en, E.add(c, E.const(1, 8)), c))
+        sim = Simulator(s)
+        sim.reset()
+        expected = start
+        for enable in enables:
+            snap = sim.step({"en": int(enable)})
+            assert snap["count"] == expected
+            expected = (expected + int(enable)) & 0xFF
