@@ -317,6 +317,54 @@ def run_a2() -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E7 — portfolio verification service: parallel scheduler + result cache
+# ---------------------------------------------------------------------------
+
+def run_e7(jobs: int = 4) -> Table:
+    """Batch-verify the counter_bank stress design three ways.
+
+    Sequential baseline, parallel portfolio fan-out (``jobs`` worker
+    processes), and a repeat of the parallel batch against the warm
+    result cache.  Rows carry wall time, verdict mix, and cache traffic.
+    """
+    import os
+
+    from repro.flow.session import BatchVerifyResult
+
+    design = get_design("counter_bank")
+    table = Table(["mode", "wall (s)", "proven", "violated", "other",
+                   "cache hits", "speedup vs sequential"],
+                  title=f"E7: portfolio verification service on "
+                        f"{design.name} ({os.cpu_count()} cpus)")
+
+    def add_row(label: str, batch: BatchVerifyResult, hits: int,
+                baseline: float | None) -> None:
+        proven = sum(1 for o in batch.outcomes
+                     if o.status is Status.PROVEN)
+        violated = sum(1 for o in batch.outcomes
+                       if o.status is Status.VIOLATED)
+        other = len(batch.outcomes) - proven - violated
+        speedup = "-" if baseline is None else \
+            f"x{baseline / max(batch.wall_seconds, 1e-9):.2f}"
+        table.add_row(label, batch.wall_seconds, proven, violated, other,
+                      hits, speedup)
+
+    sequential = VerificationSession(design).verify_all(jobs=1)
+    add_row("sequential (jobs=1)", sequential,
+            sequential.cache_stats.hits, None)
+
+    parallel_session = VerificationSession(design)
+    parallel = parallel_session.verify_all(jobs=jobs)
+    add_row(f"parallel (jobs={jobs})", parallel,
+            parallel.cache_stats.hits, sequential.wall_seconds)
+
+    cached = parallel_session.verify_all(jobs=jobs)
+    add_row("parallel again (warm cache)", cached,
+            cached.cache_stats.hits, sequential.wall_seconds)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -324,6 +372,7 @@ ALL_EXPERIMENTS = {
     "E4": run_e4,
     "E5": run_e5,
     "E6": run_e6,
+    "E7": run_e7,
     "A1": run_a1,
     "A2": run_a2,
 }

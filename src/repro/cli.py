@@ -3,12 +3,15 @@
 Subcommands::
 
     repro-verify list                         # designs and properties
+    repro-verify verify DESIGN [PROP ...]     # batch portfolio verification
+                        [--jobs N] [--strategy SPEC[+SPEC...]]
     repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
     repro-verify bmc    DESIGN PROP [--bound]
     repro-verify repair DESIGN PROP [--model] # Fig. 2 flow
     repro-verify lemma  DESIGN [--model]      # Fig. 1 flow
     repro-verify wave   DESIGN PROP           # show the step CEX waveform
     repro-verify models                       # available personas
+    repro-verify strategies                   # registered check strategies
 
 (Also available as ``python -m repro ...``.)
 """
@@ -19,9 +22,10 @@ import argparse
 import sys
 
 from repro.designs import all_designs, get_design
+from repro.errors import ReproError
 from repro.flow import VerificationSession
 from repro.genai import get_persona, list_personas
-from repro.mc import Status
+from repro.mc import Status, get_strategy, resolve_strategy, strategy_names
 from repro.report import Table
 from repro.trace.wave import render_for_prompt
 
@@ -48,6 +52,42 @@ def _cmd_models(args: argparse.Namespace) -> int:
                       f"{persona.extra_junk:.1f}")
     print(table.to_text())
     return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    table = Table(["strategy", "proves", "refutes"],
+                  title="registered check strategies")
+    for name in strategy_names():
+        strategy = get_strategy(name)
+        table.add_row(name, "yes" if strategy.can_prove else "",
+                      "yes" if strategy.can_refute else "")
+    print(table.to_text())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    design = get_design(args.design)
+    session = VerificationSession(design)
+    strategies = None
+    if args.strategy != "portfolio":
+        strategies = [s.strip() for s in args.strategy.split("+")]
+        for spec in strategies:
+            resolve_strategy(spec)  # report bad specs before running
+    result = session.verify_all(
+        properties=args.properties or None, jobs=args.jobs,
+        strategies=strategies, max_k=args.max_k, bmc_bound=args.bound)
+    print("\n".join(result.summary_lines()))
+    # Exit status reflects verdict vs expectation: a VIOLATED verdict on
+    # an expect=proven property (or a missed expect=violated one) fails.
+    failures = 0
+    for outcome in result.outcomes:
+        expect = design.property_spec(outcome.property_name).expect
+        violated = outcome.status is Status.VIOLATED
+        if violated != (expect == "violated"):
+            failures += 1
+            print(f"  MISMATCH: {outcome.property_name} expected "
+                  f"{expect}, got {outcome.status.value}")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
@@ -110,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(func=_cmd_list)
     sub.add_parser("models", help="list simulated LLM personas") \
         .set_defaults(func=_cmd_models)
+    sub.add_parser("strategies", help="list registered check strategies") \
+        .set_defaults(func=_cmd_strategies)
+
+    p = sub.add_parser(
+        "verify",
+        help="batch-verify properties via the portfolio scheduler")
+    p.add_argument("design")
+    p.add_argument("properties", nargs="*",
+                   help="property names (default: all of the design)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the parallel scheduler")
+    p.add_argument("--strategy", default="portfolio",
+                   help="'portfolio' (default: race k_induction + bmc) or "
+                        "'+'-joined strategy specs, e.g. "
+                        "'k_induction(max_k=3)+bmc(bound=12)'")
+    p.add_argument("--max-k", type=int, default=None)
+    p.add_argument("--bound", type=int, default=None,
+                   help="BMC bound for the default portfolio refuter")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("prove", help="k-induction without GenAI")
     p.add_argument("design")
@@ -145,7 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from repro.designs.counters import (
 from repro.designs.ecc import ecc_pipeline
 from repro.designs.fifo import fifo_ctrl
 from repro.designs.sequential import gray_counter, lfsr16, shift_pipe
+from repro.designs.stress import counter_bank
 
 _ALL: dict[str, Design] = {
     design.name: design
@@ -29,6 +30,7 @@ _ALL: dict[str, Design] = {
         rr_arbiter,
         traffic_onehot,
         ecc_pipeline,
+        counter_bank,
     )
 }
 

@@ -18,10 +18,11 @@ from repro.flow.stats import AssertionOutcome, FlowStats
 from repro.flow.houdini import HoudiniResult, houdini_prove
 from repro.flow.lemma_flow import LemmaFlowResult, LemmaGenerationFlow
 from repro.flow.repair_flow import InductionRepairFlow, RepairFlowResult
-from repro.flow.session import VerificationSession
+from repro.flow.session import BatchVerifyResult, VerificationSession
 
 __all__ = [
     "AssertionOutcome",
+    "BatchVerifyResult",
     "FlowStats",
     "HoudiniResult",
     "InductionRepairFlow",

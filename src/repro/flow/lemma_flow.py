@@ -22,6 +22,7 @@ from repro.flow.stats import AssertionOutcome, FlowStats
 from repro.genai.client import LLMClient
 from repro.genai.parse import extract_assertions, validate_assertions
 from repro.genai.prompts import lemma_prompt
+from repro.mc.cache import ResultCache
 from repro.mc.engine import EngineConfig, ProofEngine
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, Status
@@ -83,13 +84,17 @@ class LemmaGenerationFlow:
                  screen_runs: int = 6,
                  screen_cycles: int = 40,
                  houdini_k: int = 3,
-                 houdini_bmc_bound: int = 8):
+                 houdini_bmc_bound: int = 8,
+                 jobs: int = 1,
+                 cache: ResultCache | None = None):
         self.client = client
         self.engine_config = engine_config or EngineConfig()
         self.screen_runs = screen_runs
         self.screen_cycles = screen_cycles
         self.houdini_k = houdini_k
         self.houdini_bmc_bound = houdini_bmc_bound
+        self.jobs = jobs
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
@@ -147,7 +152,8 @@ class LemmaGenerationFlow:
         # 5. Houdini: prove the maximal inductive subset.
         houdini = houdini_prove(
             ctx.system, [prop for _, prop in survivors],
-            max_k=self.houdini_k, bmc_bound=self.houdini_bmc_bound)
+            max_k=self.houdini_k, bmc_bound=self.houdini_bmc_bound,
+            jobs=self.jobs, cache=self.cache)
         stats.proof_wall_s += houdini.stats.wall_seconds
         stats.sat_conflicts += houdini.stats.conflicts
         proven_set = {id(p) for p in houdini.proven}
@@ -170,7 +176,8 @@ class LemmaGenerationFlow:
         for target_name in target_names:
             spec = design.property_spec(target_name)
             target_prop = ctx.add(spec.sva, name=spec.name)
-            engine = ProofEngine(ctx.system, self.engine_config)
+            engine = ProofEngine(ctx.system, self.engine_config,
+                                 cache=self.cache)
             without = engine.prove(target_prop, max_k=spec.max_k)
             stats.note_proof(without)
             for i, lemma in enumerate(lemmas):

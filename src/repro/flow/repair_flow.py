@@ -26,6 +26,7 @@ from repro.flow.stats import AssertionOutcome, FlowStats
 from repro.genai.client import LLMClient
 from repro.genai.parse import extract_assertions, validate_assertions
 from repro.genai.prompts import repair_prompt
+from repro.mc.cache import ResultCache
 from repro.mc.engine import EngineConfig, ProofEngine
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, Status
@@ -86,7 +87,9 @@ class InductionRepairFlow:
                  screen_cycles: int = 40,
                  houdini_k: int = 3,
                  houdini_bmc_bound: int = 8,
-                 cex_signals: int = 12):
+                 cex_signals: int = 12,
+                 jobs: int = 1,
+                 cache: ResultCache | None = None):
         self.client = client
         self.engine_config = engine_config or EngineConfig()
         self.max_iterations = max_iterations
@@ -95,6 +98,8 @@ class InductionRepairFlow:
         self.houdini_k = houdini_k
         self.houdini_bmc_bound = houdini_bmc_bound
         self.cex_signals = cex_signals
+        self.jobs = jobs
+        self.cache = cache
 
     # ------------------------------------------------------------------
 
@@ -104,7 +109,8 @@ class InductionRepairFlow:
         system = design.system()
         ctx = MonitorContext(system)
         target = ctx.add(spec.sva, name=spec.name)
-        engine = ProofEngine(ctx.system, self.engine_config)
+        engine = ProofEngine(ctx.system, self.engine_config,
+                             cache=self.cache)
         depth = max_k if max_k is not None else spec.max_k
 
         stats = FlowStats()
@@ -200,7 +206,8 @@ class InductionRepairFlow:
                 [prop for _, prop in candidates] + [target],
                 max_k=max(self.houdini_k, depth),
                 bmc_bound=self.houdini_bmc_bound,
-                lemmas=engine.lemma_pairs())
+                lemmas=engine.lemma_pairs(),
+                jobs=self.jobs, cache=self.cache)
             stats.proof_wall_s += houdini.stats.wall_seconds
             stats.sat_conflicts += houdini.stats.conflicts
             proven_ids = {id(p) for p in houdini.proven}

@@ -10,57 +10,151 @@ the CLI, and the benchmarks all share one façade:
 >>> result = session.repair("equal_count")
 >>> result.converged
 True
+
+A session owns one :class:`~repro.mc.cache.ResultCache` shared by every
+check it triggers — direct proofs, portfolio batches, and both GenAI
+flows — so any repeated query (Houdini rounds, repair retries, repeated
+CLI invocations on one session) is answered from cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
 
 from repro.designs.base import Design
 from repro.flow.lemma_flow import LemmaFlowResult, LemmaGenerationFlow
 from repro.flow.repair_flow import InductionRepairFlow, RepairFlowResult
 from repro.genai.client import LLMClient, SimulatedLLM
+from repro.mc.cache import CacheStats, ResultCache
 from repro.mc.engine import EngineConfig, ProofEngine
-from repro.mc.result import CheckResult
+from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
+                                depth_options)
+from repro.mc.result import CheckResult, Status
 from repro.sva.compile import MonitorContext
 
 
+@dataclass
+class BatchVerifyResult:
+    """Outcome of one :meth:`VerificationSession.verify_all` batch."""
+
+    design: str
+    outcomes: list[PortfolioOutcome]    # completion order
+    wall_seconds: float
+    jobs: int
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    def result_for(self, property_name: str) -> CheckResult:
+        for outcome in self.outcomes:
+            if outcome.property_name == property_name:
+                return outcome.result
+        raise KeyError(property_name)
+
+    @property
+    def all_conclusive(self) -> bool:
+        return all(o.status.conclusive for o in self.outcomes)
+
+    @property
+    def any_violated(self) -> bool:
+        return any(o.status is Status.VIOLATED for o in self.outcomes)
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"verified {len(self.outcomes)} properties of "
+                 f"{self.design} in {self.wall_seconds:.3f}s "
+                 f"(jobs={self.jobs})"]
+        lines += ["  " + o.one_line() for o in self.outcomes]
+        lines.append("  " + self.cache_stats.one_line())
+        return lines
+
+
 class VerificationSession:
-    """One design + one model + shared engine configuration."""
+    """One design + one model + shared engine configuration + one cache."""
 
     def __init__(self, design: Design,
                  model: str = "gpt-4o",
                  client: LLMClient | None = None,
                  seed: int = 0,
-                 engine_config: EngineConfig | None = None):
+                 engine_config: EngineConfig | None = None,
+                 cache: ResultCache | None = None,
+                 jobs: int = 1):
         self.design = design
         self.client: LLMClient = client if client is not None \
             else SimulatedLLM(model, seed=seed)
         self.engine_config = engine_config or EngineConfig()
+        self.cache = cache if cache is not None else ResultCache()
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
+
+    def _compile(self, property_names: list[str]
+                 ) -> tuple[MonitorContext, list]:
+        ctx = MonitorContext(self.design.system())
+        props = []
+        for name in property_names:
+            spec = self.design.property_spec(name)
+            props.append(ctx.add(spec.sva, name=spec.name))
+        return ctx, props
+
+    def _engine(self, ctx: MonitorContext) -> ProofEngine:
+        return ProofEngine(ctx.system, self.engine_config,
+                           cache=self.cache)
 
     def prove_direct(self, property_name: str,
                      max_k: int | None = None) -> CheckResult:
         """Plain k-induction with no GenAI involvement (the baseline)."""
         spec = self.design.property_spec(property_name)
-        ctx = MonitorContext(self.design.system())
-        prop = ctx.add(spec.sva, name=spec.name)
-        engine = ProofEngine(ctx.system, self.engine_config)
-        return engine.prove(prop, max_k=max_k if max_k is not None
-                            else spec.max_k)
+        ctx, (prop,) = self._compile([property_name])
+        return self._engine(ctx).prove(
+            prop, max_k=max_k if max_k is not None else spec.max_k)
 
     def bmc(self, property_name: str, bound: int = 20) -> CheckResult:
         """Bounded counterexample search (bug hunting)."""
-        spec = self.design.property_spec(property_name)
-        ctx = MonitorContext(self.design.system())
-        prop = ctx.add(spec.sva, name=spec.name)
-        engine = ProofEngine(ctx.system, self.engine_config)
-        return engine.check_bmc(prop, bound=bound)
+        ctx, (prop,) = self._compile([property_name])
+        return self._engine(ctx).check_bmc(prop, bound=bound)
+
+    def verify_all(self, properties: list[str] | None = None,
+                   jobs: int | None = None,
+                   strategies: list[str] | None = None,
+                   max_k: int | None = None,
+                   bmc_bound: int | None = None) -> BatchVerifyResult:
+        """Batch-verify many properties through the portfolio scheduler.
+
+        All properties compile into one shared monitored system, each is
+        cone-of-influence scoped, and the batch fans out over ``jobs``
+        worker processes racing the configured strategy portfolio.
+        """
+        names = properties if properties is not None else \
+            [p.name for p in self.design.properties]
+        ctx, props = self._compile(names)
+        engine = self._engine(ctx)
+        jobs = jobs if jobs is not None else self.jobs
+        # Depth limits apply to default and explicit portfolios alike
+        # (inline spec options like "bmc(bound=6)" still win).
+        specs = [self.design.property_spec(n) for n in names]
+        depth = max_k if max_k is not None else \
+            max(s.max_k for s in specs)
+        strategy_options = depth_options(
+            strategies if strategies is not None else DEFAULT_PORTFOLIO,
+            max_k=depth,
+            bound=bmc_bound if bmc_bound is not None
+            else self.engine_config.bmc_bound,
+            simple_path=self.engine_config.simple_path)
+        stats_before = replace(self.cache.stats)
+        start = time.perf_counter()
+        outcomes = list(engine.check_portfolio(
+            props, jobs=jobs, strategies=strategies,
+            strategy_options=strategy_options))
+        wall = time.perf_counter() - start
+        return BatchVerifyResult(
+            design=self.design.name, outcomes=outcomes,
+            wall_seconds=wall, jobs=jobs,
+            cache_stats=self.cache.stats.since(stats_before))
 
     def lemma_flow(self, targets: list[str] | None = None,
                    **flow_kwargs) -> LemmaFlowResult:
         """Run the Fig. 1 helper-assertion-generation flow."""
+        flow_kwargs.setdefault("jobs", self.jobs)
+        flow_kwargs.setdefault("cache", self.cache)
         flow = LemmaGenerationFlow(self.client,
                                    engine_config=self.engine_config,
                                    **flow_kwargs)
@@ -69,6 +163,8 @@ class VerificationSession:
     def repair(self, property_name: str, max_k: int | None = None,
                **flow_kwargs) -> RepairFlowResult:
         """Run the Fig. 2 induction-step-failure repair loop."""
+        flow_kwargs.setdefault("jobs", self.jobs)
+        flow_kwargs.setdefault("cache", self.cache)
         flow = InductionRepairFlow(self.client,
                                    engine_config=self.engine_config,
                                    **flow_kwargs)

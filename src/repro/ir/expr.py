@@ -75,6 +75,14 @@ class Expr:
 
     # Interning makes the default identity-based __eq__ correct.
 
+    def __reduce__(self):
+        # Unpickle through the interning constructor so deserialized
+        # expressions land in the receiving process's intern table:
+        # identity-based equality and the `a is b` folding rules stay
+        # valid after a trip through a multiprocessing worker.
+        return (_mk, (self.op, self.width, self.args, self.name,
+                      self.value, self.params))
+
     def __repr__(self) -> str:
         return f"Expr({to_sexpr(self, max_depth=3)})"
 

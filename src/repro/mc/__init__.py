@@ -1,18 +1,43 @@
-"""Model checking: bounded model checking and k-induction over the IR."""
+"""Model checking: BMC and k-induction over the IR, plus the portfolio
+verification service (strategy registry, parallel scheduler, result
+cache) that every higher layer dispatches through."""
 
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, ProofStats, Status
 from repro.mc.bmc import bmc
 from repro.mc.kinduction import KInductionOptions, k_induction
-from repro.mc.engine import ProofEngine
+from repro.mc.cache import CacheStats, ResultCache, run_cached
+from repro.mc.strategy import (CheckTask, Strategy, StrategyError,
+                               get_strategy, register_strategy,
+                               resolve_strategy, run_check_task,
+                               strategy_names)
+from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
+                                PortfolioScheduler, VerifyTask)
+from repro.mc.engine import EngineConfig, ProofEngine
 
 __all__ = [
+    "CacheStats",
     "CheckResult",
+    "CheckTask",
+    "DEFAULT_PORTFOLIO",
+    "EngineConfig",
     "KInductionOptions",
+    "PortfolioOutcome",
+    "PortfolioScheduler",
     "ProofEngine",
     "ProofStats",
+    "ResultCache",
     "SafetyProperty",
     "Status",
+    "Strategy",
+    "StrategyError",
+    "VerifyTask",
     "bmc",
+    "get_strategy",
     "k_induction",
+    "register_strategy",
+    "resolve_strategy",
+    "run_cached",
+    "run_check_task",
+    "strategy_names",
 ]

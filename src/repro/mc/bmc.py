@@ -79,13 +79,7 @@ def bmc(system: TransitionSystem, prop: SafetyProperty, bound: int,
 
 
 def _merge(stats: ProofStats, frame: FrameSolver) -> None:
-    snap = frame.stats_snapshot()
-    stats.sat_queries = snap.sat_queries
-    stats.conflicts = snap.conflicts
-    stats.decisions = snap.decisions
-    stats.propagations = snap.propagations
-    stats.clauses = snap.clauses
-    stats.variables = snap.variables
+    stats.merge_from(frame.stats_snapshot())
 
 
 def bmc_probe(system: TransitionSystem, prop: SafetyProperty, bound: int,

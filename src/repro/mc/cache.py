@@ -1,0 +1,183 @@
+"""Content-keyed cache of model-checking results.
+
+The paper's flows re-run the formal tool constantly over *identical*
+queries: every Houdini round re-screens the surviving conjunction, the
+repair loop re-proves the target between LLM calls, and benchmark sweeps
+repeat whole configurations.  A query is fully determined by
+
+* the transition system's content (inputs/states/init/next/defines/
+  constraints — structurally, not by object identity),
+* the property's ``bad`` expression and warm-up offset,
+* the assumed lemma set (order-insensitive),
+* the strategy spec and its options,
+
+so results can be reused whenever that fingerprint recurs — the solver is
+deterministic.  Keys are SHA-256 over a canonical rendering; values are
+returned as shallow copies so callers that annotate ``detail`` or
+accumulate stats never corrupt the cached record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult
+
+
+def expr_fingerprint(root: E.Expr) -> str:
+    """Canonical structural rendering of one expression DAG."""
+    return E.structural_signature(root, {})
+
+
+def system_fingerprint(system: TransitionSystem) -> str:
+    """Digest of a transition system's *content*.
+
+    Excludes the system's name: a cone-of-influence reduction of the same
+    design for the same property yields the same fingerprint no matter
+    which session built it.
+    """
+    h = hashlib.sha256()
+    for name, v in sorted(system.inputs.items()):
+        h.update(f"i:{name}:{v.width};".encode())
+    for name, v in sorted(system.states.items()):
+        h.update(f"s:{name}:{v.width};".encode())
+    for section, mapping in (("init", system.init), ("next", system.next),
+                             ("def", system.defines)):
+        for name, e in sorted(mapping.items()):
+            h.update(f"{section}:{name}=".encode())
+            h.update(expr_fingerprint(e).encode())
+            h.update(b";")
+    for c in sorted(expr_fingerprint(c) for c in system.constraints):
+        h.update(b"c:")
+        h.update(c.encode())
+        h.update(b";")
+    return h.hexdigest()
+
+
+def query_key(system: TransitionSystem, prop: SafetyProperty,
+              strategy: str, options: Mapping,
+              lemmas: list[tuple[E.Expr, int]] | None = None) -> str:
+    """The cache key for one fully-specified check invocation."""
+    h = hashlib.sha256()
+    h.update(system_fingerprint(system).encode())
+    h.update(b"|p:")
+    h.update(expr_fingerprint(prop.bad).encode())
+    h.update(f":{prop.valid_from}".encode())
+    h.update(b"|l:")
+    for sig in sorted(f"{expr_fingerprint(g)}@{vf}"
+                      for g, vf in (lemmas or [])):
+        h.update(sig.encode())
+        h.update(b";")
+    h.update(b"|s:")
+    h.update(strategy.encode())
+    for k in sorted(options):
+        h.update(f":{k}={options[k]!r}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters (the benchmark's headline numbers)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def one_line(self) -> str:
+        return (f"cache: {self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.0%}), {self.stores} stored, "
+                f"{self.evictions} evicted")
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The traffic between an ``earlier`` snapshot and this one."""
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          stores=self.stores - earlier.stores,
+                          evictions=self.evictions - earlier.evictions)
+
+
+class ResultCache:
+    """Thread-safe LRU cache of :class:`CheckResult` keyed by query content.
+
+    Shared freely: between the strategies racing inside one portfolio
+    batch, between Houdini rounds, between flow iterations, and across a
+    whole :class:`~repro.flow.session.VerificationSession`.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, CheckResult] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> CheckResult | None:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            # Shallow per-field copy: callers mutate `detail` (e.g.
+            # prove_or_refute appends a note) and must not see each
+            # other's annotations or share a stats object.
+            return replace(result, stats=replace(result.stats))
+
+    def put(self, key: str, result: CheckResult) -> None:
+        with self._lock:
+            if key not in self._entries and \
+                    len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = replace(result, stats=replace(result.stats))
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def run_cached(strategy_spec: str, system: TransitionSystem,
+               prop: SafetyProperty, options: Mapping,
+               lemmas: list[tuple[E.Expr, int]] | None = None,
+               cache: ResultCache | None = None) -> CheckResult:
+    """Run one check through the registry, consulting ``cache`` if given.
+
+    The single choke point the engine, Houdini, and the sequential
+    scheduler path all use, so every layer gets identical keying.
+    """
+    from repro.mc.strategy import canonical_options, resolve_strategy
+
+    strategy, resolved = resolve_strategy(strategy_spec)
+    resolved.update(options)
+    key = None
+    if cache is not None:
+        key = query_key(system, prop, strategy.name,
+                        canonical_options(strategy, resolved), lemmas)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = strategy.run(system, prop, lemmas=list(lemmas or []),
+                          **resolved)
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

@@ -9,12 +9,15 @@ reports uniform :class:`~repro.mc.result.CheckResult` records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
 
 from repro.ir import expr as E
 from repro.ir.passes import cone_of_influence
 from repro.ir.system import TransitionSystem
-from repro.mc.bmc import bmc, bmc_probe
-from repro.mc.kinduction import KInductionOptions, k_induction
+from repro.mc.cache import ResultCache, run_cached
+from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
+                                PortfolioScheduler, VerifyTask,
+                                depth_options)
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, Status
 
@@ -33,10 +36,12 @@ class ProofEngine:
     """The formal tool: proves properties, accumulates proven lemmas."""
 
     def __init__(self, system: TransitionSystem,
-                 config: EngineConfig | None = None):
+                 config: EngineConfig | None = None,
+                 cache: ResultCache | None = None):
         system.validate()
         self.system = system
         self.config = config or EngineConfig()
+        self.cache = cache
         # (name, good expr, valid_from) — proven global assumptions.
         self.lemmas: list[tuple[str, E.Expr, int]] = []
 
@@ -65,24 +70,39 @@ class ProofEngine:
     # Checks
     # ------------------------------------------------------------------
 
+    def check(self, prop: SafetyProperty, strategy: str,
+              use_lemmas: bool = True,
+              extra_lemmas: list[tuple[E.Expr, int]] | None = None,
+              **options) -> CheckResult:
+        """Run one check through the strategy registry (and the cache).
+
+        ``strategy`` is a spec string (``"bmc"``,
+        ``"k_induction(simple_path=True)"``, ...); every specialized
+        entry point below funnels through here, so caching and
+        cone-of-influence scoping behave identically everywhere.
+        """
+        system = self._scoped_system(prop, extra_lemmas)
+        lemmas = list(self.lemma_pairs()) if use_lemmas else []
+        lemmas += list(extra_lemmas or [])
+        return run_cached(strategy, system, prop, options,
+                          lemmas=lemmas, cache=self.cache)
+
     def check_bmc(self, prop: SafetyProperty,
                   bound: int | None = None,
                   use_lemmas: bool = True,
                   conflict_budget: int | None = None) -> CheckResult:
         """Bounded search for a real counterexample."""
-        system = self._scoped_system(prop)
-        lemmas = self.lemma_pairs() if use_lemmas else []
-        return bmc(system, prop, bound or self.config.bmc_bound,
-                   lemmas=lemmas, conflict_budget=conflict_budget)
+        return self.check(prop, "bmc", use_lemmas=use_lemmas,
+                          bound=bound or self.config.bmc_bound,
+                          conflict_budget=conflict_budget)
 
     def probe_bugs(self, prop: SafetyProperty,
                    bound: int | None = None,
                    conflict_budget: int = 4000) -> CheckResult:
         """Cheap single-shot bug triage (see :func:`repro.mc.bmc.bmc_probe`)."""
-        system = self._scoped_system(prop)
-        return bmc_probe(system, prop, bound or self.config.bmc_bound,
-                         lemmas=self.lemma_pairs(),
-                         conflict_budget=conflict_budget)
+        return self.check(prop, "bmc_probe",
+                          bound=bound or self.config.bmc_bound,
+                          conflict_budget=conflict_budget)
 
     def prove(self, prop: SafetyProperty,
               max_k: int | None = None,
@@ -90,14 +110,12 @@ class ProofEngine:
               extra_lemmas: list[tuple[E.Expr, int]] | None = None,
               simple_path: bool | None = None) -> CheckResult:
         """k-induction proof attempt (the paper's core proof method)."""
-        system = self._scoped_system(prop, extra_lemmas)
-        lemmas = list(self.lemma_pairs()) if use_lemmas else []
-        lemmas += list(extra_lemmas or [])
-        options = KInductionOptions(
+        return self.check(
+            prop, "k_induction", use_lemmas=use_lemmas,
+            extra_lemmas=extra_lemmas,
             max_k=max_k if max_k is not None else self.config.max_k,
             simple_path=self.config.simple_path
             if simple_path is None else simple_path)
-        return k_induction(system, prop, options, lemmas=lemmas)
 
     def prove_or_refute(self, prop: SafetyProperty,
                         max_k: int | None = None) -> CheckResult:
@@ -111,6 +129,63 @@ class ProofEngine:
         result.detail += (
             f"; no counterexample within {self.config.bmc_bound} cycles")
         return result
+
+    # ------------------------------------------------------------------
+    # Batch / portfolio dispatch
+    # ------------------------------------------------------------------
+
+    def _batch_tasks(self, props: Sequence[SafetyProperty],
+                     use_lemmas: bool = True) -> list[VerifyTask]:
+        lemmas = self.lemma_pairs() if use_lemmas else []
+        return [VerifyTask(self._scoped_system(p), p, list(lemmas))
+                for p in props]
+
+    def _scheduler(self, jobs: int,
+                   strategies: Sequence[str] | None,
+                   strategy_options: Mapping[str, Mapping] | None
+                   ) -> PortfolioScheduler:
+        if strategies is None:
+            strategies = DEFAULT_PORTFOLIO
+        if strategy_options is None:
+            strategy_options = depth_options(
+                strategies, max_k=self.config.max_k,
+                bound=self.config.bmc_bound,
+                simple_path=self.config.simple_path)
+        return PortfolioScheduler(jobs=jobs, strategies=strategies,
+                                  strategy_options=strategy_options,
+                                  cache=self.cache)
+
+    def check_portfolio(self, props: Sequence[SafetyProperty] |
+                        SafetyProperty,
+                        jobs: int = 1,
+                        strategies: Sequence[str] | None = None,
+                        strategy_options: Mapping[str, Mapping] |
+                        None = None,
+                        use_lemmas: bool = True
+                        ) -> Iterator[PortfolioOutcome]:
+        """Race complementary strategies over a batch of properties.
+
+        Each property is cone-of-influence scoped independently, the
+        whole batch fans out over ``jobs`` worker processes, and
+        outcomes stream back in completion order.
+        """
+        if isinstance(props, SafetyProperty):
+            props = [props]
+        scheduler = self._scheduler(jobs, strategies, strategy_options)
+        return scheduler.stream(self._batch_tasks(props, use_lemmas))
+
+    def prove_all(self, props: Sequence[SafetyProperty],
+                  jobs: int = 1,
+                  strategies: Sequence[str] | None = None,
+                  strategy_options: Mapping[str, Mapping] | None = None,
+                  use_lemmas: bool = True) -> list[CheckResult]:
+        """Batch verification; results aligned with ``props`` order."""
+        by_name: dict[str, CheckResult] = {}
+        for outcome in self.check_portfolio(
+                props, jobs=jobs, strategies=strategies,
+                strategy_options=strategy_options, use_lemmas=use_lemmas):
+            by_name[outcome.property_name] = outcome.result
+        return [by_name[p.name] for p in props]
 
     # ------------------------------------------------------------------
 

@@ -137,10 +137,4 @@ def k_induction(system: TransitionSystem, prop: SafetyProperty,
 def _collect(stats: ProofStats, base: FrameSolver,
              step: FrameSolver) -> None:
     for frame in (base, step):
-        snap = frame.stats_snapshot()
-        stats.sat_queries += snap.sat_queries
-        stats.conflicts += snap.conflicts
-        stats.decisions += snap.decisions
-        stats.propagations += snap.propagations
-        stats.clauses += snap.clauses
-        stats.variables += snap.variables
+        stats.merge_from(frame.stats_snapshot())

@@ -1,0 +1,359 @@
+"""Parallel portfolio scheduling of check tasks.
+
+The :class:`PortfolioScheduler` takes a batch of verification tasks
+(one per property), expands each into a *race* of complementary
+strategies (a prover like k-induction plus a refuter like BMC), fans the
+whole batch across a ``ProcessPoolExecutor``, and streams per-property
+outcomes back **in completion order**:
+
+* the first *conclusive* result (PROVEN / VIOLATED) for a property wins
+  its race, and the losing siblings are cancelled (queued siblings are
+  dropped; already-running ones finish and are discarded — workers are
+  not killed mid-solve);
+* if every strategy comes back inconclusive, the most informative
+  inconclusive result is reported (earliest strategy in the configured
+  order, so a k-induction UNKNOWN with its step CEX beats a BMC
+  BOUNDED_OK);
+* results are looked up in / stored to a shared
+  :class:`~repro.mc.cache.ResultCache` first, so repeated batches cost
+  nothing.
+
+``jobs=1`` (the default) runs the same race logic inline with no process
+pool and no pickling — strategies execute in configured order and stop at
+the first conclusive verdict.  This path is deterministic and is what the
+flows use under test.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (CancelledError, Future,
+                                ProcessPoolExecutor, as_completed)
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.cache import ResultCache, query_key, run_cached
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult, Status
+from repro.mc.strategy import (CheckTask, canonical_options,
+                               resolve_strategy, run_check_task)
+
+#: Complementary default race: k-induction proves, BMC refutes.
+DEFAULT_PORTFOLIO: tuple[str, ...] = ("k_induction", "bmc")
+
+
+def depth_options(strategies: Sequence[str],
+                  max_k: int | None = None,
+                  bound: int | None = None,
+                  simple_path: bool | None = None
+                  ) -> dict[str, dict]:
+    """Per-spec option overrides applying caller depth limits.
+
+    Maps induction depth (``max_k``/``simple_path``) onto every
+    k-induction-family spec and the BMC ``bound`` onto every BMC-family
+    spec, *without* clobbering options the spec already sets inline
+    (``"bmc(bound=6)"`` keeps its 6).  The single place the engine
+    defaults and ``verify_all`` both derive portfolio options from, so
+    extending :data:`DEFAULT_PORTFOLIO` cannot silently desynchronize
+    the call sites.
+    """
+    overrides: dict[str, dict] = {}
+    for spec in strategies:
+        strategy, inline = resolve_strategy(spec)
+        options: dict = {}
+        if strategy.can_prove:  # k-induction family
+            if max_k is not None and "max_k" not in inline:
+                options["max_k"] = max_k
+            if simple_path is not None and "simple_path" not in inline:
+                options["simple_path"] = simple_path
+        else:                   # bmc family
+            if bound is not None and "bound" not in inline:
+                options["bound"] = bound
+        if options:
+            overrides[spec] = options
+    return overrides
+
+
+@dataclass
+class VerifyTask:
+    """One property to verify against one (scoped) transition system."""
+
+    system: TransitionSystem
+    prop: SafetyProperty
+    lemmas: list[tuple[E.Expr, int]] = field(default_factory=list)
+
+
+@dataclass
+class PortfolioOutcome:
+    """Per-property outcome of a portfolio race."""
+
+    property_name: str
+    result: CheckResult
+    strategy: str               # spec string that produced `result`
+    attempts: int = 0           # strategy results actually observed
+    cancelled: int = 0          # siblings dropped after the win
+    from_cache: bool = False
+
+    @property
+    def status(self) -> Status:
+        return self.result.status
+
+    def one_line(self) -> str:
+        origin = "cache" if self.from_cache else self.strategy
+        extra = f" [{origin}" + \
+            (f", {self.cancelled} cancelled]" if self.cancelled else "]")
+        return self.result.one_line() + extra
+
+
+def _worker_run(task: CheckTask) -> CheckResult:
+    """Module-level so the process pool can pickle it by reference."""
+    return run_check_task(task)
+
+
+class PortfolioScheduler:
+    """Races strategy portfolios over a batch of properties.
+
+    ``strategies`` are spec strings (see
+    :func:`~repro.mc.strategy.resolve_strategy`); ``strategy_options``
+    optionally overrides options per spec (e.g. ``{"bmc":
+    {"bound": 12}}``).  ``jobs > 1`` enables the process pool.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 strategies: Sequence[str] = DEFAULT_PORTFOLIO,
+                 strategy_options: Mapping[str, Mapping] | None = None,
+                 cache: ResultCache | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if not strategies:
+            raise ValueError("at least one strategy is required")
+        for spec in strategies:
+            resolve_strategy(spec)  # fail fast on bad specs
+        self.jobs = jobs
+        self.strategies = tuple(strategies)
+        self.strategy_options = {k: dict(v) for k, v in
+                                 (strategy_options or {}).items()}
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[VerifyTask]) -> list[PortfolioOutcome]:
+        """All outcomes, in completion order (see :meth:`stream`)."""
+        return list(self.stream(tasks))
+
+    def run_batch(self, system: TransitionSystem,
+                  properties: Iterable[SafetyProperty],
+                  lemmas: list[tuple[E.Expr, int]] | None = None
+                  ) -> list[PortfolioOutcome]:
+        """Convenience wrapper: same system and lemma set for every task."""
+        shared = list(lemmas or [])
+        return self.run([VerifyTask(system, p, list(shared))
+                         for p in properties])
+
+    def stream(self, tasks: Sequence[VerifyTask]
+               ) -> Iterator[PortfolioOutcome]:
+        """Yield one outcome per task as each race concludes."""
+        if not tasks:
+            return
+        if self.jobs == 1 or len(tasks) * len(self.strategies) == 1:
+            yield from self._stream_sequential(tasks)
+        else:
+            yield from self._stream_parallel(tasks)
+
+    # ------------------------------------------------------------------
+    # Sequential path (jobs=1): race by ordering, stop at first verdict.
+    # ------------------------------------------------------------------
+
+    def _options_for(self, spec: str) -> dict:
+        return dict(self.strategy_options.get(spec, {}))
+
+    def _key_for(self, spec: str, options: Mapping,
+                 task: VerifyTask) -> str:
+        strategy, resolved = resolve_strategy(spec)
+        resolved.update(options)
+        return query_key(task.system, task.prop, strategy.name,
+                         canonical_options(strategy, resolved),
+                         task.lemmas)
+
+    def _stream_sequential(self, tasks: Sequence[VerifyTask]
+                           ) -> Iterator[PortfolioOutcome]:
+        for task in tasks:
+            best: tuple[str, CheckResult, bool] | None = None
+            attempts = 0
+            outcome = None
+            for spec in self.strategies:
+                hits_before = self.cache.stats.hits \
+                    if self.cache is not None else 0
+                result = run_cached(spec, task.system, task.prop,
+                                    self._options_for(spec),
+                                    lemmas=task.lemmas, cache=self.cache)
+                was_hit = self.cache is not None and \
+                    self.cache.stats.hits > hits_before
+                attempts += 1
+                if result.status.conclusive:
+                    outcome = PortfolioOutcome(
+                        task.prop.name, result, spec, attempts=attempts,
+                        cancelled=len(self.strategies) - attempts,
+                        from_cache=was_hit)
+                    break
+                if best is None:
+                    best = (spec, result, was_hit)
+            if outcome is None:
+                spec, result, was_hit = best if best is not None else \
+                    (self.strategies[0], _no_result(task.prop.name), False)
+                outcome = PortfolioOutcome(task.prop.name, result, spec,
+                                           attempts=attempts,
+                                           from_cache=was_hit)
+            yield outcome
+
+    # ------------------------------------------------------------------
+    # Parallel path: full fan-out, first conclusive result per group wins.
+    # ------------------------------------------------------------------
+
+    def _stream_parallel(self, tasks: Sequence[VerifyTask]
+                         ) -> Iterator[PortfolioOutcome]:
+        groups = [_RaceGroup(i, task, self.strategies)
+                  for i, task in enumerate(tasks)]
+
+        # Cache pass first: a conclusive (or any) cached result for a
+        # strategy removes it from the fan-out; a fully-resolved group
+        # never reaches the pool at all.
+        to_submit: list[CheckTask] = []
+        for group in groups:
+            for slot, spec in enumerate(self.strategies):
+                if group.decided:
+                    break
+                options = self._options_for(spec)
+                if self.cache is not None:
+                    hit = self.cache.get(self._key_for(
+                        spec, options, group.task))
+                    if hit is not None:
+                        group.record(slot, hit, from_cache=True)
+                        continue
+                to_submit.append(CheckTask(
+                    key=(group.index, slot), system=group.task.system,
+                    prop=group.task.prop, strategy=spec, options=options,
+                    lemmas=group.task.lemmas))
+
+        for group in groups:
+            if group.decided or group.exhausted:
+                yield group.outcome()
+
+        pending = [g for g in groups if not (g.decided or g.exhausted)]
+        if not pending:
+            return
+
+        workers = min(self.jobs, len(to_submit), (os.cpu_count() or 1) * 4)
+        try:
+            executor = ProcessPoolExecutor(max_workers=max(workers, 1))
+        except (OSError, ValueError):
+            # No usable multiprocessing in this environment (restricted
+            # sandboxes): degrade to the sequential race.
+            yield from self._stream_sequential([g.task for g in pending])
+            return
+
+        with executor:
+            future_by_key: dict[tuple, Future] = {}
+            futures: dict[Future, tuple] = {}
+            for check in to_submit:
+                group = groups[check.key[0]]
+                if group.decided:
+                    continue
+                f = executor.submit(_worker_run, check)
+                future_by_key[check.key] = f
+                futures[f] = check.key
+
+            for f in as_completed(futures):
+                g_index, slot = futures[f]
+                group = groups[g_index]
+                try:
+                    result = f.result()
+                except CancelledError:
+                    # Already tallied at the sibling.cancel() site.
+                    continue
+                except Exception as exc:  # worker crash: report, don't die
+                    result = _error_result(group.task.prop.name,
+                                           self.strategies[slot], exc)
+                else:
+                    if self.cache is not None:
+                        spec = self.strategies[slot]
+                        self.cache.put(self._key_for(
+                            spec, self._options_for(spec), group.task),
+                            result)
+                already_decided = group.decided
+                group.record(slot, result)
+                if group.decided and not already_decided:
+                    # First conclusive result: drop queued siblings.
+                    for other_slot in range(len(self.strategies)):
+                        key = (g_index, other_slot)
+                        sibling = future_by_key.get(key)
+                        if sibling is not None and sibling is not f:
+                            if sibling.cancel():
+                                group.note_cancelled()
+                    yield group.outcome()
+                elif group.exhausted and not group.decided:
+                    yield group.outcome()
+
+
+# ---------------------------------------------------------------------------
+
+
+class _RaceGroup:
+    """Book-keeping for one property's strategy race."""
+
+    def __init__(self, index: int, task: VerifyTask,
+                 strategies: Sequence[str]):
+        self.index = index
+        self.task = task
+        self.strategies = strategies
+        self.results: dict[int, tuple[CheckResult, bool]] = {}
+        self.cancelled = 0
+        self.winner_slot: int | None = None
+
+    @property
+    def decided(self) -> bool:
+        return self.winner_slot is not None
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.results) + self.cancelled >= len(self.strategies)
+
+    def record(self, slot: int, result: CheckResult,
+               from_cache: bool = False) -> None:
+        self.results[slot] = (result, from_cache)
+        if result.status.conclusive and self.winner_slot is None:
+            self.winner_slot = slot
+
+    def note_cancelled(self) -> None:
+        self.cancelled += 1
+
+    def outcome(self) -> PortfolioOutcome:
+        if self.winner_slot is not None:
+            slot = self.winner_slot
+        elif self.results:
+            # Most informative inconclusive result: configured order.
+            slot = min(self.results)
+        else:
+            result = _no_result(self.task.prop.name)
+            return PortfolioOutcome(self.task.prop.name, result,
+                                    self.strategies[0],
+                                    cancelled=self.cancelled)
+        result, from_cache = self.results[slot]
+        return PortfolioOutcome(
+            self.task.prop.name, result, self.strategies[slot],
+            attempts=len(self.results), cancelled=self.cancelled,
+            from_cache=from_cache)
+
+
+def _no_result(property_name: str) -> CheckResult:
+    return CheckResult(property_name, Status.UNKNOWN,
+                       detail="portfolio produced no result")
+
+
+def _error_result(property_name: str, spec: str,
+                  exc: Exception) -> CheckResult:
+    return CheckResult(property_name, Status.UNKNOWN,
+                       detail=f"strategy {spec} failed in worker: "
+                              f"{type(exc).__name__}: {exc}")

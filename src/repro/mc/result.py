@@ -39,6 +39,23 @@ class ProofStats:
     variables: int = 0
     max_depth: int = 0
 
+    def merge_from(self, snapshot: "ProofStats") -> None:
+        """Fold one solver snapshot into an aggregate, summing everything.
+
+        This is the single merge point for per-solver snapshots
+        (``FrameSolver.stats_snapshot()``): BMC merges its one frame, a
+        k-induction run merges base and step, and portfolio aggregation
+        merges any number of runs — all with identical summing semantics,
+        so effort counters never double-count or silently overwrite.
+        """
+        self.sat_queries += snapshot.sat_queries
+        self.conflicts += snapshot.conflicts
+        self.decisions += snapshot.decisions
+        self.propagations += snapshot.propagations
+        self.clauses += snapshot.clauses
+        self.variables += snapshot.variables
+        self.max_depth = max(self.max_depth, snapshot.max_depth)
+
     def accumulate(self, other: "ProofStats") -> None:
         self.wall_seconds += other.wall_seconds
         self.sat_queries += other.sat_queries

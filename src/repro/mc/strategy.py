@@ -1,0 +1,229 @@
+"""Uniformly-invokable check strategies and their registry.
+
+Every way the system can answer "does this property hold?" — plain BMC,
+the budgeted BMC probe, k-induction, and k-induction with the simple-path
+constraint — is wrapped as a :class:`Strategy`: a stateless, picklable
+object with one ``run(system, prop, lemmas, **options)`` entry point
+returning the usual :class:`~repro.mc.result.CheckResult`.  The registry
+maps *spec strings* like ``"bmc"`` or ``"k_induction(simple_path=True)"``
+to a strategy plus bound options, so schedulers, the CLI, and the result
+cache all speak the same vocabulary.
+
+A :class:`CheckTask` bundles one concrete invocation (system + property +
+strategy spec + lemmas) into a picklable unit; :func:`run_check_task` is
+the module-level entry point multiprocessing workers import and execute.
+"""
+
+from __future__ import annotations
+
+import ast as _pyast
+import inspect as _inspect
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache as _lru_cache
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.errors import ReproError
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.bmc import bmc, bmc_probe
+from repro.mc.kinduction import KInductionOptions, k_induction
+from repro.mc.property import SafetyProperty
+from repro.mc.result import CheckResult
+
+
+class StrategyError(ReproError):
+    """Unknown strategy name or malformed strategy spec/options."""
+
+
+Lemmas = list[tuple[E.Expr, int]]
+
+
+@runtime_checkable
+class Strategy(Protocol):
+    """One way of checking a safety property.
+
+    ``can_prove``/``can_refute`` describe which *conclusive* verdicts the
+    strategy can produce; portfolio scheduling uses them to assemble
+    complementary race sets (a prover plus a refuter covers both
+    outcomes of an undecided property).
+    """
+
+    name: str
+    can_prove: bool
+    can_refute: bool
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, **options) -> CheckResult:
+        ...
+
+
+@dataclass(frozen=True)
+class BmcStrategy:
+    """Bounded counterexample search: refutes, never proves."""
+
+    name: str = "bmc"
+    can_prove: bool = False
+    can_refute: bool = True
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, *, bound: int = 20,
+            conflict_budget: int | None = None) -> CheckResult:
+        return bmc(system, prop, bound, lemmas=lemmas,
+                   conflict_budget=conflict_budget)
+
+
+@dataclass(frozen=True)
+class BmcProbeStrategy:
+    """Single-shot budgeted bug probe (cheap triage, never a proof)."""
+
+    name: str = "bmc_probe"
+    can_prove: bool = False
+    can_refute: bool = True
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, *, bound: int = 20,
+            conflict_budget: int = 4000) -> CheckResult:
+        return bmc_probe(system, prop, bound, lemmas=lemmas,
+                         conflict_budget=conflict_budget)
+
+
+@dataclass(frozen=True)
+class KInductionStrategy:
+    """k-induction: proves, and refutes via its base case."""
+
+    name: str = "k_induction"
+    can_prove: bool = True
+    can_refute: bool = True
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, *, max_k: int = 10,
+            simple_path: bool = False,
+            keep_last_step_cex: bool = True) -> CheckResult:
+        options = KInductionOptions(max_k=max_k, simple_path=simple_path,
+                                    keep_last_step_cex=keep_last_step_cex)
+        return k_induction(system, prop, options, lemmas=lemmas)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+# name -> (strategy, default option overrides baked into that name)
+_REGISTRY: dict[str, tuple[Strategy, dict]] = {}
+
+
+def register_strategy(strategy: Strategy,
+                      name: str | None = None,
+                      defaults: Mapping | None = None,
+                      replace: bool = False) -> None:
+    """Register ``strategy`` under ``name`` (default: its own name)."""
+    key = name or strategy.name
+    if key in _REGISTRY and not replace:
+        raise StrategyError(f"strategy {key!r} already registered")
+    _REGISTRY[key] = (strategy, dict(defaults or {}))
+
+
+def get_strategy(name: str) -> Strategy:
+    """The registered strategy object for a bare name (no option spec)."""
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise StrategyError(
+            f"unknown strategy {name!r}; available: {strategy_names()}")
+
+
+def strategy_names() -> list[str]:
+    """All registered strategy names, stable order."""
+    return list(_REGISTRY)
+
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
+
+
+def resolve_strategy(spec: str) -> tuple[Strategy, dict]:
+    """Parse ``"name"`` or ``"name(key=value, ...)"`` into (strategy, options).
+
+    Option values are Python literals (``max_k=3``, ``simple_path=True``).
+    Options written in the spec override the name's registered defaults.
+    """
+    m = _SPEC_RE.match(spec)
+    if m is None:
+        raise StrategyError(f"malformed strategy spec {spec!r}")
+    name, arg_text = m.group(1), m.group(2)
+    if name not in _REGISTRY:
+        raise StrategyError(
+            f"unknown strategy {name!r}; available: {strategy_names()}")
+    strategy, defaults = _REGISTRY[name]
+    options = dict(defaults)
+    if arg_text and arg_text.strip():
+        try:
+            call = _pyast.parse(f"_({arg_text})", mode="eval").body
+            if not isinstance(call, _pyast.Call) or call.args:
+                raise ValueError("options must be key=value pairs")
+            for kw in call.keywords:
+                if kw.arg is None:
+                    raise ValueError("**kwargs not allowed")
+                options[kw.arg] = _pyast.literal_eval(kw.value)
+        except (SyntaxError, ValueError) as exc:
+            raise StrategyError(
+                f"bad options in strategy spec {spec!r}: {exc}")
+    return strategy, options
+
+
+register_strategy(BmcStrategy())
+register_strategy(BmcProbeStrategy())
+register_strategy(KInductionStrategy())
+# The simple-path variant is its own portfolio entry: complete for finite
+# systems, quadratically more clauses — worth racing, not defaulting.
+register_strategy(KInductionStrategy(), name="k_induction_sp",
+                  defaults={"simple_path": True})
+
+
+# ---------------------------------------------------------------------------
+# Picklable check tasks (the scheduler/worker currency)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CheckTask:
+    """One concrete check invocation, shippable to a worker process.
+
+    ``key`` is scheduler-private correlation data (e.g. ``(group, slot)``);
+    it rides along untouched.
+    """
+
+    key: tuple
+    system: TransitionSystem
+    prop: SafetyProperty
+    strategy: str                       # spec string, e.g. "bmc(bound=12)"
+    options: dict = field(default_factory=dict)   # overrides on the spec
+    lemmas: Lemmas = field(default_factory=list)
+
+
+@_lru_cache(maxsize=None)
+def _signature_defaults(strategy: Strategy) -> tuple[tuple[str, object], ...]:
+    sig = _inspect.signature(strategy.run)
+    return tuple((name, p.default) for name, p in sig.parameters.items()
+                 if p.kind is p.KEYWORD_ONLY)
+
+
+def canonical_options(strategy: Strategy, options: Mapping) -> dict:
+    """Options as the strategy will actually run them.
+
+    Folds the ``run()`` signature's keyword-only defaults under the
+    caller's overrides, so ``"bmc"`` and ``"bmc(bound=20)"`` produce the
+    same canonical dict — the invariant cache keying relies on: every
+    layer keys the query by what gets executed, not by how much of it
+    the caller spelled out.
+    """
+    full = dict(_signature_defaults(strategy))
+    full.update(options)
+    return full
+
+
+def run_check_task(task: CheckTask) -> CheckResult:
+    """Execute one task (in-process or inside a pool worker)."""
+    strategy, options = resolve_strategy(task.strategy)
+    options.update(task.options)
+    return strategy.run(task.system, task.prop, lemmas=task.lemmas,
+                        **options)

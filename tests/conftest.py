@@ -30,13 +30,3 @@ def sync_counters_system() -> TransitionSystem:
     return s
 
 
-def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
-    """Reference SAT decision by exhaustive enumeration (<= 16 vars)."""
-    import itertools
-
-    assert num_vars <= 16
-    for bits in itertools.product((False, True), repeat=num_vars):
-        if all(any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1])
-                   for l in clause) for clause in clauses):
-            return True
-    return False

@@ -1,0 +1,22 @@
+"""Shared plain-function helpers for the test suite.
+
+Kept separate from ``conftest.py`` so test modules can import them
+explicitly (``from helpers import ...``) without relying on the name
+``conftest`` resolving to *this* directory's conftest — the benchmark
+suite has its own ``conftest.py`` and pytest imports whichever it
+collects first under that name.
+"""
+
+from __future__ import annotations
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    """Reference SAT decision by exhaustive enumeration (<= 16 vars)."""
+    import itertools
+
+    assert num_vars <= 16
+    for bits in itertools.product((False, True), repeat=num_vars):
+        if all(any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1])
+                   for l in clause) for clause in clauses):
+            return True
+    return False

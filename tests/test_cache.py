@@ -1,0 +1,157 @@
+"""Result cache: keying, hit/miss accounting, flow-level reuse."""
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc import ProofEngine, ResultCache, Status
+from repro.mc.cache import query_key, run_cached, system_fingerprint
+from repro.mc.property import SafetyProperty
+
+
+@pytest.fixture
+def equal_prop():
+    return SafetyProperty.from_invariant(
+        "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
+
+
+def _lemma(name1: str = "count1", name2: str = "count2"):
+    return (E.eq(E.var(name1, 8), E.var(name2, 8)), 0)
+
+
+class TestKeying:
+    def test_same_query_same_key(self, sync_counters_system, equal_prop):
+        k1 = query_key(sync_counters_system, equal_prop, "k_induction",
+                       {"max_k": 5}, [])
+        k2 = query_key(sync_counters_system, equal_prop, "k_induction",
+                       {"max_k": 5}, [])
+        assert k1 == k2
+
+    def test_structurally_equal_systems_share_keys(self, equal_prop):
+        def build(name):
+            s = TransitionSystem(name)
+            c1 = s.add_state("count1", 8, init=E.const(0, 8))
+            c2 = s.add_state("count2", 8, init=E.const(0, 8))
+            s.set_next("count1", E.add(c1, E.const(1, 8)))
+            s.set_next("count2", E.add(c2, E.const(1, 8)))
+            return s
+
+        a, b = build("one"), build("two")
+        assert system_fingerprint(a) == system_fingerprint(b)
+        assert query_key(a, equal_prop, "bmc", {}, []) == \
+            query_key(b, equal_prop, "bmc", {}, [])
+
+    def test_options_change_key(self, sync_counters_system, equal_prop):
+        base = query_key(sync_counters_system, equal_prop, "k_induction",
+                         {"max_k": 5}, [])
+        deeper = query_key(sync_counters_system, equal_prop,
+                           "k_induction", {"max_k": 6}, [])
+        assert base != deeper
+
+    def test_lemma_set_changes_key(self, sync_counters_system,
+                                   equal_prop):
+        bare = query_key(sync_counters_system, equal_prop, "k_induction",
+                         {}, [])
+        with_lemma = query_key(sync_counters_system, equal_prop,
+                               "k_induction", {}, [_lemma()])
+        assert bare != with_lemma
+
+    def test_lemma_order_does_not_change_key(self, sync_counters_system,
+                                             equal_prop):
+        l1, l2 = _lemma(), (E.ule(E.var("count1", 8), E.const(9, 8)), 1)
+        assert query_key(sync_counters_system, equal_prop, "bmc", {},
+                         [l1, l2]) == \
+            query_key(sync_counters_system, equal_prop, "bmc", {},
+                      [l2, l1])
+
+    def test_property_changes_key(self, sync_counters_system, equal_prop):
+        other = SafetyProperty.from_invariant(
+            "bound", E.ule(E.var("count1", 8), E.const(200, 8)))
+        assert query_key(sync_counters_system, equal_prop, "bmc", {},
+                         []) != \
+            query_key(sync_counters_system, other, "bmc", {}, [])
+
+    def test_valid_from_changes_key(self, sync_counters_system):
+        p0 = SafetyProperty.from_invariant(
+            "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
+        p1 = SafetyProperty.from_invariant(
+            "eq", E.eq(E.var("count1", 8), E.var("count2", 8)),
+            valid_from=1)
+        assert query_key(sync_counters_system, p0, "bmc", {}, []) != \
+            query_key(sync_counters_system, p1, "bmc", {}, [])
+
+
+class TestCacheBehaviour:
+    def test_hit_miss_counters(self, sync_counters_system, equal_prop):
+        cache = ResultCache()
+        r1 = run_cached("k_induction", sync_counters_system, equal_prop,
+                        {"max_k": 2}, cache=cache)
+        assert r1.status is Status.PROVEN
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        r2 = run_cached("k_induction", sync_counters_system, equal_prop,
+                        {"max_k": 2}, cache=cache)
+        assert r2.status is Status.PROVEN
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.stores == 1
+
+    def test_hits_do_not_alias_the_stored_record(self,
+                                                 sync_counters_system,
+                                                 equal_prop):
+        cache = ResultCache()
+        run_cached("k_induction", sync_counters_system, equal_prop,
+                   {"max_k": 2}, cache=cache)
+        first = run_cached("k_induction", sync_counters_system,
+                           equal_prop, {"max_k": 2}, cache=cache)
+        first.detail += "; annotated by caller"
+        first.stats.conflicts += 999
+        second = run_cached("k_induction", sync_counters_system,
+                            equal_prop, {"max_k": 2}, cache=cache)
+        assert "annotated by caller" not in second.detail
+        assert second.stats.conflicts == first.stats.conflicts - 999
+
+    def test_lru_eviction(self, sync_counters_system, equal_prop):
+        cache = ResultCache(max_entries=1)
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 2}, cache=cache)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+        # bound=1 was evicted: running it again misses.
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        assert cache.stats.hits == 0
+
+    def test_engine_shares_cache_across_calls(self, sync_counters_system,
+                                              equal_prop):
+        cache = ResultCache()
+        engine = ProofEngine(sync_counters_system, cache=cache)
+        engine.prove(equal_prop, max_k=2)
+        engine.prove(equal_prop, max_k=2)
+        assert cache.stats.hits == 1
+
+
+class TestHoudiniStyleReuse:
+    def test_repeated_houdini_query_hits_cache(self, sync_counters_system):
+        """The acceptance-criterion scenario: Houdini re-screens the same
+        candidate set (same system, same lemma set) and must be answered
+        from cache the second time around."""
+        from repro.flow.houdini import houdini_prove
+
+        cache = ResultCache()
+        candidates = [
+            SafetyProperty.from_invariant(
+                "eq", E.eq(E.var("count1", 8), E.var("count2", 8))),
+        ]
+        first = houdini_prove(sync_counters_system, list(candidates),
+                              max_k=2, bmc_bound=4, cache=cache)
+        assert len(first.proven) == 1
+        misses_after_first = cache.stats.misses
+        assert cache.stats.hits == 0
+
+        second = houdini_prove(sync_counters_system, list(candidates),
+                               max_k=2, bmc_bound=4, cache=cache)
+        assert len(second.proven) == 1
+        assert cache.stats.hits > 0, \
+            "repeated Houdini run must be served from the result cache"
+        assert cache.stats.misses == misses_after_first

@@ -1,0 +1,180 @@
+"""Portfolio scheduler: racing, cancellation, streaming, batch APIs."""
+
+import pytest
+
+from repro.designs import get_design
+from repro.flow import VerificationSession
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc import (PortfolioScheduler, ProofEngine, ResultCache,
+                      Status, VerifyTask)
+from repro.mc.property import SafetyProperty
+
+
+@pytest.fixture
+def diverging_system() -> TransitionSystem:
+    """count2 lags count1 once it wraps: equality is violated at cycle 4."""
+    s = TransitionSystem("diverge")
+    c1 = s.add_state("count1", 3, init=E.const(0, 3))
+    c2 = s.add_state("count2", 3, init=E.const(0, 3))
+    one = E.const(1, 3)
+    s.set_next("count1", E.add(c1, one))
+    s.set_next("count2", E.ite(E.eq(c1, E.const(3, 3)), c2,
+                               E.add(c2, one)))
+    return s
+
+
+def _equal_prop(width: int) -> SafetyProperty:
+    return SafetyProperty.from_invariant(
+        "equal", E.eq(E.var("count1", width), E.var("count2", width)))
+
+
+class TestSchedulerConstruction:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            PortfolioScheduler(jobs=0)
+
+    def test_rejects_empty_portfolio(self):
+        with pytest.raises(ValueError):
+            PortfolioScheduler(strategies=())
+
+    def test_rejects_bad_spec_eagerly(self):
+        from repro.mc import StrategyError
+        with pytest.raises(StrategyError):
+            PortfolioScheduler(strategies=("not_a_strategy",))
+
+
+class TestSequentialRacing:
+    def test_prover_wins_and_refuter_is_skipped(self, sync_counters_system):
+        scheduler = PortfolioScheduler(
+            jobs=1, strategies=("k_induction(max_k=2)", "bmc(bound=8)"))
+        [outcome] = scheduler.run_batch(sync_counters_system,
+                                        [_equal_prop(8)])
+        assert outcome.status is Status.PROVEN
+        assert outcome.strategy == "k_induction(max_k=2)"
+        assert outcome.attempts == 1
+        assert outcome.cancelled == 1  # bmc never ran
+
+    def test_refuter_catches_violation(self, diverging_system):
+        scheduler = PortfolioScheduler(
+            jobs=1, strategies=("k_induction(max_k=1)", "bmc(bound=8)"))
+        [outcome] = scheduler.run_batch(diverging_system,
+                                        [_equal_prop(3)])
+        assert outcome.status is Status.VIOLATED
+        assert outcome.result.cex is not None
+
+    def test_inconclusive_prefers_first_strategy(self, diverging_system):
+        # Neither strategy is conclusive: max_k too small to refute via
+        # the base case (valid only 3 cycles), bound too small to reach
+        # the divergence.
+        prop = _equal_prop(3)
+        scheduler = PortfolioScheduler(
+            jobs=1, strategies=("k_induction(max_k=1)", "bmc(bound=2)"))
+        [outcome] = scheduler.run_batch(diverging_system, [prop])
+        assert not outcome.status.conclusive
+        assert outcome.strategy == "k_induction(max_k=1)"
+        assert outcome.attempts == 2
+
+    def test_empty_batch(self):
+        assert PortfolioScheduler().run([]) == []
+
+
+class TestParallelRacing:
+    def test_parallel_verdicts_match_sequential(self, sync_counters_system,
+                                                diverging_system):
+        good = SafetyProperty.from_invariant(
+            "equal", E.eq(E.var("count1", 8), E.var("count2", 8)))
+        bad = SafetyProperty.from_invariant(
+            "diverges", E.eq(E.var("count1", 3), E.var("count2", 3)))
+        tasks = [VerifyTask(sync_counters_system, good),
+                 VerifyTask(diverging_system, bad)]
+        strategies = ("k_induction(max_k=2)", "bmc(bound=8)")
+        sequential = {o.property_name: o.status for o in
+                      PortfolioScheduler(jobs=1,
+                                         strategies=strategies).run(tasks)}
+        parallel = {o.property_name: o.status for o in
+                    PortfolioScheduler(jobs=2,
+                                       strategies=strategies).run(tasks)}
+        assert parallel == sequential
+        assert parallel["equal"] is Status.PROVEN
+        assert parallel["diverges"] is Status.VIOLATED
+
+    def test_parallel_streams_one_outcome_per_property(self,
+                                                       sync_counters_system):
+        props = [
+            SafetyProperty.from_invariant(
+                "eq", E.eq(E.var("count1", 8), E.var("count2", 8))),
+            SafetyProperty.from_invariant(
+                "le", E.ule(E.var("count1", 8), E.var("count1", 8))),
+        ]
+        scheduler = PortfolioScheduler(
+            jobs=2, strategies=("k_induction(max_k=2)", "bmc(bound=4)"))
+        outcomes = list(scheduler.stream(
+            [VerifyTask(sync_counters_system, p) for p in props]))
+        assert sorted(o.property_name for o in outcomes) == ["eq", "le"]
+
+    def test_parallel_uses_cache_on_second_run(self, sync_counters_system):
+        cache = ResultCache()
+        prop = _equal_prop(8)
+        strategies = ("k_induction(max_k=2)", "bmc(bound=4)")
+        PortfolioScheduler(jobs=2, strategies=strategies,
+                           cache=cache).run_batch(sync_counters_system,
+                                                  [prop])
+        hits_before = cache.stats.hits
+        [outcome] = PortfolioScheduler(
+            jobs=2, strategies=strategies,
+            cache=cache).run_batch(sync_counters_system, [prop])
+        assert outcome.from_cache
+        assert cache.stats.hits > hits_before
+
+
+class TestEngineBatchApi:
+    def test_prove_all_alignment(self, sync_counters_system):
+        engine = ProofEngine(sync_counters_system)
+        props = [
+            SafetyProperty.from_invariant(
+                "eq", E.eq(E.var("count1", 8), E.var("count2", 8))),
+            SafetyProperty.from_invariant(
+                "self_le", E.ule(E.var("count2", 8), E.var("count2", 8))),
+        ]
+        results = engine.prove_all(props, jobs=1)
+        assert [r.property_name for r in results] == ["eq", "self_le"]
+        assert all(r.status is Status.PROVEN for r in results)
+
+    def test_check_portfolio_respects_engine_lemmas(self,
+                                                    sync_counters_system):
+        engine = ProofEngine(sync_counters_system)
+        # equal_msb alone is not inductive; the equality lemma closes it.
+        msb = SafetyProperty.from_invariant(
+            "msb", E.eq(E.bit(E.var("count1", 8), 7),
+                        E.bit(E.var("count2", 8), 7)))
+        unaided = engine.prove_all([msb], jobs=1)[0]
+        assert unaided.status is Status.UNKNOWN
+        engine.add_lemma("eq", E.eq(E.var("count1", 8),
+                                    E.var("count2", 8)))
+        aided = engine.prove_all([msb], jobs=1)[0]
+        assert aided.status is Status.PROVEN
+
+
+class TestSessionVerifyAll:
+    def test_counter_bank_batch(self):
+        session = VerificationSession(get_design("sync_counters"))
+        batch = session.verify_all(jobs=1)
+        assert batch.design == "sync_counters"
+        assert len(batch.outcomes) == 2
+        assert batch.result_for("counters_equal").status is Status.PROVEN
+        # equal_count needs a helper: inconclusive under the portfolio.
+        assert not batch.result_for("equal_count").status.conclusive
+        assert not batch.any_violated
+
+    def test_seeded_bug_is_found_in_parallel(self):
+        session = VerificationSession(get_design("sync_counters_bug"))
+        batch = session.verify_all(jobs=2)
+        assert batch.any_violated
+        assert batch.result_for("counters_equal").cex is not None
+
+    def test_batch_repeat_is_cache_served(self):
+        session = VerificationSession(get_design("sync_counters"))
+        session.verify_all(jobs=1)
+        batch = session.verify_all(jobs=1)
+        assert any(o.from_cache for o in batch.outcomes)

@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import brute_force_sat
+from helpers import brute_force_sat
 from repro.errors import SatError
 from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
 from repro.sat.solver import Solver, _luby

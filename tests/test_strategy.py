@@ -1,0 +1,130 @@
+"""Strategy registry: resolution, spec parsing, task execution, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.ir import expr as E
+from repro.mc import Status
+from repro.mc.bmc import bmc
+from repro.mc.kinduction import k_induction
+from repro.mc.property import SafetyProperty
+from repro.mc.strategy import (CheckTask, StrategyError, get_strategy,
+                               register_strategy, resolve_strategy,
+                               run_check_task, strategy_names)
+
+
+@pytest.fixture
+def equal_prop():
+    return SafetyProperty.from_invariant(
+        "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
+
+
+class TestRegistry:
+    def test_builtin_strategies_registered(self):
+        names = strategy_names()
+        for expected in ("bmc", "bmc_probe", "k_induction",
+                         "k_induction_sp"):
+            assert expected in names
+
+    def test_get_strategy_capabilities(self):
+        assert get_strategy("bmc").can_refute
+        assert not get_strategy("bmc").can_prove
+        assert get_strategy("k_induction").can_prove
+
+    def test_get_unknown_strategy(self):
+        with pytest.raises(StrategyError, match="unknown strategy"):
+            get_strategy("magic")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(StrategyError, match="already registered"):
+            register_strategy(get_strategy("bmc"), name="bmc")
+
+    def test_register_replace(self):
+        register_strategy(get_strategy("bmc"), name="bmc_alias")
+        try:
+            register_strategy(get_strategy("bmc"), name="bmc_alias",
+                              replace=True)
+        finally:
+            from repro.mc import strategy as S
+            S._REGISTRY.pop("bmc_alias", None)
+
+
+class TestSpecResolution:
+    def test_bare_name(self):
+        strategy, options = resolve_strategy("k_induction")
+        assert strategy.name == "k_induction"
+        assert options == {}
+
+    def test_options_parsed_as_literals(self):
+        strategy, options = resolve_strategy(
+            "k_induction(max_k=3, simple_path=True)")
+        assert strategy.name == "k_induction"
+        assert options == {"max_k": 3, "simple_path": True}
+
+    def test_registered_defaults_applied(self):
+        strategy, options = resolve_strategy("k_induction_sp")
+        assert strategy.name == "k_induction"
+        assert options == {"simple_path": True}
+
+    def test_spec_overrides_registered_defaults(self):
+        _, options = resolve_strategy("k_induction_sp(simple_path=False)")
+        assert options == {"simple_path": False}
+
+    @pytest.mark.parametrize("spec", [
+        "", "bmc)", "bmc(bound)", "bmc(3)", "bmc(bound=open('x'))",
+        "nope(bound=3)", "bmc(**kw)",
+    ])
+    def test_malformed_or_unknown_specs(self, spec):
+        with pytest.raises(StrategyError):
+            resolve_strategy(spec)
+
+
+class TestRunCheckTask:
+    def test_matches_direct_kinduction(self, sync_counters_system,
+                                       equal_prop):
+        direct = k_induction(sync_counters_system, equal_prop)
+        task = CheckTask(key=(0, 0), system=sync_counters_system,
+                         prop=equal_prop, strategy="k_induction")
+        via_task = run_check_task(task)
+        assert via_task.status is direct.status is Status.PROVEN
+        assert via_task.k == direct.k
+
+    def test_matches_direct_bmc(self, sync_counters_system, equal_prop):
+        direct = bmc(sync_counters_system, equal_prop, 6)
+        task = CheckTask(key=(0, 0), system=sync_counters_system,
+                         prop=equal_prop, strategy="bmc(bound=6)")
+        via_task = run_check_task(task)
+        assert via_task.status is direct.status is Status.BOUNDED_OK
+        assert via_task.k == direct.k == 6
+
+    def test_task_options_override_spec(self, sync_counters_system,
+                                        equal_prop):
+        task = CheckTask(key=(0, 0), system=sync_counters_system,
+                         prop=equal_prop, strategy="bmc(bound=6)",
+                         options={"bound": 2})
+        assert run_check_task(task).k == 2
+
+    def test_task_round_trips_through_pickle(self, sync_counters_system,
+                                             equal_prop):
+        task = CheckTask(key=(1, 2), system=sync_counters_system,
+                         prop=equal_prop, strategy="k_induction",
+                         options={"max_k": 4})
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.key == (1, 2)
+        result = run_check_task(clone)
+        assert result.status is Status.PROVEN
+
+
+class TestExprPickling:
+    def test_unpickled_exprs_are_interned(self):
+        a = E.add(E.var("x", 8), E.const(3, 8))
+        b = pickle.loads(pickle.dumps(a))
+        assert b is a  # identity equality must survive the round trip
+
+    def test_dag_sharing_preserved(self):
+        shared = E.var("s", 4)
+        root = E.and_(E.redor(shared), E.redand(shared))
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone is root
+        assert clone.args[0].args[0] is clone.args[1].args[0]
