@@ -365,6 +365,52 @@ def run_e7(jobs: int = 4) -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E8 — the campaign subsystem (persistent store + adaptive selection)
+# ---------------------------------------------------------------------------
+
+E8_DESIGNS = ["updown_counter", "gray_counter", "lfsr16", "alu_accum",
+              "sync_counters_bug", "shift_pipe"]
+
+
+def run_e8(jobs: int = 1) -> Table:
+    """Cross-design campaign: cold store, warm store, and no-adaptive.
+
+    One temp proof store serves three campaigns over the same designs:
+    a cold run that fills the store, a warm adaptive rerun (every query
+    should come back from the disk tier, and mined history should prune
+    the strategy races), and a warm full-portfolio rerun as the job-count
+    baseline adaptive selection is measured against.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignReport
+    from repro.flow import run_campaign
+
+    table = Table(["mode", "wall (s)", "proven", "violated", "unknown",
+                   "disk hits", "jobs dispatched", "portfolio jobs"],
+                  title=f"E8: verification campaign over "
+                        f"{len(E8_DESIGNS)} designs")
+
+    def add_row(label: str, report: CampaignReport) -> None:
+        table.add_row(label, report.wall_seconds, report.proved,
+                      report.falsified, report.unknown,
+                      report.cache.disk_hits, report.dispatched_jobs,
+                      report.full_portfolio_jobs)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = run_campaign(designs=E8_DESIGNS, cache_dir=cache_dir,
+                            jobs=jobs, max_k=3)
+        add_row("cold store (adaptive)", cold)
+        warm = run_campaign(designs=E8_DESIGNS, cache_dir=cache_dir,
+                            jobs=jobs, max_k=3)
+        add_row("warm store (adaptive)", warm)
+        full = run_campaign(designs=E8_DESIGNS, cache_dir=cache_dir,
+                            jobs=jobs, max_k=3, adaptive=False)
+        add_row("warm store (full portfolio)", full)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -373,6 +419,7 @@ ALL_EXPERIMENTS = {
     "E5": run_e5,
     "E6": run_e6,
     "E7": run_e7,
+    "E8": run_e8,
     "A1": run_a1,
     "A2": run_a2,
 }

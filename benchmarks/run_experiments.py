@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Regenerate every experiment table and emit a markdown report.
 
-Usage: python benchmarks/run_experiments.py [EXPERIMENT_ID ...]
+Usage: python benchmarks/run_experiments.py [--json PATH] [EXPERIMENT_ID ...]
 
 Writes the rendered tables to stdout (text) and to
-``benchmarks/results.md`` (markdown) for inclusion in EXPERIMENTS.md.
+``benchmarks/results.md`` (markdown) for inclusion in EXPERIMENTS.md;
+``--json PATH`` additionally dumps every table's rows as JSON for
+dashboards and regression tracking.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
@@ -19,8 +22,18 @@ from _experiments import ALL_EXPERIMENTS  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
+    json_path = None
+    if "--json" in argv:
+        flag = argv.index("--json")
+        try:
+            json_path = Path(argv[flag + 1])
+        except IndexError:
+            print("--json needs a path argument")
+            return 1
+        argv = argv[:flag] + argv[flag + 2:]
     wanted = argv or list(ALL_EXPERIMENTS)
     sections = []
+    dumps = {}
     for exp_id in wanted:
         driver = ALL_EXPERIMENTS.get(exp_id.upper())
         if driver is None:
@@ -34,10 +47,16 @@ def main(argv: list[str]) -> int:
         print(f"({exp_id} regenerated in {elapsed:.1f}s)\n")
         sections.append(table.to_markdown() +
                         f"\n*(regenerated in {elapsed:.1f}s)*\n")
+        dumps[exp_id.upper()] = {"title": table.title,
+                                 "seconds": round(elapsed, 3),
+                                 "rows": table.to_rows()}
     out_path = Path(__file__).parent / "results.md"
     out_path.write_text("# Measured experiment tables\n\n" +
                         "\n".join(sections))
     print(f"markdown written to {out_path}")
+    if json_path is not None:
+        json_path.write_text(json.dumps(dumps, indent=2) + "\n")
+        print(f"json written to {json_path}")
     return 0
 
 

@@ -1,0 +1,37 @@
+"""The campaign subsystem: regression-scale verification over many designs.
+
+Layering (registry -> scheduler -> portfolio -> two-tier cache -> report):
+
+* :class:`~repro.campaign.store.ProofStore` — persistent SQLite proof
+  store; plugs into :class:`~repro.mc.cache.ResultCache` as its disk
+  tier and accumulates the outcome history adaptive selection mines.
+* :class:`~repro.campaign.scheduler.CampaignScheduler` — flattens many
+  designs into one job pool and drives the existing
+  :class:`~repro.mc.portfolio.PortfolioScheduler` under a global job
+  limit.
+* :class:`~repro.campaign.adaptive.AdaptiveSelector` — per-family
+  strategy ordering/pruning from store statistics, with a
+  full-portfolio fallback that keeps verdicts identical.
+* :class:`~repro.campaign.report.CampaignReport` — JSON + text summary
+  (verdict counts, cache hit tiers, adaptive-vs-full job accounting).
+"""
+
+from repro.campaign.adaptive import (AdaptiveSelector, StrategyChoice,
+                                     base_strategy_name)
+from repro.campaign.report import CampaignReport, CampaignRow
+from repro.campaign.scheduler import (CampaignJob, CampaignScheduler,
+                                      inline_spec)
+from repro.campaign.store import ProofStore, StrategyStats
+
+__all__ = [
+    "AdaptiveSelector",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignRow",
+    "CampaignScheduler",
+    "ProofStore",
+    "StrategyChoice",
+    "StrategyStats",
+    "base_strategy_name",
+    "inline_spec",
+]

@@ -1,0 +1,160 @@
+"""Campaign reporting: one JSON + text summary per campaign run.
+
+The report is the campaign's contract with CI and with the benchmarks:
+verdict counts, cache hit *tiers* (memory LRU vs persistent disk store
+vs solver), and the adaptive-vs-full-portfolio job accounting that shows
+what history mining saved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.mc.cache import CacheStats
+from repro.report import Table
+
+
+@dataclass
+class CampaignRow:
+    """One (design, property) outcome inside a campaign."""
+
+    design: str
+    family: str
+    property_name: str
+    status: str                  # "proven" | "violated" | ...
+    expect: str                  # the design's ground-truth verdict
+    strategy: str                # spec that produced the result
+    wall_seconds: float
+    k: int
+    from_cache: bool
+    adaptive_fallback: bool = False   # re-raced with the full portfolio
+
+    @property
+    def mismatch(self) -> bool:
+        """A VIOLATED verdict where proof was expected, or vice versa."""
+        return (self.status == "violated") != (self.expect == "violated")
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced, renderable as text or JSON."""
+
+    designs: list[str]
+    rows: list[CampaignRow]
+    wall_seconds: float
+    jobs: int
+    adaptive: bool
+    dispatched_jobs: int         # strategy slots actually scheduled
+    full_portfolio_jobs: int     # slots a non-adaptive run would schedule
+    fallback_reruns: int         # pruned races re-run with full portfolio
+    cache: CacheStats = field(default_factory=CacheStats)
+    store_results: int = 0       # persistent store size after the run
+
+    # ------------------------------------------------------------------
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.rows if r.status == status)
+
+    @property
+    def proved(self) -> int:
+        return self._count("proven")
+
+    @property
+    def falsified(self) -> int:
+        return self._count("violated")
+
+    @property
+    def unknown(self) -> int:
+        return len(self.rows) - self.proved - self.falsified
+
+    @property
+    def mismatches(self) -> int:
+        return sum(1 for r in self.rows if r.mismatch)
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Share of all cache lookups answered by the persistent tier."""
+        lookups = self.cache.hits + self.cache.misses
+        return self.cache.disk_hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "designs": list(self.designs),
+            "properties": len(self.rows),
+            "proved": self.proved,
+            "falsified": self.falsified,
+            "unknown": self.unknown,
+            "mismatches": self.mismatches,
+            "wall_seconds": self.wall_seconds,
+            "jobs": self.jobs,
+            "adaptive": self.adaptive,
+            "dispatched_jobs": self.dispatched_jobs,
+            "full_portfolio_jobs": self.full_portfolio_jobs,
+            "fallback_reruns": self.fallback_reruns,
+            "store_results": self.store_results,
+            "cache": {
+                "hits": self.cache.hits,
+                "memory_hits": self.cache.memory_hits,
+                "disk_hits": self.cache.disk_hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+                "disk_hit_rate": self.disk_hit_rate,
+            },
+            "results": [
+                {
+                    "design": r.design,
+                    "family": r.family,
+                    "property": r.property_name,
+                    "status": r.status,
+                    "expect": r.expect,
+                    "mismatch": r.mismatch,
+                    "strategy": r.strategy,
+                    "wall_seconds": r.wall_seconds,
+                    "k": r.k,
+                    "from_cache": r.from_cache,
+                    "adaptive_fallback": r.adaptive_fallback,
+                }
+                for r in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def table(self) -> Table:
+        table = Table(["design", "property", "status", "expect",
+                       "strategy", "wall (s)", "origin"],
+                      title=f"campaign over {len(self.designs)} designs")
+        for r in self.rows:
+            origin = "cache" if r.from_cache else "solver"
+            if r.adaptive_fallback:
+                origin += "+fallback"
+            table.add_row(r.design, r.property_name, r.status, r.expect,
+                          r.strategy, r.wall_seconds, origin)
+        return table
+
+    def summary_lines(self) -> list[str]:
+        mode = "adaptive" if self.adaptive else "full portfolio"
+        lines = [
+            f"campaign: {len(self.rows)} properties over "
+            f"{len(self.designs)} designs in {self.wall_seconds:.3f}s "
+            f"(jobs={self.jobs}, {mode})",
+            f"  verdicts: {self.proved} proven, {self.falsified} "
+            f"falsified, {self.unknown} unknown, "
+            f"{self.mismatches} expectation mismatches",
+            f"  jobs: {self.dispatched_jobs} dispatched vs "
+            f"{self.full_portfolio_jobs} full-portfolio "
+            f"({self.fallback_reruns} fallback reruns)",
+            "  " + self.cache.one_line() +
+            f", {self.store_results} results on disk",
+        ]
+        return lines
+
+    def to_text(self) -> str:
+        return self.table().to_text() + "\n" + \
+            "\n".join(self.summary_lines())

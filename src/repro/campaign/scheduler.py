@@ -1,0 +1,223 @@
+"""Cross-design campaign scheduling.
+
+A *campaign* verifies many designs in one run.  The scheduler flattens
+the selected designs into one ``(design, property, strategy-race)`` job
+pool, orders it longest-expected-first (history medians from the proof
+store, structural size as the cold fallback), and feeds the whole pool
+through one :class:`~repro.mc.portfolio.PortfolioScheduler` so the
+global ``jobs`` limit governs every design at once — a short design's
+properties fill worker slots while a long design's proofs grind.
+
+Each job's race comes from :class:`~repro.campaign.adaptive
+.AdaptiveSelector` (per-family ordering/pruning mined from the store);
+any pruned race that ends inconclusive is re-raced with the full
+portfolio, so adaptive campaigns report the same verdicts as full ones.
+Every final outcome is appended to the store's history, feeding the next
+campaign's selector.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.campaign.adaptive import (AdaptiveSelector, StrategyChoice,
+                                     base_strategy_name)
+from repro.campaign.report import CampaignReport, CampaignRow
+from repro.campaign.store import ProofStore
+from repro.designs.base import Design, PropertySpec
+from repro.mc.cache import ResultCache
+from repro.mc.engine import EngineConfig, ProofEngine
+from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
+                                PortfolioScheduler, VerifyTask,
+                                depth_options)
+from repro.mc.property import SafetyProperty
+from repro.mc.strategy import resolve_strategy
+from repro.sva.compile import MonitorContext
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
+
+
+def inline_spec(spec: str, options: Mapping) -> str:
+    """Bake option overrides into a spec string (spec-bound options win).
+
+    ``inline_spec("bmc", {"bound": 6})`` -> ``"bmc(bound=6)"``; an
+    option the spec already binds (written inline, or baked into its
+    registry name like ``k_induction_sp``) keeps its value — the same
+    precedence :func:`~repro.mc.portfolio.depth_options` applies.  The
+    spec is parsed and validated by ``resolve_strategy`` itself, so a
+    malformed spec raises the canonical ``StrategyError`` instead of
+    silently dropping arguments.  Campaign jobs carry per-property
+    depths this way, and because cache keying canonicalizes options,
+    the keys they produce are exactly the ones a single-design run of
+    the same query produces.
+    """
+    _strategy, bound_options = resolve_strategy(spec)
+    name = _SPEC_RE.match(spec).group(1)
+    merged = {**options, **bound_options}
+    if not merged:
+        return name
+    rendered = ", ".join(f"{k}={merged[k]!r}" for k in sorted(merged))
+    return f"{name}({rendered})"
+
+
+@dataclass
+class CampaignJob:
+    """One (design, property) unit of the flattened cross-design pool."""
+
+    design: Design
+    spec: PropertySpec
+    prop: SafetyProperty
+    task: VerifyTask
+    full_specs: tuple[str, ...]     # the un-pruned race for this job
+    choice: StrategyChoice
+    expected_wall: float            # scheduling priority (bigger = first)
+    order: int = 0                  # registry position, for stable reports
+
+
+class CampaignScheduler:
+    """Runs one verification campaign over many designs (see module doc)."""
+
+    def __init__(self, designs: Sequence[Design], store: ProofStore,
+                 jobs: int = 1,
+                 strategies: Sequence[str] | None = None,
+                 adaptive: bool = True,
+                 min_samples: int = 3,
+                 max_k: int | None = None,
+                 bmc_bound: int | None = None,
+                 cache: ResultCache | None = None):
+        if not designs:
+            raise ValueError("a campaign needs at least one design")
+        self.designs = list(designs)
+        self.store = store
+        self.jobs = jobs
+        self.base = tuple(strategies or DEFAULT_PORTFOLIO)
+        for spec in self.base:
+            resolve_strategy(spec)  # fail fast on bad specs
+        self.adaptive = adaptive
+        self.min_samples = min_samples
+        self.max_k = max_k
+        self.bmc_bound = bmc_bound if bmc_bound is not None \
+            else EngineConfig().bmc_bound
+        self.cache = cache if cache is not None \
+            else ResultCache(backing=store)
+
+    # ------------------------------------------------------------------
+
+    def build_jobs(self) -> list[CampaignJob]:
+        """The flattened job pool, ordered longest-expected-first."""
+        selector = AdaptiveSelector(self.store, self.min_samples) \
+            if self.adaptive else None
+        pool: list[CampaignJob] = []
+        for design in self.designs:
+            ctx = MonitorContext(design.system())
+            compiled = [(spec, ctx.add(spec.sva, name=spec.name))
+                        for spec in design.properties]
+            # Scope through the engine so campaign jobs fingerprint —
+            # and therefore cache-key — exactly like single-design runs.
+            engine = ProofEngine(ctx.system)
+            for spec, prop in compiled:
+                scoped = engine.scoped_system(prop)
+                full = self._full_specs(spec)
+                choice = selector.choose(
+                    design.family, full, design=design.name,
+                    property_name=prop.name) \
+                    if selector is not None else StrategyChoice(full)
+                task = VerifyTask(scoped, prop, tag=design.name,
+                                  strategies=choice.specs)
+                pool.append(CampaignJob(
+                    design=design, spec=spec, prop=prop, task=task,
+                    full_specs=full, choice=choice,
+                    expected_wall=self._expected_wall(design, spec,
+                                                      scoped),
+                    order=len(pool)))
+        # Longest first: with history, seconds; cold jobs use a large
+        # structural proxy, which also (deliberately) schedules the
+        # unknown ahead of the known.
+        pool.sort(key=lambda j: -j.expected_wall)
+        return pool
+
+    def _full_specs(self, spec: PropertySpec) -> tuple[str, ...]:
+        depth = self.max_k if self.max_k is not None else spec.max_k
+        overrides = depth_options(self.base, max_k=depth,
+                                  bound=self.bmc_bound)
+        return tuple(inline_spec(s, overrides.get(s, {}))
+                     for s in self.base)
+
+    def _expected_wall(self, design: Design, spec: PropertySpec,
+                       scoped) -> float:
+        history = self.store.expected_wall(design.name, spec.name)
+        if history is not None:
+            return history
+        depth = self.max_k if self.max_k is not None else spec.max_k
+        return float((len(scoped.states) + len(scoped.inputs)) * depth)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        start = time.perf_counter()
+        stats_before = replace(self.cache.stats)
+        pool = self.build_jobs()
+        scheduler = PortfolioScheduler(jobs=self.jobs,
+                                       strategies=self.base,
+                                       cache=self.cache)
+        by_identity = {(j.design.name, j.prop.name): j for j in pool}
+        outcomes: dict[tuple[str, str], PortfolioOutcome] = {}
+        fallback: set[tuple[str, str]] = set()
+        dispatched = sum(len(j.choice.specs) for j in pool)
+        full_total = sum(len(j.full_specs) for j in pool)
+
+        for outcome in scheduler.stream([j.task for j in pool]):
+            outcomes[(outcome.tag, outcome.property_name)] = outcome
+
+        # Safety net: a pruned race that stayed inconclusive gets the
+        # full portfolio (already-raced specs answer from cache, so the
+        # extra dispatch is exactly the pruned remainder).
+        rerun = [j for j in pool
+                 if j.choice.was_pruned and
+                 not outcomes[(j.design.name,
+                               j.prop.name)].status.conclusive]
+        if rerun:
+            dispatched += sum(len(j.choice.pruned) for j in rerun)
+            tasks = [replace(j.task, strategies=j.full_specs)
+                     for j in rerun]
+            for outcome in scheduler.stream(tasks):
+                identity = (outcome.tag, outcome.property_name)
+                outcomes[identity] = outcome
+                fallback.add(identity)
+
+        rows = []
+        for job in sorted(pool, key=lambda j: j.order):
+            identity = (job.design.name, job.prop.name)
+            outcome = outcomes[identity]
+            self.store.record(
+                design=job.design.name, family=job.design.family,
+                property_name=job.prop.name,
+                strategy=base_strategy_name(outcome.strategy),
+                status=outcome.result.status.value,
+                wall_seconds=outcome.result.stats.wall_seconds,
+                from_cache=outcome.from_cache)
+            rows.append(CampaignRow(
+                design=job.design.name, family=job.design.family,
+                property_name=job.prop.name,
+                status=outcome.result.status.value,
+                expect=job.spec.expect,
+                strategy=outcome.strategy,
+                wall_seconds=outcome.result.stats.wall_seconds,
+                k=outcome.result.k,
+                from_cache=outcome.from_cache,
+                adaptive_fallback=identity in fallback))
+
+        return CampaignReport(
+            designs=[d.name for d in self.designs],
+            rows=rows,
+            wall_seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+            adaptive=self.adaptive,
+            dispatched_jobs=dispatched,
+            full_portfolio_jobs=full_total,
+            fallback_reruns=len(rerun),
+            cache=self.cache.stats.since(stats_before),
+            store_results=len(self.store))

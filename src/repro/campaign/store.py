@@ -1,0 +1,351 @@
+"""Persistent on-disk proof store: the campaign subsystem's memory.
+
+One SQLite file holds two tables:
+
+* ``results`` — every :class:`~repro.mc.result.CheckResult` ever
+  produced, keyed by the same content fingerprints
+  :func:`~repro.mc.cache.query_key` computes, with the full record
+  (``ProofStats``, counterexample traces) pickled alongside queryable
+  columns.  :class:`ProofStore` implements the
+  :class:`~repro.mc.cache.CacheBacking` protocol, so plugging it into a
+  :class:`~repro.mc.cache.ResultCache` yields a two-tier cache — memory
+  LRU in front, this store behind — and unchanged
+  (system, property, lemma-set, strategy) queries are never re-proven
+  across process restarts.
+
+* ``history`` — one row per reported verification outcome with design /
+  family / property / strategy identity and wall time, the raw material
+  :class:`~repro.campaign.adaptive.AdaptiveSelector` mines for
+  per-family strategy statistics.
+
+Robustness contract: the store degrades, it never raises into a proof.
+A corrupt database file is moved aside and a cold store opened in its
+place; if even that fails the store runs in-memory for the process
+lifetime.  Unreadable pickled payloads are dropped and reported as
+misses.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import statistics
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.mc.result import CheckResult
+
+#: Bump on any incompatible change to the tables or the pickle payload
+#: layout; mismatched stores are wiped and rebuilt (they are caches).
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key          TEXT PRIMARY KEY,
+    property     TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    k            INTEGER NOT NULL,
+    wall_seconds REAL NOT NULL,
+    created      REAL NOT NULL,
+    payload      BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS history (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    design       TEXT NOT NULL,
+    family       TEXT NOT NULL,
+    property     TEXT NOT NULL,
+    strategy     TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    wall_seconds REAL NOT NULL,
+    from_cache   INTEGER NOT NULL,
+    created      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS history_family_strategy
+    ON history (family, strategy);
+CREATE INDEX IF NOT EXISTS history_design_property
+    ON history (design, property);
+"""
+
+
+@dataclass
+class StrategyStats:
+    """Mined per-(family, strategy) aggregate (see ``strategy_stats``)."""
+
+    family: str
+    strategy: str
+    attempts: int = 0          # outcomes this strategy reported
+    wins: int = 0              # of which conclusive (PROVEN/VIOLATED)
+    median_wall: float = 0.0   # over solver runs only (cached rows excluded)
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.attempts if self.attempts else 0.0
+
+
+class ProofStore:
+    """SQLite-backed persistent proof store (see module docstring).
+
+    Thread-safe behind one lock; safe to share between the scheduler
+    thread and cache readers.  Multi-process sharing works at the file
+    level (WAL journaling when available) — each process keeps its own
+    connection.
+    """
+
+    FILENAME = "proofs.sqlite"
+
+    def __init__(self, path: str | Path | None):
+        """Open (creating or recovering as needed) the store at ``path``.
+
+        ``None`` opens a process-lifetime in-memory store — useful for
+        campaigns run without ``--cache-dir`` and for tests.
+        """
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._conn = self._connect()
+
+    @classmethod
+    def open(cls, cache_dir: str | Path) -> "ProofStore":
+        """The store inside ``cache_dir`` (created if missing)."""
+        directory = Path(cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / cls.FILENAME)
+
+    @classmethod
+    def in_memory(cls) -> "ProofStore":
+        return cls(None)
+
+    # ------------------------------------------------------------------
+    # Connection management / recovery
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self.path is None:
+            conn = sqlite3.connect(":memory:", check_same_thread=False)
+            self._init_schema(conn)
+            return conn
+        try:
+            return self._open_file()
+        except sqlite3.Error:
+            self._quarantine_corrupt_file()
+            try:
+                return self._open_file()
+            except sqlite3.Error:
+                # Unwritable/broken filesystem: degrade to in-memory so
+                # the campaign still runs (just without persistence).
+                self.path = None
+                conn = sqlite3.connect(":memory:",
+                                       check_same_thread=False)
+                self._init_schema(conn)
+                return conn
+
+    def _open_file(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            pass  # journaling is an optimization, not a requirement
+        self._init_schema(conn)
+        return conn
+
+    def _quarantine_corrupt_file(self) -> None:
+        try:
+            self.path.replace(self.path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _init_schema(conn: sqlite3.Connection) -> None:
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version not in (0, SCHEMA_VERSION):
+            # Older/newer layout: this is a cache, so wipe and rebuild.
+            conn.executescript(
+                "DROP TABLE IF EXISTS results;"
+                "DROP TABLE IF EXISTS history;")
+        conn.executescript(_SCHEMA)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        conn.commit()
+        # Probe both tables now so a valid-but-foreign SQLite file (a
+        # table named `results` with other columns) fails here, inside
+        # the recovery path, rather than on first load/store.
+        conn.execute("SELECT key, payload FROM results LIMIT 1")
+        conn.execute("SELECT family, strategy, status, wall_seconds, "
+                     "from_cache FROM history LIMIT 1")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # CacheBacking protocol: the disk tier behind ResultCache
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> CheckResult | None:
+        with self._lock:
+            try:
+                row = self._conn.execute(
+                    "SELECT payload FROM results WHERE key = ?",
+                    (key,)).fetchone()
+            except sqlite3.Error:
+                return None
+        if row is None:
+            return None
+        try:
+            result = pickle.loads(row[0])
+        except Exception:
+            self._delete(key)  # unreadable payload: drop, report a miss
+            return None
+        return result if isinstance(result, CheckResult) else None
+
+    def store(self, key: str, result: CheckResult) -> None:
+        try:
+            payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # an unpicklable result stays memory-tier only
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, property, status, k, wall_seconds, created, "
+                    " payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (key, result.property_name, result.status.value,
+                     result.k, result.stats.wall_seconds, time.time(),
+                     payload))
+                self._conn.commit()
+            except sqlite3.Error:
+                pass
+
+    def _delete(self, key: str) -> None:
+        with self._lock:
+            try:
+                self._conn.execute("DELETE FROM results WHERE key = ?",
+                                   (key,))
+                self._conn.commit()
+            except sqlite3.Error:
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            try:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()[0]
+            except sqlite3.Error:
+                return 0
+
+    # ------------------------------------------------------------------
+    # Outcome history: what adaptive selection mines
+    # ------------------------------------------------------------------
+
+    def record(self, *, design: str, family: str, property_name: str,
+               strategy: str, status: str, wall_seconds: float,
+               from_cache: bool) -> None:
+        """Append one reported verification outcome to the history."""
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT INTO history (design, family, property, "
+                    "strategy, status, wall_seconds, from_cache, created) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (design, family, property_name, strategy, status,
+                     wall_seconds, int(from_cache), time.time()))
+                self._conn.commit()
+            except sqlite3.Error:
+                pass
+
+    def history_size(self) -> int:
+        with self._lock:
+            try:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM history").fetchone()[0]
+            except sqlite3.Error:
+                return 0
+
+    def strategy_stats(self) -> dict[tuple[str, str], StrategyStats]:
+        """Per-(family, strategy) win rates and median solver wall time.
+
+        Cached outcomes count toward attempts/wins (they are evidence of
+        which strategy settles a family's queries) but their near-zero
+        wall times are excluded from the medians.
+        """
+        with self._lock:
+            try:
+                rows = self._conn.execute(
+                    "SELECT family, strategy, status, wall_seconds, "
+                    "from_cache FROM history").fetchall()
+            except sqlite3.Error:
+                return {}
+        stats: dict[tuple[str, str], StrategyStats] = {}
+        walls: dict[tuple[str, str], list[float]] = {}
+        for family, strategy, status, wall, from_cache in rows:
+            entry = stats.setdefault(
+                (family, strategy), StrategyStats(family, strategy))
+            entry.attempts += 1
+            if status in ("proven", "violated"):
+                entry.wins += 1
+            if not from_cache:
+                walls.setdefault((family, strategy), []).append(wall)
+        for key, samples in walls.items():
+            stats[key].median_wall = statistics.median(samples)
+        return stats
+
+    def property_stats(self
+                       ) -> dict[tuple[str, str], dict[str, "StrategyStats"]]:
+        """Per-(design, property) view of the same history: strategy ->
+        stats.  The adaptive selector's most precise tier — on a warm
+        regression rerun it pins each property to the strategy that
+        settled it before."""
+        with self._lock:
+            try:
+                rows = self._conn.execute(
+                    "SELECT design, property, strategy, status, "
+                    "wall_seconds, from_cache FROM history").fetchall()
+            except sqlite3.Error:
+                return {}
+        stats: dict[tuple[str, str], dict[str, StrategyStats]] = {}
+        walls: dict[tuple[str, str, str], list[float]] = {}
+        for design, prop, strategy, status, wall, from_cache in rows:
+            per_prop = stats.setdefault((design, prop), {})
+            entry = per_prop.setdefault(
+                strategy, StrategyStats("", strategy))
+            entry.attempts += 1
+            if status in ("proven", "violated"):
+                entry.wins += 1
+            if not from_cache:
+                walls.setdefault((design, prop, strategy),
+                                 []).append(wall)
+        for (design, prop, strategy), samples in walls.items():
+            stats[(design, prop)][strategy].median_wall = \
+                statistics.median(samples)
+        return stats
+
+    def expected_wall(self, design: str,
+                      property_name: str) -> float | None:
+        """Median solver wall time seen for one (design, property).
+
+        ``None`` when there is no non-cached history — the scheduler
+        falls back to a structural size heuristic.
+        """
+        with self._lock:
+            try:
+                rows = self._conn.execute(
+                    "SELECT wall_seconds FROM history WHERE design = ? "
+                    "AND property = ? AND from_cache = 0",
+                    (design, property_name)).fetchall()
+            except sqlite3.Error:
+                return None
+        if not rows:
+            return None
+        return statistics.median(wall for (wall,) in rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            try:
+                self._conn.execute("DELETE FROM results")
+                self._conn.execute("DELETE FROM history")
+                self._conn.commit()
+            except sqlite3.Error:
+                pass

@@ -5,6 +5,10 @@ Subcommands::
     repro-verify list                         # designs and properties
     repro-verify verify DESIGN [PROP ...]     # batch portfolio verification
                         [--jobs N] [--strategy SPEC[+SPEC...]]
+                        [--cache-dir DIR]
+    repro-verify campaign [DESIGN ...]        # cross-design campaign over
+                        [--jobs N]            # the persistent proof store
+                        [--cache-dir DIR] [--no-adaptive] [--json PATH]
     repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
     repro-verify bmc    DESIGN PROP [--bound]
     repro-verify repair DESIGN PROP [--model] # Fig. 2 flow
@@ -23,11 +27,21 @@ import sys
 
 from repro.designs import all_designs, get_design
 from repro.errors import ReproError
-from repro.flow import VerificationSession
+from repro.flow import VerificationSession, run_campaign
 from repro.genai import get_persona, list_personas
 from repro.mc import Status, get_strategy, resolve_strategy, strategy_names
 from repro.report import Table
 from repro.trace.wave import render_for_prompt
+
+
+def _split_strategies(arg: str) -> list[str] | None:
+    """Parse a ``--strategy`` value ('portfolio' means the default race)."""
+    if arg == "portfolio":
+        return None
+    strategies = [s.strip() for s in arg.split("+")]
+    for spec in strategies:
+        resolve_strategy(spec)  # report bad specs before running
+    return strategies
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -67,12 +81,8 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     design = get_design(args.design)
-    session = VerificationSession(design)
-    strategies = None
-    if args.strategy != "portfolio":
-        strategies = [s.strip() for s in args.strategy.split("+")]
-        for spec in strategies:
-            resolve_strategy(spec)  # report bad specs before running
+    session = VerificationSession(design, cache_dir=args.cache_dir)
+    strategies = _split_strategies(args.strategy)
     result = session.verify_all(
         properties=args.properties or None, jobs=args.jobs,
         strategies=strategies, max_k=args.max_k, bmc_bound=args.bound)
@@ -107,9 +117,31 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
     return 0 if result.status is not Status.VIOLATED else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    report = run_campaign(
+        designs=args.designs or None, cache_dir=args.cache_dir,
+        jobs=args.jobs, strategies=_split_strategies(args.strategy),
+        adaptive=not args.no_adaptive, min_samples=args.min_samples,
+        max_k=args.max_k, bmc_bound=args.bound)
+    print(report.to_text())
+    if args.json_path:
+        rendered = report.to_json()
+        if args.json_path == "-":
+            print(rendered)
+        else:
+            with open(args.json_path, "w") as handle:
+                handle.write(rendered + "\n")
+    for row in report.rows:
+        if row.mismatch:
+            print(f"  MISMATCH: {row.design}.{row.property_name} "
+                  f"expected {row.expect}, got {row.status}")
+    return 0 if report.mismatches == 0 else 1
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     session = VerificationSession(get_design(args.design),
-                                  model=args.model, seed=args.seed)
+                                  model=args.model, seed=args.seed,
+                                  cache_dir=args.cache_dir)
     result = session.repair(args.property)
     print("\n".join(result.summary_lines()))
     for outcome in result.outcomes:
@@ -119,7 +151,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 def _cmd_lemma(args: argparse.Namespace) -> int:
     session = VerificationSession(get_design(args.design),
-                                  model=args.model, seed=args.seed)
+                                  model=args.model, seed=args.seed,
+                                  cache_dir=args.cache_dir)
     result = session.lemma_flow()
     print("\n".join(result.summary_lines()))
     for outcome in result.outcomes:
@@ -137,6 +170,12 @@ def _cmd_wave(args: argparse.Namespace) -> int:
         return 0
     print("no induction-step counterexample to show")
     return 1
+
+
+def _add_cache_dir(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-dir", default=None,
+                   help="directory of the persistent proof store; runs "
+                        "read and write the same store campaigns use")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,7 +207,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-k", type=int, default=None)
     p.add_argument("--bound", type=int, default=None,
                    help="BMC bound for the default portfolio refuter")
+    _add_cache_dir(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "campaign",
+        help="cross-design campaign with persistent proof store and "
+             "adaptive strategy selection")
+    p.add_argument("designs", nargs="*",
+                   help="design names (default: every built-in design)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="global worker-process limit across all designs")
+    p.add_argument("--strategy", default="portfolio",
+                   help="'portfolio' (default) or '+'-joined specs")
+    p.add_argument("--no-adaptive", action="store_true",
+                   help="always race the full portfolio (no history "
+                        "mining)")
+    p.add_argument("--min-samples", type=int, default=3,
+                   help="settled outcomes a family needs before "
+                        "adaptive selection trusts its history")
+    p.add_argument("--max-k", type=int, default=None,
+                   help="induction depth override (default: per "
+                        "property)")
+    p.add_argument("--bound", type=int, default=None,
+                   help="BMC bound for portfolio refuters")
+    p.add_argument("--json", dest="json_path", default=None,
+                   help="write the JSON report here ('-' for stdout)")
+    _add_cache_dir(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("prove", help="k-induction without GenAI")
     p.add_argument("design")
@@ -187,12 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("property")
     p.add_argument("--model", default="gpt-4o")
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_dir(p)
     p.set_defaults(func=_cmd_repair)
 
     p = sub.add_parser("lemma", help="Fig. 1 lemma-generation flow")
     p.add_argument("design")
     p.add_argument("--model", default="gpt-4o")
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_dir(p)
     p.set_defaults(func=_cmd_lemma)
 
     p = sub.add_parser("wave", help="show an induction-step CEX waveform")

@@ -10,7 +10,9 @@ tests to validate flow output quality.
 """
 
 from repro.designs.base import Design, PropertySpec
-from repro.designs.registry import all_designs, design_names, get_design
+from repro.designs.registry import (all_designs, design_names,
+                                    designs_by_family, get_design,
+                                    select_designs)
 
 __all__ = ["Design", "PropertySpec", "all_designs", "design_names",
-           "get_design"]
+           "designs_by_family", "get_design", "select_designs"]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import DesignError
 from repro.designs.base import Design
 from repro.designs.arbiter import rr_arbiter, traffic_onehot
@@ -51,3 +53,27 @@ def all_designs() -> list[Design]:
 
 def design_names() -> list[str]:
     return list(_ALL)
+
+
+def select_designs(names: Iterable[str] | None = None) -> list[Design]:
+    """Resolve a campaign's design subset (default: the whole registry).
+
+    Unknown names fail up front with the registry's standard error, and
+    duplicates are collapsed (first occurrence wins) so a campaign never
+    double-schedules a design.
+    """
+    if not names:
+        return all_designs()
+    selected: dict[str, Design] = {}
+    for name in names:
+        if name not in selected:
+            selected[name] = get_design(name)
+    return list(selected.values())
+
+
+def designs_by_family() -> dict[str, list[Design]]:
+    """Registry grouped by design family (adaptive selection's unit)."""
+    grouped: dict[str, list[Design]] = {}
+    for design in _ALL.values():
+        grouped.setdefault(design.family, []).append(design)
+    return grouped

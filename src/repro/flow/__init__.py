@@ -18,7 +18,8 @@ from repro.flow.stats import AssertionOutcome, FlowStats
 from repro.flow.houdini import HoudiniResult, houdini_prove
 from repro.flow.lemma_flow import LemmaFlowResult, LemmaGenerationFlow
 from repro.flow.repair_flow import InductionRepairFlow, RepairFlowResult
-from repro.flow.session import BatchVerifyResult, VerificationSession
+from repro.flow.session import (BatchVerifyResult, VerificationSession,
+                                run_campaign)
 
 __all__ = [
     "AssertionOutcome",
@@ -31,4 +32,5 @@ __all__ = [
     "RepairFlowResult",
     "VerificationSession",
     "houdini_prove",
+    "run_campaign",
 ]

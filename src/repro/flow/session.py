@@ -15,14 +15,24 @@ A session owns one :class:`~repro.mc.cache.ResultCache` shared by every
 check it triggers — direct proofs, portfolio batches, and both GenAI
 flows — so any repeated query (Houdini rounds, repair retries, repeated
 CLI invocations on one session) is answered from cache.
+
+Handing the session a campaign :class:`~repro.campaign.store.ProofStore`
+makes that cache two-tier: single-design runs then read and write the
+same persistent store campaigns use, and their outcomes feed the store's
+history.  :func:`run_campaign` is the cross-design entry point the CLI's
+``campaign`` command drives.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
+from repro.campaign import (CampaignReport, CampaignScheduler, ProofStore,
+                            base_strategy_name, inline_spec)
 from repro.designs.base import Design
+from repro.designs.registry import select_designs
 from repro.flow.lemma_flow import LemmaFlowResult, LemmaGenerationFlow
 from repro.flow.repair_flow import InductionRepairFlow, RepairFlowResult
 from repro.genai.client import LLMClient, SimulatedLLM
@@ -68,7 +78,13 @@ class BatchVerifyResult:
 
 
 class VerificationSession:
-    """One design + one model + shared engine configuration + one cache."""
+    """One design + one model + shared engine configuration + one cache.
+
+    ``store`` (or ``cache_dir``, which opens one) plugs the campaign
+    subsystem's persistent proof store in as the cache's disk tier, so
+    a single-design CLI run warm-starts from — and contributes to — the
+    same on-disk results campaigns use.
+    """
 
     def __init__(self, design: Design,
                  model: str = "gpt-4o",
@@ -76,12 +92,18 @@ class VerificationSession:
                  seed: int = 0,
                  engine_config: EngineConfig | None = None,
                  cache: ResultCache | None = None,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 store: ProofStore | None = None,
+                 cache_dir: str | Path | None = None):
         self.design = design
         self.client: LLMClient = client if client is not None \
             else SimulatedLLM(model, seed=seed)
         self.engine_config = engine_config or EngineConfig()
-        self.cache = cache if cache is not None else ResultCache()
+        if store is None and cache_dir is not None:
+            store = ProofStore.open(cache_dir)
+        self.store = store
+        self.cache = cache if cache is not None \
+            else ResultCache(backing=store)
         self.jobs = jobs
 
     # ------------------------------------------------------------------
@@ -129,22 +151,43 @@ class VerificationSession:
         engine = self._engine(ctx)
         jobs = jobs if jobs is not None else self.jobs
         # Depth limits apply to default and explicit portfolios alike
-        # (inline spec options like "bmc(bound=6)" still win).
-        specs = [self.design.property_spec(n) for n in names]
-        depth = max_k if max_k is not None else \
-            max(s.max_k for s in specs)
-        strategy_options = depth_options(
-            strategies if strategies is not None else DEFAULT_PORTFOLIO,
-            max_k=depth,
-            bound=bmc_bound if bmc_bound is not None
-            else self.engine_config.bmc_bound,
-            simple_path=self.engine_config.simple_path)
+        # (inline spec options like "bmc(bound=6)" still win), and are
+        # baked in *per property* — each property races at its own
+        # spec.max_k, exactly as the campaign scheduler keys the same
+        # query, so single-design runs and campaigns share proof-store
+        # entries even on designs with heterogeneous depths.
+        base = tuple(strategies) if strategies is not None \
+            else DEFAULT_PORTFOLIO
+        bound = bmc_bound if bmc_bound is not None \
+            else self.engine_config.bmc_bound
+        per_prop: dict[str, tuple[str, ...]] = {}
+        for name in names:
+            depth = max_k if max_k is not None else \
+                self.design.property_spec(name).max_k
+            overrides = depth_options(
+                base, max_k=depth, bound=bound,
+                simple_path=self.engine_config.simple_path)
+            per_prop[name] = tuple(inline_spec(s, overrides.get(s, {}))
+                                   for s in base)
         stats_before = replace(self.cache.stats)
         start = time.perf_counter()
         outcomes = list(engine.check_portfolio(
             props, jobs=jobs, strategies=strategies,
-            strategy_options=strategy_options))
+            per_prop_strategies=per_prop))
         wall = time.perf_counter() - start
+        if self.store is not None:
+            # Single-design batches feed the same history campaigns
+            # mine, so every `verify --cache-dir` run sharpens the
+            # adaptive selector.
+            for outcome in outcomes:
+                self.store.record(
+                    design=self.design.name,
+                    family=self.design.family,
+                    property_name=outcome.property_name,
+                    strategy=base_strategy_name(outcome.strategy),
+                    status=outcome.result.status.value,
+                    wall_seconds=outcome.result.stats.wall_seconds,
+                    from_cache=outcome.from_cache)
         return BatchVerifyResult(
             design=self.design.name, outcomes=outcomes,
             wall_seconds=wall, jobs=jobs,
@@ -169,3 +212,31 @@ class VerificationSession:
                                    engine_config=self.engine_config,
                                    **flow_kwargs)
         return flow.run(self.design, property_name, max_k=max_k)
+
+
+def run_campaign(designs: list[str] | None = None,
+                 cache_dir: str | Path | None = None,
+                 store: ProofStore | None = None,
+                 jobs: int = 1,
+                 strategies: list[str] | None = None,
+                 adaptive: bool = True,
+                 min_samples: int = 3,
+                 max_k: int | None = None,
+                 bmc_bound: int | None = None) -> CampaignReport:
+    """Verify many designs in one cross-design campaign.
+
+    ``designs`` are registry names (default: the whole registry).  With
+    ``cache_dir`` (or an explicit ``store``) the campaign is incremental:
+    results persist in the on-disk proof store, repeated campaigns are
+    answered from it without re-proving, and its accumulated history
+    drives adaptive strategy selection.  Without either, an in-memory
+    store scopes all of that to this process.
+    """
+    if store is None:
+        store = ProofStore.open(cache_dir) if cache_dir is not None \
+            else ProofStore.in_memory()
+    scheduler = CampaignScheduler(
+        select_designs(designs), store, jobs=jobs,
+        strategies=strategies, adaptive=adaptive,
+        min_samples=min_samples, max_k=max_k, bmc_bound=bmc_bound)
+    return scheduler.run()

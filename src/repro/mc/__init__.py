@@ -6,7 +6,8 @@ from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, ProofStats, Status
 from repro.mc.bmc import bmc
 from repro.mc.kinduction import KInductionOptions, k_induction
-from repro.mc.cache import CacheStats, ResultCache, run_cached
+from repro.mc.cache import (CacheBacking, CacheStats, ResultCache,
+                            run_cached)
 from repro.mc.strategy import (CheckTask, Strategy, StrategyError,
                                get_strategy, register_strategy,
                                resolve_strategy, run_check_task,
@@ -16,6 +17,7 @@ from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
 from repro.mc.engine import EngineConfig, ProofEngine
 
 __all__ = [
+    "CacheBacking",
     "CacheStats",
     "CheckResult",
     "CheckTask",

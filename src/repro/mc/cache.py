@@ -23,7 +23,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import Mapping, Protocol, runtime_checkable
 
 from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
@@ -82,31 +82,66 @@ def query_key(system: TransitionSystem, prop: SafetyProperty,
     return h.hexdigest()
 
 
+@runtime_checkable
+class CacheBacking(Protocol):
+    """A persistent second tier behind :class:`ResultCache`.
+
+    ``load`` answers memory misses; ``put`` writes through every stored
+    result.  Implementations must tolerate concurrent callers and must
+    never raise on routine failures (a broken backing degrades the cache
+    to memory-only, it does not break proving) — the canonical
+    implementation is :class:`repro.campaign.store.ProofStore`.
+    """
+
+    def load(self, key: str) -> CheckResult | None: ...
+
+    def store(self, key: str, result: CheckResult) -> None: ...
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters (the benchmark's headline numbers)."""
+    """Hit/miss/store counters (the benchmark's headline numbers).
+
+    ``disk_hits`` is the subset of ``hits`` answered by the persistent
+    backing tier rather than the in-memory LRU; ``hits - disk_hits`` is
+    therefore the memory-tier hit count.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def memory_hits(self) -> int:
+        return self.hits - self.disk_hits
+
     def one_line(self) -> str:
+        disk = f" [{self.disk_hits} from disk]" if self.disk_hits else ""
         return (f"cache: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%}), {self.stores} stored, "
-                f"{self.evictions} evicted")
+                f"{self.evictions} evicted{disk}")
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
-        """The traffic between an ``earlier`` snapshot and this one."""
-        return CacheStats(hits=self.hits - earlier.hits,
-                          misses=self.misses - earlier.misses,
-                          stores=self.stores - earlier.stores,
-                          evictions=self.evictions - earlier.evictions)
+        """The traffic between an ``earlier`` snapshot and this one.
+
+        Counters are monotone (``clear()`` counts its drops as
+        evictions instead of resetting anything), but snapshots taken
+        around an externally reset stats object must still not report
+        negative traffic — differences clamp at zero.
+        """
+        return CacheStats(
+            hits=max(0, self.hits - earlier.hits),
+            misses=max(0, self.misses - earlier.misses),
+            stores=max(0, self.stores - earlier.stores),
+            evictions=max(0, self.evictions - earlier.evictions),
+            disk_hits=max(0, self.disk_hits - earlier.disk_hits))
 
 
 class ResultCache:
@@ -115,12 +150,21 @@ class ResultCache:
     Shared freely: between the strategies racing inside one portfolio
     batch, between Houdini rounds, between flow iterations, and across a
     whole :class:`~repro.flow.session.VerificationSession`.
+
+    With a ``backing`` (any :class:`CacheBacking`, typically the campaign
+    subsystem's SQLite :class:`~repro.campaign.store.ProofStore`) the
+    cache becomes two-tier: memory misses fall through to the backing,
+    backing hits are promoted into the LRU and counted as ``disk_hits``,
+    and every ``put`` writes through — so a fresh process warm-starts
+    from whatever earlier runs proved.
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096,
+                 backing: CacheBacking | None = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        self.backing = backing
         self.stats = CacheStats()
         self._entries: OrderedDict[str, CheckResult] = OrderedDict()
         self._lock = threading.Lock()
@@ -128,31 +172,61 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _insert(self, key: str, result: CheckResult) -> None:
+        if key not in self._entries and \
+                len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+
     def get(self, key: str) -> CheckResult | None:
         with self._lock:
             result = self._entries.get(key)
-            if result is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            # Shallow per-field copy: callers mutate `detail` (e.g.
-            # prove_or_refute appends a note) and must not see each
-            # other's annotations or share a stats object.
-            return replace(result, stats=replace(result.stats))
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                # Shallow per-field copy: callers mutate `detail` (e.g.
+                # prove_or_refute appends a note) and must not see each
+                # other's annotations or share a stats object.
+                return replace(result, stats=replace(result.stats))
+            if self.backing is not None:
+                try:
+                    loaded = self.backing.load(key)
+                except Exception:
+                    loaded = None
+                if loaded is not None:
+                    # Promote to the memory tier; not a `store` (nothing
+                    # new was proven) but evictions it causes are real.
+                    # The caller gets its own copy too: a backing may
+                    # return a retained object, and disk-tier hits must
+                    # obey the same no-aliasing contract as memory hits.
+                    self._insert(key, replace(loaded,
+                                              stats=replace(loaded.stats)))
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return replace(loaded, stats=replace(loaded.stats))
+            self.stats.misses += 1
+            return None
 
     def put(self, key: str, result: CheckResult) -> None:
         with self._lock:
-            if key not in self._entries and \
-                    len(self._entries) >= self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-            self._entries[key] = replace(result, stats=replace(result.stats))
-            self._entries.move_to_end(key)
+            self._insert(key, replace(result, stats=replace(result.stats)))
             self.stats.stores += 1
+            if self.backing is not None:
+                try:
+                    self.backing.store(key, result)
+                except Exception:
+                    pass  # a broken disk tier must never break proving
 
     def clear(self) -> None:
+        """Drop the memory tier (the backing, if any, is untouched).
+
+        Cleared entries count as evictions so the stats stay monotone
+        and a ``since()`` window spanning a ``clear()`` stays honest.
+        """
         with self._lock:
+            self.stats.evictions += len(self._entries)
             self._entries.clear()
 
 

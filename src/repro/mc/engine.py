@@ -81,7 +81,7 @@ class ProofEngine:
         entry point below funnels through here, so caching and
         cone-of-influence scoping behave identically everywhere.
         """
-        system = self._scoped_system(prop, extra_lemmas)
+        system = self.scoped_system(prop, extra_lemmas)
         lemmas = list(self.lemma_pairs()) if use_lemmas else []
         lemmas += list(extra_lemmas or [])
         return run_cached(strategy, system, prop, options,
@@ -135,9 +135,14 @@ class ProofEngine:
     # ------------------------------------------------------------------
 
     def _batch_tasks(self, props: Sequence[SafetyProperty],
-                     use_lemmas: bool = True) -> list[VerifyTask]:
+                     use_lemmas: bool = True,
+                     per_prop_strategies: Mapping[str, Sequence[str]] |
+                     None = None) -> list[VerifyTask]:
         lemmas = self.lemma_pairs() if use_lemmas else []
-        return [VerifyTask(self._scoped_system(p), p, list(lemmas))
+        overrides = per_prop_strategies or {}
+        return [VerifyTask(self.scoped_system(p), p, list(lemmas),
+                           strategies=tuple(overrides[p.name])
+                           if p.name in overrides else None)
                 for p in props]
 
     def _scheduler(self, jobs: int,
@@ -161,18 +166,23 @@ class ProofEngine:
                         strategies: Sequence[str] | None = None,
                         strategy_options: Mapping[str, Mapping] |
                         None = None,
-                        use_lemmas: bool = True
+                        use_lemmas: bool = True,
+                        per_prop_strategies: Mapping[str, Sequence[str]] |
+                        None = None
                         ) -> Iterator[PortfolioOutcome]:
         """Race complementary strategies over a batch of properties.
 
         Each property is cone-of-influence scoped independently, the
         whole batch fans out over ``jobs`` worker processes, and
         outcomes stream back in completion order.
+        ``per_prop_strategies`` overrides the race for named properties
+        (spec strings with inline options, e.g. per-property depths).
         """
         if isinstance(props, SafetyProperty):
             props = [props]
         scheduler = self._scheduler(jobs, strategies, strategy_options)
-        return scheduler.stream(self._batch_tasks(props, use_lemmas))
+        return scheduler.stream(self._batch_tasks(
+            props, use_lemmas, per_prop_strategies=per_prop_strategies))
 
     def prove_all(self, props: Sequence[SafetyProperty],
                   jobs: int = 1,
@@ -189,14 +199,17 @@ class ProofEngine:
 
     # ------------------------------------------------------------------
 
-    def _scoped_system(self, prop: SafetyProperty,
-                       extra_lemmas: list[tuple[E.Expr, int]] | None = None
-                       ) -> TransitionSystem:
+    def scoped_system(self, prop: SafetyProperty,
+                      extra_lemmas: list[tuple[E.Expr, int]] | None = None
+                      ) -> TransitionSystem:
         """Cone-of-influence-reduce the design for this query.
 
         The reduction must keep everything the property, the active lemmas,
         and the environment constraints mention; lemma expressions are
-        roots too because they are asserted at every frame.
+        roots too because they are asserted at every frame.  Public
+        because cache keys fingerprint the scoped system: any layer that
+        builds its own :class:`VerifyTask`s (the campaign scheduler)
+        must scope through here or its keys silently fork.
         """
         if not self.config.use_coi:
             return self.system

@@ -78,11 +78,20 @@ def depth_options(strategies: Sequence[str],
 
 @dataclass
 class VerifyTask:
-    """One property to verify against one (scoped) transition system."""
+    """One property to verify against one (scoped) transition system.
+
+    ``tag`` is opaque caller identity (the campaign scheduler stamps the
+    design name on it) carried through to the outcome, so one flattened
+    cross-design batch can be demultiplexed afterwards.  ``strategies``,
+    when set, overrides the scheduler's portfolio for this task only —
+    the hook adaptive selection uses to order or prune each job's race.
+    """
 
     system: TransitionSystem
     prop: SafetyProperty
     lemmas: list[tuple[E.Expr, int]] = field(default_factory=list)
+    tag: str = ""
+    strategies: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -95,6 +104,7 @@ class PortfolioOutcome:
     attempts: int = 0           # strategy results actually observed
     cancelled: int = 0          # siblings dropped after the win
     from_cache: bool = False
+    tag: str = ""               # the task's tag, passed through
 
     @property
     def status(self) -> Status:
@@ -157,7 +167,12 @@ class PortfolioScheduler:
         """Yield one outcome per task as each race concludes."""
         if not tasks:
             return
-        if self.jobs == 1 or len(tasks) * len(self.strategies) == 1:
+        total_slots = 0
+        for task in tasks:
+            for spec in task.strategies or ():
+                resolve_strategy(spec)  # fail fast on bad overrides
+            total_slots += len(self._specs_for(task))
+        if self.jobs == 1 or total_slots == 1:
             yield from self._stream_sequential(tasks)
         else:
             yield from self._stream_parallel(tasks)
@@ -168,6 +183,9 @@ class PortfolioScheduler:
 
     def _options_for(self, spec: str) -> dict:
         return dict(self.strategy_options.get(spec, {}))
+
+    def _specs_for(self, task: VerifyTask) -> tuple[str, ...]:
+        return task.strategies if task.strategies else self.strategies
 
     def _key_for(self, spec: str, options: Mapping,
                  task: VerifyTask) -> str:
@@ -180,10 +198,11 @@ class PortfolioScheduler:
     def _stream_sequential(self, tasks: Sequence[VerifyTask]
                            ) -> Iterator[PortfolioOutcome]:
         for task in tasks:
+            specs = self._specs_for(task)
             best: tuple[str, CheckResult, bool] | None = None
             attempts = 0
             outcome = None
-            for spec in self.strategies:
+            for spec in specs:
                 hits_before = self.cache.stats.hits \
                     if self.cache is not None else 0
                 result = run_cached(spec, task.system, task.prop,
@@ -195,17 +214,18 @@ class PortfolioScheduler:
                 if result.status.conclusive:
                     outcome = PortfolioOutcome(
                         task.prop.name, result, spec, attempts=attempts,
-                        cancelled=len(self.strategies) - attempts,
-                        from_cache=was_hit)
+                        cancelled=len(specs) - attempts,
+                        from_cache=was_hit, tag=task.tag)
                     break
                 if best is None:
                     best = (spec, result, was_hit)
             if outcome is None:
                 spec, result, was_hit = best if best is not None else \
-                    (self.strategies[0], _no_result(task.prop.name), False)
+                    (specs[0], _no_result(task.prop.name), False)
                 outcome = PortfolioOutcome(task.prop.name, result, spec,
                                            attempts=attempts,
-                                           from_cache=was_hit)
+                                           from_cache=was_hit,
+                                           tag=task.tag)
             yield outcome
 
     # ------------------------------------------------------------------
@@ -214,7 +234,7 @@ class PortfolioScheduler:
 
     def _stream_parallel(self, tasks: Sequence[VerifyTask]
                          ) -> Iterator[PortfolioOutcome]:
-        groups = [_RaceGroup(i, task, self.strategies)
+        groups = [_RaceGroup(i, task, self._specs_for(task))
                   for i, task in enumerate(tasks)]
 
         # Cache pass first: a conclusive (or any) cached result for a
@@ -222,7 +242,7 @@ class PortfolioScheduler:
         # never reaches the pool at all.
         to_submit: list[CheckTask] = []
         for group in groups:
-            for slot, spec in enumerate(self.strategies):
+            for slot, spec in enumerate(group.strategies):
                 if group.decided:
                     break
                 options = self._options_for(spec)
@@ -275,10 +295,10 @@ class PortfolioScheduler:
                     continue
                 except Exception as exc:  # worker crash: report, don't die
                     result = _error_result(group.task.prop.name,
-                                           self.strategies[slot], exc)
+                                           group.strategies[slot], exc)
                 else:
                     if self.cache is not None:
-                        spec = self.strategies[slot]
+                        spec = group.strategies[slot]
                         self.cache.put(self._key_for(
                             spec, self._options_for(spec), group.task),
                             result)
@@ -286,7 +306,7 @@ class PortfolioScheduler:
                 group.record(slot, result)
                 if group.decided and not already_decided:
                     # First conclusive result: drop queued siblings.
-                    for other_slot in range(len(self.strategies)):
+                    for other_slot in range(len(group.strategies)):
                         key = (g_index, other_slot)
                         sibling = future_by_key.get(key)
                         if sibling is not None and sibling is not f:
@@ -339,12 +359,13 @@ class _RaceGroup:
             result = _no_result(self.task.prop.name)
             return PortfolioOutcome(self.task.prop.name, result,
                                     self.strategies[0],
-                                    cancelled=self.cancelled)
+                                    cancelled=self.cancelled,
+                                    tag=self.task.tag)
         result, from_cache = self.results[slot]
         return PortfolioOutcome(
             self.task.prop.name, result, self.strategies[slot],
             attempts=len(self.results), cancelled=self.cancelled,
-            from_cache=from_cache)
+            from_cache=from_cache, tag=self.task.tag)
 
 
 def _no_result(property_name: str) -> CheckResult:

@@ -1,13 +1,14 @@
 """Small table renderer used by benchmarks, examples, and the CLI.
 
 Renders the same data as an aligned text table (for terminals and bench
-logs), GitHub markdown (for EXPERIMENTS.md), or CSV (for downstream
-plotting).
+logs), GitHub markdown (for EXPERIMENTS.md), CSV (for downstream
+plotting), or JSON rows (for the campaign reports and dashboards).
 """
 
 from __future__ import annotations
 
 import io
+import json
 from typing import Iterable
 
 
@@ -58,6 +59,14 @@ class Table:
         for row in self.rows:
             lines.append(",".join(_csv_escape(c) for c in row))
         return "\n".join(lines) + "\n"
+
+    def to_rows(self) -> list[dict[str, str]]:
+        """Rows as column->cell dicts (cells keep their rendered form)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps({"title": self.title, "rows": self.to_rows()},
+                          indent=indent)
 
 
 def _fmt(value: object) -> str:

@@ -122,6 +122,51 @@ class TestCacheBehaviour:
                    {"bound": 1}, cache=cache)
         assert cache.stats.hits == 0
 
+    def test_evictions_are_reported(self, sync_counters_system,
+                                    equal_prop):
+        cache = ResultCache(max_entries=1)
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 2}, cache=cache)
+        assert "1 evicted" in cache.stats.one_line()
+
+    def test_clear_counts_dropped_entries_as_evictions(
+            self, sync_counters_system, equal_prop):
+        cache = ResultCache()
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 2}, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.evictions == 2
+
+    def test_since_spanning_a_clear_stays_consistent(
+            self, sync_counters_system, equal_prop):
+        from dataclasses import replace
+
+        cache = ResultCache()
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        snapshot = replace(cache.stats)
+        cache.clear()
+        run_cached("bmc", sync_counters_system, equal_prop,
+                   {"bound": 1}, cache=cache)
+        window = cache.stats.since(snapshot)
+        # The cleared entry shows up as an eviction and the rerun as a
+        # miss + store; nothing in the window can ever be negative.
+        assert window.evictions == 1
+        assert (window.hits, window.misses, window.stores) == (0, 1, 1)
+
+    def test_since_clamps_negative_drift(self):
+        from repro.mc.cache import CacheStats
+
+        earlier = CacheStats(hits=5, misses=5, stores=5, evictions=5)
+        window = CacheStats(hits=1).since(earlier)
+        assert (window.hits, window.misses, window.stores,
+                window.evictions) == (0, 0, 0, 0)
+
     def test_engine_shares_cache_across_calls(self, sync_counters_system,
                                               equal_prop):
         cache = ResultCache()

@@ -1,0 +1,372 @@
+"""Campaign subsystem: proof store, two-tier cache, adaptive scheduling."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import (AdaptiveSelector, CampaignScheduler,
+                            ProofStore, base_strategy_name, inline_spec)
+from repro.designs import get_design, select_designs
+from repro.flow import VerificationSession, run_campaign
+from repro.ir.system import Signal
+from repro.mc import ResultCache, Status
+from repro.mc.result import CheckResult, ProofStats
+from repro.trace.trace import Trace, TraceKind
+
+
+def _result(name: str = "prop", status: Status = Status.PROVEN,
+            with_traces: bool = True) -> CheckResult:
+    stats = ProofStats(wall_seconds=1.25, sat_queries=7, conflicts=42,
+                       decisions=99, propagations=1234, clauses=56,
+                       variables=78, max_depth=4)
+    cex = step = None
+    if with_traces:
+        signals = [Signal("count", 4, "state"), Signal("en", 1, "input")]
+        steps = [{"count": 3, "en": 1}, {"count": 4, "en": 0}]
+        cex = Trace(signals, steps, kind=TraceKind.BMC_CEX,
+                    property_name=name, note="from bmc")
+        step = Trace(signals, list(steps), kind=TraceKind.STEP_CEX,
+                     property_name=name)
+    return CheckResult(name, status, k=3, cex=cex, step_cex=step,
+                       stats=stats, detail="round-trip me")
+
+
+class TestProofStore:
+    def test_round_trip_full_record(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        original = _result(status=Status.VIOLATED)
+        store.store("k1", original)
+        loaded = store.load("k1")
+        assert loaded is not None
+        assert loaded.property_name == original.property_name
+        assert loaded.status is Status.VIOLATED
+        assert loaded.k == 3
+        assert loaded.detail == "round-trip me"
+        assert loaded.stats == original.stats
+        assert loaded.cex is not None and loaded.step_cex is not None
+        assert loaded.cex.kind is TraceKind.BMC_CEX
+        assert loaded.cex.steps == original.cex.steps
+        assert loaded.cex.signal("count").width == 4
+        assert loaded.step_cex.kind is TraceKind.STEP_CEX
+
+    def test_cold_start_hit_after_reopen(self, tmp_path):
+        first = ProofStore.open(tmp_path)
+        first.store("k1", _result())
+        first.close()
+        # A fresh handle simulates a process restart.
+        second = ProofStore.open(tmp_path)
+        assert len(second) == 1
+        loaded = second.load("k1")
+        assert loaded is not None and loaded.status is Status.PROVEN
+
+    def test_missing_nested_directory_is_created(self, tmp_path):
+        store = ProofStore.open(tmp_path / "deep" / "cache")
+        store.store("k1", _result(with_traces=False))
+        assert (tmp_path / "deep" / "cache" / ProofStore.FILENAME).exists()
+
+    def test_corrupt_file_falls_back_to_cold_store(self, tmp_path):
+        path = tmp_path / ProofStore.FILENAME
+        path.write_bytes(b"this is not a sqlite database at all")
+        store = ProofStore.open(tmp_path)
+        assert store.load("anything") is None
+        store.store("k1", _result(with_traces=False))
+        assert store.load("k1") is not None
+        # The broken file was quarantined, not silently destroyed.
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_foreign_sqlite_file_is_recovered(self, tmp_path):
+        path = tmp_path / ProofStore.FILENAME
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE results (other TEXT)")
+        conn.commit()
+        conn.close()
+        store = ProofStore.open(tmp_path)
+        store.store("k1", _result(with_traces=False))
+        assert store.load("k1") is not None
+
+    def test_unreadable_payload_reports_miss_and_drops_row(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        store.store("k1", _result(with_traces=False))
+        store._conn.execute(
+            "UPDATE results SET payload = ? WHERE key = 'k1'",
+            (b"\x80garbage",))
+        store._conn.commit()
+        assert store.load("k1") is None
+        assert len(store) == 0
+
+    def test_schema_version_mismatch_rebuilds(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        store.store("k1", _result(with_traces=False))
+        store._conn.execute("PRAGMA user_version = 99")
+        store._conn.commit()
+        store.close()
+        reopened = ProofStore.open(tmp_path)
+        assert len(reopened) == 0
+        assert reopened.load("k1") is None
+
+    def test_history_mining(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        for wall in (0.2, 0.4, 0.6):
+            store.record(design="d1", family="fam",
+                         property_name="p1", strategy="k_induction",
+                         status="proven", wall_seconds=wall,
+                         from_cache=False)
+        store.record(design="d1", family="fam", property_name="p1",
+                     strategy="k_induction", status="proven",
+                     wall_seconds=0.0, from_cache=True)
+        stats = store.strategy_stats()[("fam", "k_induction")]
+        assert stats.attempts == 4
+        assert stats.wins == 4
+        # Cached rows are evidence for win rates but not for timing.
+        assert stats.median_wall == pytest.approx(0.4)
+        assert store.expected_wall("d1", "p1") == pytest.approx(0.4)
+        assert store.expected_wall("d1", "unseen") is None
+        per_prop = store.property_stats()[("d1", "p1")]["k_induction"]
+        assert per_prop.wins == 4
+
+
+class TestTwoTierCache:
+    def test_disk_hit_then_memory_promotion(self, tmp_path):
+        key = "query-key"
+        writer = ResultCache(backing=ProofStore.open(tmp_path))
+        writer.put(key, _result())
+        # Fresh process: empty memory tier, same disk store.
+        reader = ResultCache(backing=ProofStore.open(tmp_path))
+        first = reader.get(key)
+        assert first is not None
+        assert (reader.stats.hits, reader.stats.disk_hits) == (1, 1)
+        second = reader.get(key)
+        assert second is not None
+        # Promoted into the LRU: the second hit is memory-tier.
+        assert (reader.stats.hits, reader.stats.disk_hits) == (2, 1)
+        assert reader.stats.memory_hits == 1
+        assert "from disk" in reader.stats.one_line()
+
+    def test_clear_drops_memory_but_not_disk(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        cache = ResultCache(backing=store)
+        cache.put("k", _result(with_traces=False))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is not None
+        assert cache.stats.disk_hits == 1
+
+    def test_cached_copies_do_not_alias_disk_record(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        cache = ResultCache(backing=store)
+        cache.put("k", _result(with_traces=False))
+        fresh = ResultCache(backing=store)
+        hit = fresh.get("k")
+        hit.detail += "; caller scribble"
+        again = fresh.get("k")
+        assert "caller scribble" not in again.detail
+
+
+class TestAdaptiveSelector:
+    PORTFOLIO = ("k_induction", "bmc")
+
+    def test_base_strategy_name(self):
+        assert base_strategy_name("bmc(bound=6)") == "bmc"
+        assert base_strategy_name("k_induction") == "k_induction"
+
+    def test_thin_history_keeps_full_portfolio(self, tmp_path):
+        selector = AdaptiveSelector(ProofStore.open(tmp_path))
+        choice = selector.choose("fam", self.PORTFOLIO)
+        assert choice.specs == self.PORTFOLIO
+        assert choice.tier == "full" and not choice.was_pruned
+
+    def test_property_history_pins_and_prunes(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        store.record(design="d", family="fam", property_name="p",
+                     strategy="bmc", status="violated",
+                     wall_seconds=0.1, from_cache=False)
+        choice = AdaptiveSelector(store).choose(
+            "fam", self.PORTFOLIO, design="d", property_name="p")
+        assert choice.tier == "property"
+        assert choice.specs == ("bmc",)
+        assert choice.pruned == ("k_induction",)
+
+    def test_family_dominance_prunes(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        for i in range(3):
+            store.record(design="d", family="fam",
+                         property_name=f"p{i}", strategy="k_induction",
+                         status="proven", wall_seconds=0.1,
+                         from_cache=False)
+        choice = AdaptiveSelector(store).choose(
+            "fam", self.PORTFOLIO, design="d", property_name="new_prop")
+        assert choice.tier == "family"
+        assert choice.specs == ("k_induction",)
+        assert choice.pruned == ("bmc",)
+
+    def test_split_family_orders_without_pruning(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        for i in range(3):
+            store.record(design="d", family="fam",
+                         property_name=f"p{i}", strategy="bmc",
+                         status="violated", wall_seconds=0.1,
+                         from_cache=False)
+        store.record(design="d", family="fam", property_name="q",
+                     strategy="k_induction", status="proven",
+                     wall_seconds=0.1, from_cache=False)
+        choice = AdaptiveSelector(store).choose("fam", self.PORTFOLIO)
+        assert choice.tier == "family"
+        # bmc won more: it runs first, but nothing is dropped.
+        assert choice.specs == ("bmc", "k_induction")
+        assert not choice.was_pruned
+
+    def test_min_samples_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            AdaptiveSelector(ProofStore.open(tmp_path), min_samples=0)
+
+
+class TestInlineSpec:
+    def test_bakes_options(self):
+        assert inline_spec("bmc", {"bound": 6}) == "bmc(bound=6)"
+
+    def test_existing_inline_options_win(self):
+        assert inline_spec("bmc(bound=4)", {"bound": 9}) == "bmc(bound=4)"
+
+    def test_no_options_is_identity(self):
+        assert inline_spec("k_induction", {}) == "k_induction"
+
+    def test_registry_defaults_win_like_depth_options(self):
+        # k_induction_sp's registered simple_path=True is spec-bound.
+        assert inline_spec("k_induction_sp", {"simple_path": False}) == \
+            "k_induction_sp(simple_path=True)"
+
+    def test_malformed_specs_raise_instead_of_dropping_args(self):
+        from repro.mc import StrategyError
+
+        with pytest.raises(StrategyError):
+            inline_spec("bmc(6)", {})
+        with pytest.raises(StrategyError):
+            inline_spec("not_a_strategy", {"bound": 6})
+
+
+CAMPAIGN_DESIGNS = ["updown_counter", "gray_counter", "sync_counters_bug"]
+
+
+class TestCampaign:
+    def test_warm_rerun_is_incremental_and_prunes(self, tmp_path):
+        """The acceptance criterion: a repeated campaign in a fresh
+        process answers every unchanged query from the disk store, and
+        adaptive selection dispatches strictly fewer strategy jobs while
+        reporting the same verdicts."""
+        cold = run_campaign(designs=CAMPAIGN_DESIGNS,
+                            cache_dir=tmp_path, max_k=3)
+        assert cold.mismatches == 0
+        assert cold.proved == 3 and cold.falsified == 1
+        # Fresh store handle = fresh process: no memory tier carryover.
+        warm = run_campaign(designs=CAMPAIGN_DESIGNS,
+                            cache_dir=tmp_path, max_k=3)
+        assert warm.disk_hit_rate >= 0.9
+        assert all(r.from_cache for r in warm.rows)
+        assert warm.dispatched_jobs < warm.full_portfolio_jobs
+        assert {(r.property_name, r.status) for r in warm.rows} == \
+            {(r.property_name, r.status) for r in cold.rows}
+
+    def test_parallel_campaign_matches_sequential(self, tmp_path):
+        sequential = run_campaign(designs=CAMPAIGN_DESIGNS,
+                                  cache_dir=tmp_path / "a", max_k=3)
+        parallel = run_campaign(designs=CAMPAIGN_DESIGNS,
+                                cache_dir=tmp_path / "b", max_k=3,
+                                jobs=2)
+        assert {(r.property_name, r.status) for r in parallel.rows} == \
+            {(r.property_name, r.status) for r in sequential.rows}
+
+    def test_misleading_history_triggers_fallback(self, tmp_path):
+        """A pruned race that cannot settle re-races the full portfolio,
+        so adaptive campaigns never lose verdicts to bad history."""
+        store = ProofStore.open(tmp_path)
+        # Lie: claim k-induction settles the seeded-bug property (it
+        # cannot within max_k=3 — only BMC sees the divergence).
+        store.record(design="sync_counters_bug", family="counters",
+                     property_name="counters_equal",
+                     strategy="k_induction", status="proven",
+                     wall_seconds=0.1, from_cache=False)
+        report = CampaignScheduler(
+            select_designs(["sync_counters_bug"]), store,
+            max_k=3).run()
+        [row] = report.rows
+        assert row.status == "violated"
+        assert row.adaptive_fallback
+        assert report.fallback_reruns == 1
+
+    def test_no_adaptive_races_full_portfolio(self, tmp_path):
+        report = run_campaign(designs=["updown_counter"],
+                              cache_dir=tmp_path, max_k=3,
+                              adaptive=False)
+        assert report.dispatched_jobs == report.full_portfolio_jobs
+
+    def test_longest_expected_first_uses_history(self, tmp_path):
+        store = ProofStore.open(tmp_path)
+        scheduler = CampaignScheduler(
+            select_designs(["updown_counter"]), store, max_k=3)
+        store.record(design="updown_counter", family="counters",
+                     property_name="never_top", strategy="k_induction",
+                     status="proven", wall_seconds=500.0,
+                     from_cache=False)
+        store.record(design="updown_counter", family="counters",
+                     property_name="upper_bound",
+                     strategy="k_induction", status="proven",
+                     wall_seconds=0.001, from_cache=False)
+        pool = scheduler.build_jobs()
+        assert [j.prop.name for j in pool] == ["never_top",
+                                               "upper_bound"]
+
+    def test_report_json_shape(self, tmp_path):
+        import json
+
+        report = run_campaign(designs=["updown_counter"],
+                              cache_dir=tmp_path, max_k=3)
+        payload = json.loads(report.to_json())
+        assert payload["designs"] == ["updown_counter"]
+        assert payload["proved"] == 2
+        assert set(payload["cache"]) >= {"hits", "disk_hits",
+                                         "memory_hits", "misses",
+                                         "disk_hit_rate"}
+        assert all({"design", "property", "status", "expect",
+                    "strategy", "from_cache"} <= set(r)
+                   for r in payload["results"])
+        assert "campaign" in report.to_text()
+
+    def test_registry_subset_selection(self):
+        assert [d.name for d in
+                select_designs(["lfsr16", "fifo_ctrl", "lfsr16"])] == \
+            ["lfsr16", "fifo_ctrl"]
+        assert len(select_designs(None)) == len(select_designs([]))
+
+
+class TestSessionStoreWiring:
+    def test_single_design_run_shares_campaign_store(self, tmp_path):
+        design = get_design("updown_counter")
+        first = VerificationSession(design, cache_dir=tmp_path)
+        first.verify_all(max_k=3)
+        assert first.store.history_size() == 2
+        # A later campaign warm-starts from the single-design run.
+        report = run_campaign(designs=["updown_counter"],
+                              cache_dir=tmp_path, max_k=3)
+        assert report.cache.disk_hits > 0
+        assert all(r.from_cache for r in report.rows)
+
+    def test_campaign_results_serve_single_design_runs(self, tmp_path):
+        run_campaign(designs=["updown_counter"], cache_dir=tmp_path,
+                     max_k=3)
+        session = VerificationSession(get_design("updown_counter"),
+                                      cache_dir=tmp_path)
+        batch = session.verify_all(max_k=3)
+        assert batch.cache_stats.disk_hits > 0
+        assert batch.cache_stats.misses == 0
+
+    def test_store_sharing_with_heterogeneous_depths(self, tmp_path):
+        """Cache keys bake each property's own max_k, so single-design
+        runs and campaigns share store entries even when a design mixes
+        induction depths (rr_arbiter: max_k 3/2/2)."""
+        design = get_design("rr_arbiter")
+        assert len({p.max_k for p in design.properties}) > 1
+        VerificationSession(design, cache_dir=tmp_path).verify_all()
+        report = run_campaign(designs=["rr_arbiter"],
+                              cache_dir=tmp_path)
+        assert report.cache.misses == 0
+        assert report.disk_hit_rate == 1.0

@@ -217,7 +217,7 @@ class TestEngine:
         engine = ProofEngine(sync_counters_system)
         prop = SafetyProperty.from_invariant(
             "eq", E.eq(E.var("count1", 8), E.var("count2", 8)))
-        scoped = engine._scoped_system(prop)
+        scoped = engine.scoped_system(prop)
         assert "noise" not in scoped.states
 
     def test_lemma_pool_used(self, sync_counters_system):
