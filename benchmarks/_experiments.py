@@ -177,7 +177,7 @@ def run_e5() -> Table:
         system = elaborate(design.rtl, params={"W": width},
                            name=f"sync{width}")
         ctx = MonitorContext(system)
-        target = ctx.add(f"&count1 |-> &count2", name="equal_count")
+        target = ctx.add("&count1 |-> &count2", name="equal_count")
         helper = ctx.add("count1 == count2", name="helper")
         engine = ProofEngine(ctx.system, EngineConfig(max_k=2))
         t0 = time.perf_counter()

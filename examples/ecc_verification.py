@@ -13,7 +13,10 @@ Run:  python examples/ecc_verification.py
 """
 
 from repro import Status, VerificationSession, get_design
+from repro.mc import ProofEngine
+from repro.mc.engine import EngineConfig
 from repro.report import Table
+from repro.sva import MonitorContext
 
 design = get_design("ecc_pipeline")
 print(design.spec)
@@ -43,9 +46,6 @@ print("Reusing the proven helpers for the remaining properties")
 print("-" * 60)
 table = Table(["property", "without helper", "with helper", "k"],
               title="ECC decode correctness")
-from repro.mc import ProofEngine
-from repro.mc.engine import EngineConfig
-from repro.sva import MonitorContext
 
 ctx = MonitorContext(design.system())
 engine = ProofEngine(ctx.system, EngineConfig(max_k=1))

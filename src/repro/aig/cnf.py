@@ -72,7 +72,8 @@ class CnfBuilder:
 
     def assert_clause(self, lits: Sequence[int]) -> None:
         """Add a clause over AIG literals."""
-        self.solver.add_clause([self.lit_to_dimacs(l) for l in lits])
+        self.solver.add_clause([self.lit_to_dimacs(lit)
+                                for lit in lits])
 
     def assumption(self, lit: int) -> int:
         """DIMACS literal suitable for use in ``solve(assumptions=...)``."""

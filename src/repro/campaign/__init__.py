@@ -18,20 +18,31 @@ Layering (registry -> scheduler -> portfolio -> two-tier cache -> report):
 
 from repro.campaign.adaptive import (AdaptiveSelector, StrategyChoice,
                                      base_strategy_name)
-from repro.campaign.report import CampaignReport, CampaignRow
-from repro.campaign.scheduler import (CampaignJob, CampaignScheduler,
-                                      inline_spec)
+from repro.campaign.report import CampaignReport, CampaignRow, WorkerStat
+from repro.campaign.scheduler import (CONCLUSIVE_STATUSES, CampaignJob,
+                                      CampaignScheduler, Dispatcher,
+                                      DispatchOutcome, DispatchResult,
+                                      LocalDispatcher, compile_design,
+                                      fallback_jobs, inline_spec)
 from repro.campaign.store import ProofStore, StrategyStats
 
 __all__ = [
     "AdaptiveSelector",
+    "CONCLUSIVE_STATUSES",
     "CampaignJob",
     "CampaignReport",
     "CampaignRow",
     "CampaignScheduler",
+    "DispatchOutcome",
+    "DispatchResult",
+    "Dispatcher",
+    "LocalDispatcher",
     "ProofStore",
     "StrategyChoice",
     "StrategyStats",
+    "WorkerStat",
     "base_strategy_name",
+    "compile_design",
+    "fallback_jobs",
     "inline_spec",
 ]

@@ -16,6 +16,25 @@ from repro.report import Table
 
 
 @dataclass
+class WorkerStat:
+    """Per-worker throughput of one distributed campaign run."""
+
+    worker_id: str
+    jobs_done: int = 0
+    busy_seconds: float = 0.0    # wall time spent inside job execution
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs_done / self.busy_seconds \
+            if self.busy_seconds > 0 else 0.0
+
+    def one_line(self) -> str:
+        return (f"{self.worker_id}: {self.jobs_done} jobs in "
+                f"{self.busy_seconds:.3f}s busy "
+                f"({self.jobs_per_second:.1f} jobs/s)")
+
+
+@dataclass
 class CampaignRow:
     """One (design, property) outcome inside a campaign."""
 
@@ -29,6 +48,7 @@ class CampaignRow:
     k: int
     from_cache: bool
     adaptive_fallback: bool = False   # re-raced with the full portfolio
+    worker: str = ""             # worker id, distributed campaigns only
 
     @property
     def mismatch(self) -> bool:
@@ -50,6 +70,8 @@ class CampaignReport:
     fallback_reruns: int         # pruned races re-run with full portfolio
     cache: CacheStats = field(default_factory=CacheStats)
     store_results: int = 0       # persistent store size after the run
+    workers: int = 0             # worker processes (0 = in-process run)
+    worker_stats: list[WorkerStat] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -95,6 +117,16 @@ class CampaignReport:
             "full_portfolio_jobs": self.full_portfolio_jobs,
             "fallback_reruns": self.fallback_reruns,
             "store_results": self.store_results,
+            "workers": self.workers,
+            "worker_stats": [
+                {
+                    "worker_id": w.worker_id,
+                    "jobs_done": w.jobs_done,
+                    "busy_seconds": w.busy_seconds,
+                    "jobs_per_second": w.jobs_per_second,
+                }
+                for w in self.worker_stats
+            ],
             "cache": {
                 "hits": self.cache.hits,
                 "memory_hits": self.cache.memory_hits,
@@ -118,6 +150,7 @@ class CampaignReport:
                     "k": r.k,
                     "from_cache": r.from_cache,
                     "adaptive_fallback": r.adaptive_fallback,
+                    "worker": r.worker,
                 }
                 for r in self.rows
             ],
@@ -140,10 +173,12 @@ class CampaignReport:
 
     def summary_lines(self) -> list[str]:
         mode = "adaptive" if self.adaptive else "full portfolio"
+        parallelism = f"workers={self.workers}" if self.workers \
+            else f"jobs={self.jobs}"
         lines = [
             f"campaign: {len(self.rows)} properties over "
             f"{len(self.designs)} designs in {self.wall_seconds:.3f}s "
-            f"(jobs={self.jobs}, {mode})",
+            f"({parallelism}, {mode})",
             f"  verdicts: {self.proved} proven, {self.falsified} "
             f"falsified, {self.unknown} unknown, "
             f"{self.mismatches} expectation mismatches",
@@ -153,6 +188,8 @@ class CampaignReport:
             "  " + self.cache.one_line() +
             f", {self.store_results} results on disk",
         ]
+        for stat in self.worker_stats:
+            lines.append("  worker " + stat.one_line())
         return lines
 
     def to_text(self) -> str:

@@ -20,24 +20,47 @@ from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Protocol, Sequence
 
 from repro.campaign.adaptive import (AdaptiveSelector, StrategyChoice,
                                      base_strategy_name)
-from repro.campaign.report import CampaignReport, CampaignRow
+from repro.campaign.report import CampaignReport, CampaignRow, WorkerStat
 from repro.campaign.store import ProofStore
 from repro.designs.base import Design, PropertySpec
-from repro.mc.cache import ResultCache
+from repro.mc.cache import CacheStats, ResultCache
 from repro.mc.engine import EngineConfig, ProofEngine
-from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioOutcome,
-                                PortfolioScheduler, VerifyTask,
-                                depth_options)
+from repro.mc.portfolio import (DEFAULT_PORTFOLIO, PortfolioScheduler,
+                                VerifyTask, depth_options)
+from repro.ir.system import TransitionSystem
 from repro.mc.property import SafetyProperty
+from repro.mc.result import Status
 from repro.mc.strategy import resolve_strategy
 from repro.sva.compile import MonitorContext
 
 _SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
+
+#: Status strings that settle a property, derived from the enum so the
+#: two can never drift apart.
+CONCLUSIVE_STATUSES = tuple(s.value for s in Status if s.conclusive)
+
+
+def compile_design(design: Design) -> list[
+        tuple[PropertySpec, SafetyProperty, TransitionSystem]]:
+    """Compile one design into (spec, property, scoped system) triples.
+
+    All of the design's properties are monitored into one shared system
+    and each is then cone-of-influence scoped through the engine — the
+    exact pipeline single-design runs use, so every layer (campaign
+    scheduler, distributed workers, ``verify_all``) produces identical
+    cache fingerprints for the same query.
+    """
+    ctx = MonitorContext(design.system())
+    compiled = [(spec, ctx.add(spec.sva, name=spec.name))
+                for spec in design.properties]
+    engine = ProofEngine(ctx.system)
+    return [(spec, prop, engine.scoped_system(prop))
+            for spec, prop in compiled]
 
 
 def inline_spec(spec: str, options: Mapping) -> str:
@@ -76,6 +99,123 @@ class CampaignJob:
     expected_wall: float            # scheduling priority (bigger = first)
     order: int = 0                  # registry position, for stable reports
 
+    @property
+    def identity(self) -> tuple[str, str]:
+        return (self.design.name, self.prop.name)
+
+
+@dataclass
+class DispatchOutcome:
+    """One job's final verdict, as any dispatcher reports it.
+
+    The neutral record both the in-process and the distributed paths
+    emit, so :meth:`CampaignScheduler.run` can record history and build
+    the report without knowing how the job was executed.
+    """
+
+    design: str
+    property_name: str
+    status: str                  # "proven" | "violated" | ...
+    strategy: str                # spec string that produced the verdict
+    wall_seconds: float
+    k: int
+    from_cache: bool
+    fallback: bool = False       # settled by the full-portfolio rerun
+    worker_id: str = ""          # distributed dispatch only
+
+    @property
+    def conclusive(self) -> bool:
+        return self.status in CONCLUSIVE_STATUSES
+
+
+@dataclass
+class DispatchResult:
+    """Everything one dispatch pass hands back to the campaign."""
+
+    outcomes: dict[tuple[str, str], DispatchOutcome]
+    dispatched_specs: int = 0    # strategy slots actually scheduled
+    fallback_reruns: int = 0     # pruned races re-run with full portfolio
+    cache: CacheStats = field(default_factory=CacheStats)
+    workers: int = 0             # worker processes (0 = in-process)
+    worker_stats: list[WorkerStat] = field(default_factory=list)
+
+
+class Dispatcher(Protocol):
+    """Executes a campaign job pool and reports one outcome per job.
+
+    Implementations own the whole execution policy — including the
+    adaptive-fallback contract: any job whose pruned race stayed
+    inconclusive must be re-raced with its ``full_specs`` before the
+    result is returned (see :func:`fallback_jobs`), so every dispatcher
+    reports the same verdicts a full-portfolio run would.
+    """
+
+    def dispatch(self, pool: Sequence[CampaignJob]) -> DispatchResult:
+        ...
+
+
+def fallback_jobs(pool: Sequence[CampaignJob],
+                  outcomes: Mapping[tuple[str, str], DispatchOutcome]
+                  ) -> list[CampaignJob]:
+    """Jobs whose pruned race stayed inconclusive: re-race these in full."""
+    return [job for job in pool
+            if job.choice.was_pruned and
+            not outcomes[job.identity].conclusive]
+
+
+class LocalDispatcher:
+    """In-process dispatch through one shared :class:`PortfolioScheduler`.
+
+    ``jobs`` is the global process-pool limit across every design in the
+    pool; the cache (two-tier when backed by the proof store) is shared
+    by the first pass and the fallback reruns, so a rerun's
+    already-raced specs answer from cache and the extra dispatch is
+    exactly the pruned remainder.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 strategies: Sequence[str] = DEFAULT_PORTFOLIO,
+                 cache: ResultCache | None = None):
+        self.jobs = jobs
+        self.strategies = tuple(strategies)
+        self.cache = cache if cache is not None else ResultCache()
+
+    def dispatch(self, pool: Sequence[CampaignJob]) -> DispatchResult:
+        stats_before = replace(self.cache.stats)
+        scheduler = PortfolioScheduler(jobs=self.jobs,
+                                       strategies=self.strategies,
+                                       cache=self.cache)
+        outcomes: dict[tuple[str, str], DispatchOutcome] = {}
+        dispatched = sum(len(j.choice.specs) for j in pool)
+
+        for outcome in scheduler.stream([j.task for j in pool]):
+            outcomes[(outcome.tag, outcome.property_name)] = \
+                _from_portfolio(outcome)
+
+        rerun = fallback_jobs(pool, outcomes)
+        if rerun:
+            dispatched += sum(len(j.choice.pruned) for j in rerun)
+            tasks = [replace(j.task, strategies=j.full_specs)
+                     for j in rerun]
+            for outcome in scheduler.stream(tasks):
+                outcomes[(outcome.tag, outcome.property_name)] = \
+                    _from_portfolio(outcome, fallback=True)
+
+        return DispatchResult(
+            outcomes=outcomes, dispatched_specs=dispatched,
+            fallback_reruns=len(rerun),
+            cache=self.cache.stats.since(stats_before))
+
+
+def _from_portfolio(outcome, fallback: bool = False) -> DispatchOutcome:
+    """Normalize a :class:`PortfolioOutcome` into the dispatch record."""
+    return DispatchOutcome(
+        design=outcome.tag, property_name=outcome.property_name,
+        status=outcome.result.status.value, strategy=outcome.strategy,
+        wall_seconds=outcome.result.stats.wall_seconds,
+        k=outcome.result.k, from_cache=outcome.from_cache,
+        fallback=fallback)
+
 
 class CampaignScheduler:
     """Runs one verification campaign over many designs (see module doc)."""
@@ -87,7 +227,8 @@ class CampaignScheduler:
                  min_samples: int = 3,
                  max_k: int | None = None,
                  bmc_bound: int | None = None,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 dispatcher: Dispatcher | None = None):
         if not designs:
             raise ValueError("a campaign needs at least one design")
         self.designs = list(designs)
@@ -103,6 +244,11 @@ class CampaignScheduler:
             else EngineConfig().bmc_bound
         self.cache = cache if cache is not None \
             else ResultCache(backing=store)
+        # Local in-process dispatch unless a distributed (or test)
+        # dispatcher is plugged in — one interface either way.
+        self.dispatcher: Dispatcher = dispatcher if dispatcher is not None \
+            else LocalDispatcher(jobs=jobs, strategies=self.base,
+                                 cache=self.cache)
 
     # ------------------------------------------------------------------
 
@@ -112,14 +258,11 @@ class CampaignScheduler:
             if self.adaptive else None
         pool: list[CampaignJob] = []
         for design in self.designs:
-            ctx = MonitorContext(design.system())
-            compiled = [(spec, ctx.add(spec.sva, name=spec.name))
-                        for spec in design.properties]
-            # Scope through the engine so campaign jobs fingerprint —
-            # and therefore cache-key — exactly like single-design runs.
-            engine = ProofEngine(ctx.system)
-            for spec, prop in compiled:
-                scoped = engine.scoped_system(prop)
+            # compile_design scopes through the engine so campaign jobs
+            # fingerprint — and therefore cache-key — exactly like
+            # single-design runs (and like distributed workers, which
+            # recompile from the same registry entry).
+            for spec, prop, scoped in compile_design(design):
                 full = self._full_specs(spec)
                 choice = selector.choose(
                     design.family, full, design=design.name,
@@ -158,57 +301,38 @@ class CampaignScheduler:
 
     def run(self) -> CampaignReport:
         start = time.perf_counter()
-        stats_before = replace(self.cache.stats)
         pool = self.build_jobs()
-        scheduler = PortfolioScheduler(jobs=self.jobs,
-                                       strategies=self.base,
-                                       cache=self.cache)
-        by_identity = {(j.design.name, j.prop.name): j for j in pool}
-        outcomes: dict[tuple[str, str], PortfolioOutcome] = {}
-        fallback: set[tuple[str, str]] = set()
-        dispatched = sum(len(j.choice.specs) for j in pool)
         full_total = sum(len(j.full_specs) for j in pool)
 
-        for outcome in scheduler.stream([j.task for j in pool]):
-            outcomes[(outcome.tag, outcome.property_name)] = outcome
-
-        # Safety net: a pruned race that stayed inconclusive gets the
-        # full portfolio (already-raced specs answer from cache, so the
-        # extra dispatch is exactly the pruned remainder).
-        rerun = [j for j in pool
-                 if j.choice.was_pruned and
-                 not outcomes[(j.design.name,
-                               j.prop.name)].status.conclusive]
-        if rerun:
-            dispatched += sum(len(j.choice.pruned) for j in rerun)
-            tasks = [replace(j.task, strategies=j.full_specs)
-                     for j in rerun]
-            for outcome in scheduler.stream(tasks):
-                identity = (outcome.tag, outcome.property_name)
-                outcomes[identity] = outcome
-                fallback.add(identity)
+        # The dispatcher executes the pool (in-process or across worker
+        # processes) and owns the pruned-race fallback contract; the
+        # campaign only records and reports what came back.
+        result = self.dispatcher.dispatch(pool)
 
         rows = []
         for job in sorted(pool, key=lambda j: j.order):
-            identity = (job.design.name, job.prop.name)
-            outcome = outcomes[identity]
+            outcome = result.outcomes[job.identity]
+            # History is recorded here, once per final verdict, whichever
+            # dispatcher ran the job — distributed workers deliberately
+            # do not write history, so no outcome is double-counted.
             self.store.record(
                 design=job.design.name, family=job.design.family,
                 property_name=job.prop.name,
                 strategy=base_strategy_name(outcome.strategy),
-                status=outcome.result.status.value,
-                wall_seconds=outcome.result.stats.wall_seconds,
+                status=outcome.status,
+                wall_seconds=outcome.wall_seconds,
                 from_cache=outcome.from_cache)
             rows.append(CampaignRow(
                 design=job.design.name, family=job.design.family,
                 property_name=job.prop.name,
-                status=outcome.result.status.value,
+                status=outcome.status,
                 expect=job.spec.expect,
                 strategy=outcome.strategy,
-                wall_seconds=outcome.result.stats.wall_seconds,
-                k=outcome.result.k,
+                wall_seconds=outcome.wall_seconds,
+                k=outcome.k,
                 from_cache=outcome.from_cache,
-                adaptive_fallback=identity in fallback))
+                adaptive_fallback=outcome.fallback,
+                worker=outcome.worker_id))
 
         return CampaignReport(
             designs=[d.name for d in self.designs],
@@ -216,8 +340,10 @@ class CampaignScheduler:
             wall_seconds=time.perf_counter() - start,
             jobs=self.jobs,
             adaptive=self.adaptive,
-            dispatched_jobs=dispatched,
+            dispatched_jobs=result.dispatched_specs,
             full_portfolio_jobs=full_total,
-            fallback_reruns=len(rerun),
-            cache=self.cache.stats.since(stats_before),
-            store_results=len(self.store))
+            fallback_reruns=result.fallback_reruns,
+            cache=result.cache,
+            store_results=len(self.store),
+            workers=result.workers,
+            worker_stats=result.worker_stats)

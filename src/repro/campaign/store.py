@@ -41,6 +41,36 @@ from repro.mc.result import CheckResult
 #: layout; mismatched stores are wiped and rebuilt (they are caches).
 SCHEMA_VERSION = 1
 
+#: SQLite's own wait-for-writer window (ms) before it reports "database
+#: is locked"; generous because parallel campaign workers all write here.
+BUSY_TIMEOUT_MS = 5000
+
+_LOCK_RETRIES = 6
+_LOCK_BACKOFF = 0.02        # seconds; grows linearly per attempt
+
+
+def _is_lock_error(exc: sqlite3.Error) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def _with_lock_retry(operation):
+    """Run one SQLite operation, riding out writer-lock collisions.
+
+    WAL mode plus ``busy_timeout`` already absorbs most contention; this
+    retry loop covers the residual ``database is locked`` errors SQLite
+    still surfaces under heavy multi-process write bursts (e.g. when a
+    checkpoint collides with a writer).  Non-lock errors propagate to
+    the caller's usual degrade-don't-raise handling.
+    """
+    for attempt in range(_LOCK_RETRIES):
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            if not _is_lock_error(exc) or attempt == _LOCK_RETRIES - 1:
+                raise
+            time.sleep(_LOCK_BACKOFF * (attempt + 1))
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
     key          TEXT PRIMARY KEY,
@@ -143,7 +173,10 @@ class ProofStore:
     def _open_file(self) -> sqlite3.Connection:
         conn = sqlite3.connect(str(self.path), check_same_thread=False)
         try:
+            # WAL lets parallel workers read while one writes; the busy
+            # timeout makes writers queue instead of failing instantly.
             conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         except sqlite3.Error:
             pass  # journaling is an optimization, not a requirement
         self._init_schema(conn)
@@ -187,9 +220,9 @@ class ProofStore:
     def load(self, key: str) -> CheckResult | None:
         with self._lock:
             try:
-                row = self._conn.execute(
+                row = _with_lock_retry(lambda: self._conn.execute(
                     "SELECT payload FROM results WHERE key = ?",
-                    (key,)).fetchone()
+                    (key,)).fetchone())
             except sqlite3.Error:
                 return None
         if row is None:
@@ -206,33 +239,39 @@ class ProofStore:
             payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
         except Exception:
             return  # an unpicklable result stays memory-tier only
+        def write() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, property, status, k, wall_seconds, created, "
+                " payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (key, result.property_name, result.status.value,
+                 result.k, result.stats.wall_seconds, time.time(),
+                 payload))
+            self._conn.commit()
+
         with self._lock:
             try:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO results "
-                    "(key, property, status, k, wall_seconds, created, "
-                    " payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    (key, result.property_name, result.status.value,
-                     result.k, result.stats.wall_seconds, time.time(),
-                     payload))
-                self._conn.commit()
+                _with_lock_retry(write)
             except sqlite3.Error:
                 pass
 
     def _delete(self, key: str) -> None:
+        def drop() -> None:
+            self._conn.execute("DELETE FROM results WHERE key = ?",
+                               (key,))
+            self._conn.commit()
+
         with self._lock:
             try:
-                self._conn.execute("DELETE FROM results WHERE key = ?",
-                                   (key,))
-                self._conn.commit()
+                _with_lock_retry(drop)
             except sqlite3.Error:
                 pass
 
     def __len__(self) -> int:
         with self._lock:
             try:
-                return self._conn.execute(
-                    "SELECT COUNT(*) FROM results").fetchone()[0]
+                return _with_lock_retry(lambda: self._conn.execute(
+                    "SELECT COUNT(*) FROM results").fetchone()[0])
             except sqlite3.Error:
                 return 0
 
@@ -244,23 +283,26 @@ class ProofStore:
                strategy: str, status: str, wall_seconds: float,
                from_cache: bool) -> None:
         """Append one reported verification outcome to the history."""
+        def append() -> None:
+            self._conn.execute(
+                "INSERT INTO history (design, family, property, "
+                "strategy, status, wall_seconds, from_cache, created) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (design, family, property_name, strategy, status,
+                 wall_seconds, int(from_cache), time.time()))
+            self._conn.commit()
+
         with self._lock:
             try:
-                self._conn.execute(
-                    "INSERT INTO history (design, family, property, "
-                    "strategy, status, wall_seconds, from_cache, created) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    (design, family, property_name, strategy, status,
-                     wall_seconds, int(from_cache), time.time()))
-                self._conn.commit()
+                _with_lock_retry(append)
             except sqlite3.Error:
                 pass
 
     def history_size(self) -> int:
         with self._lock:
             try:
-                return self._conn.execute(
-                    "SELECT COUNT(*) FROM history").fetchone()[0]
+                return _with_lock_retry(lambda: self._conn.execute(
+                    "SELECT COUNT(*) FROM history").fetchone()[0])
             except sqlite3.Error:
                 return 0
 
@@ -273,9 +315,9 @@ class ProofStore:
         """
         with self._lock:
             try:
-                rows = self._conn.execute(
+                rows = _with_lock_retry(lambda: self._conn.execute(
                     "SELECT family, strategy, status, wall_seconds, "
-                    "from_cache FROM history").fetchall()
+                    "from_cache FROM history").fetchall())
             except sqlite3.Error:
                 return {}
         stats: dict[tuple[str, str], StrategyStats] = {}
@@ -300,9 +342,9 @@ class ProofStore:
         settled it before."""
         with self._lock:
             try:
-                rows = self._conn.execute(
+                rows = _with_lock_retry(lambda: self._conn.execute(
                     "SELECT design, property, strategy, status, "
-                    "wall_seconds, from_cache FROM history").fetchall()
+                    "wall_seconds, from_cache FROM history").fetchall())
             except sqlite3.Error:
                 return {}
         stats: dict[tuple[str, str], dict[str, StrategyStats]] = {}
@@ -331,10 +373,10 @@ class ProofStore:
         """
         with self._lock:
             try:
-                rows = self._conn.execute(
+                rows = _with_lock_retry(lambda: self._conn.execute(
                     "SELECT wall_seconds FROM history WHERE design = ? "
                     "AND property = ? AND from_cache = 0",
-                    (design, property_name)).fetchall()
+                    (design, property_name)).fetchall())
             except sqlite3.Error:
                 return None
         if not rows:
@@ -342,10 +384,13 @@ class ProofStore:
         return statistics.median(wall for (wall,) in rows)
 
     def clear(self) -> None:
+        def wipe() -> None:
+            self._conn.execute("DELETE FROM results")
+            self._conn.execute("DELETE FROM history")
+            self._conn.commit()
+
         with self._lock:
             try:
-                self._conn.execute("DELETE FROM results")
-                self._conn.execute("DELETE FROM history")
-                self._conn.commit()
+                _with_lock_retry(wipe)
             except sqlite3.Error:
                 pass

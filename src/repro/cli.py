@@ -8,7 +8,10 @@ Subcommands::
                         [--cache-dir DIR]
     repro-verify campaign [DESIGN ...]        # cross-design campaign over
                         [--jobs N]            # the persistent proof store
+                        [--workers N]         # ... across N worker processes
                         [--cache-dir DIR] [--no-adaptive] [--json PATH]
+    repro-verify worker --cache-dir DIR       # standalone campaign worker
+                        [--id ID] [--lease S] [--idle-timeout S]
     repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
     repro-verify bmc    DESIGN PROP [--bound]
     repro-verify repair DESIGN PROP [--model] # Fig. 2 flow
@@ -122,7 +125,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         designs=args.designs or None, cache_dir=args.cache_dir,
         jobs=args.jobs, strategies=_split_strategies(args.strategy),
         adaptive=not args.no_adaptive, min_samples=args.min_samples,
-        max_k=args.max_k, bmc_bound=args.bound)
+        max_k=args.max_k, bmc_bound=args.bound, workers=args.workers,
+        lease_seconds=args.lease, wall_timeout=args.wall_timeout)
     print(report.to_text())
     if args.json_path:
         rendered = report.to_json()
@@ -136,6 +140,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"  MISMATCH: {row.design}.{row.property_name} "
                   f"expected {row.expect}, got {row.status}")
     return 0 if report.mismatches == 0 else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import Worker
+    worker = Worker(args.cache_dir, worker_id=args.id,
+                    lease_seconds=args.lease,
+                    poll_interval=args.poll_interval,
+                    idle_timeout=args.idle_timeout,
+                    max_jobs=args.max_jobs)
+    done = worker.run()
+    print(f"worker {worker.worker_id}: completed {done} jobs")
+    return 0
 
 
 def _cmd_repair(args: argparse.Namespace) -> int:
@@ -218,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="design names (default: every built-in design)")
     p.add_argument("--jobs", type=int, default=1,
                    help="global worker-process limit across all designs")
+    p.add_argument("--workers", type=int, default=0,
+                   help="dispatch the job pool across N worker "
+                        "processes through the on-disk work queue "
+                        "(0 = run in-process)")
+    p.add_argument("--lease", type=float, default=15.0,
+                   help="distributed lease/heartbeat horizon in "
+                        "seconds: a worker silent this long forfeits "
+                        "its job")
+    p.add_argument("--wall-timeout", type=float, default=None,
+                   help="abort a distributed campaign after this many "
+                        "seconds (guards against a worker wedged "
+                        "inside a single solve, which heartbeats "
+                        "cannot detect)")
     p.add_argument("--strategy", default="portfolio",
                    help="'portfolio' (default) or '+'-joined specs")
     p.add_argument("--no-adaptive", action="store_true",
@@ -235,6 +264,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON report here ('-' for stdout)")
     _add_cache_dir(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one standalone campaign worker against a shared "
+             "cache dir (see `campaign --workers`)")
+    p.add_argument("--cache-dir", required=True,
+                   help="the shared directory holding the work queue "
+                        "and proof store")
+    p.add_argument("--id", default=None,
+                   help="worker id (default: derived from the pid)")
+    p.add_argument("--lease", type=float, default=15.0,
+                   help="lease/heartbeat horizon in seconds")
+    p.add_argument("--poll-interval", type=float, default=0.2,
+                   help="seconds between claim attempts when idle")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   help="exit after this many idle seconds (the "
+                        "coordinator-closed queue also ends the worker)")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after completing this many jobs")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("prove", help="k-induction without GenAI")
     p.add_argument("design")

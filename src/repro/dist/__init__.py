@@ -1,0 +1,43 @@
+"""Distributed verification workers over the campaign job pool.
+
+Layering (coordinator -> queue -> workers -> shared proof store):
+
+* :mod:`repro.dist.protocol` — picklable lease / result / heartbeat
+  records; the only things that cross a process boundary.
+* :mod:`repro.dist.queue` — SQLite work queue next to the proof store:
+  atomic claims, heartbeat-extended leases, expired-lease requeue,
+  guarded completion (late results from presumed-dead workers are
+  discarded, so no verdict is ever lost or duplicated).
+* :mod:`repro.dist.worker` — the worker loop (``repro-verify worker``):
+  claim, recompile from the registry, race through the portfolio
+  scheduler into the shared store, heartbeat throughout.
+* :mod:`repro.dist.coordinator` — supervision (requeue, respawn, inline
+  drain, adaptive-fallback reruns) plus :class:`DistributedDispatcher`,
+  the drop-in :class:`~repro.campaign.scheduler.Dispatcher` that makes
+  ``CampaignScheduler.run()`` identical for local and distributed runs.
+"""
+
+from repro.dist.coordinator import (Coordinator, DistributedDispatcher,
+                                    job_id_for, spec_from_job)
+from repro.dist.protocol import (JOB_DONE, JOB_LEASED, JOB_PENDING,
+                                 Heartbeat, JobResult, JobSpec, Lease)
+from repro.dist.queue import STATE_CLOSED, STATE_OPEN, WorkQueue
+from repro.dist.worker import Worker
+
+__all__ = [
+    "Coordinator",
+    "DistributedDispatcher",
+    "Heartbeat",
+    "JOB_DONE",
+    "JOB_LEASED",
+    "JOB_PENDING",
+    "JobResult",
+    "JobSpec",
+    "Lease",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "WorkQueue",
+    "Worker",
+    "job_id_for",
+    "spec_from_job",
+]

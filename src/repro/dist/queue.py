@@ -1,0 +1,393 @@
+"""SQLite-backed work queue: the distributed campaign's dispatch fabric.
+
+One ``queue.sqlite`` file, living next to the proof store inside the
+campaign's ``--cache-dir``, coordinates any number of worker processes
+with no network and no daemon — workers and coordinator rendezvous on
+the filesystem alone, which is exactly the deployment story of the
+proof store itself.
+
+The lease protocol:
+
+* the coordinator ``enqueue``\\ s :class:`~repro.dist.protocol.JobSpec`
+  rows (highest campaign priority first) and opens the queue;
+* a worker ``claim``\\ s the best pending job inside one ``BEGIN
+  IMMEDIATE`` transaction — claims are atomic across processes, two
+  workers can never hold the same job;
+* the worker heartbeats while solving, which extends its lease
+  deadline; ``complete`` records the result, guarded by ``(job_id,
+  worker_id, leased)`` so a requeued job's late completion from a
+  presumed-dead worker is discarded instead of double-reported;
+* the coordinator periodically ``requeue_expired``\\ s: any lease whose
+  deadline passed (crashed or stalled worker) goes back to pending —
+  or, after ``max_attempts`` claims, is poisoned with an UNKNOWN
+  verdict so one broken job can never wedge a campaign.
+
+Unlike the proof store (a cache that degrades rather than raises), the
+queue is *coordination state*: non-lock SQLite errors propagate.  Lock
+collisions are retried with the store's shared backoff helper on top of
+a generous ``busy_timeout``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.campaign.report import WorkerStat
+from repro.campaign.scheduler import DispatchOutcome
+# The store's lock-retry policy is deliberately shared: both files sit
+# in the same cache directory and see the same contention patterns.
+from repro.campaign.store import BUSY_TIMEOUT_MS, _with_lock_retry
+from repro.dist.protocol import (JOB_DONE, JOB_LEASED, JOB_PENDING,
+                                 Heartbeat, JobResult, JobSpec, Lease)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    priority     REAL NOT NULL,
+    status       TEXT NOT NULL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    worker_id    TEXT,
+    lease_expiry REAL,
+    spec         BLOB NOT NULL,
+    result       BLOB,
+    created      REAL NOT NULL,
+    updated      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_status_priority
+    ON jobs (status, priority DESC);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id      TEXT PRIMARY KEY,
+    pid            INTEGER,
+    started        REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    jobs_done      INTEGER NOT NULL DEFAULT 0,
+    busy_seconds   REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: Queue lifecycle states (``meta`` table, key ``state``).
+STATE_OPEN = "open"          # more work may still arrive; workers poll
+STATE_CLOSED = "closed"      # campaign over; idle workers exit
+
+
+class WorkQueue:
+    """One process's handle on the shared on-disk work queue.
+
+    Thread-safe behind one lock (a worker's heartbeat thread shares the
+    handle with its solve loop); cross-process safety comes from SQLite
+    itself — every read-modify-write runs inside ``BEGIN IMMEDIATE``.
+    """
+
+    FILENAME = "queue.sqlite"
+    DEFAULT_MAX_ATTEMPTS = 3
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path),
+                                     check_same_thread=False,
+                                     isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        with self._lock:
+            _with_lock_retry(lambda: self._conn.executescript(_SCHEMA))
+
+    @classmethod
+    def open(cls, cache_dir: str | Path) -> "WorkQueue":
+        """The queue inside ``cache_dir`` (created if missing)."""
+        directory = Path(cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / cls.FILENAME)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    @contextmanager
+    def _txn(self) -> Iterator[None]:
+        """One atomic read-modify-write against the shared file."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Wipe all queue state for a fresh campaign (store untouched)."""
+        def wipe() -> None:
+            with self._txn():
+                self._conn.execute("DELETE FROM jobs")
+                self._conn.execute("DELETE FROM workers")
+                self._conn.execute("DELETE FROM meta")
+
+        with self._lock:
+            _with_lock_retry(wipe)
+
+    def enqueue(self, specs: Iterable[JobSpec],
+                max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
+        """Add jobs as pending; returns how many were added."""
+        now = time.time()
+        rows = [(spec.job_id, spec.priority, JOB_PENDING, max_attempts,
+                 pickle.dumps(spec, pickle.HIGHEST_PROTOCOL), now, now)
+                for spec in specs]
+
+        def insert() -> None:
+            with self._txn():
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO jobs (job_id, priority, "
+                    "status, max_attempts, spec, created, updated) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)", rows)
+
+        with self._lock:
+            _with_lock_retry(insert)
+        return len(rows)
+
+    def set_state(self, state: str) -> None:
+        def write() -> None:
+            with self._txn():
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('state', ?)", (state,))
+
+        with self._lock:
+            _with_lock_retry(write)
+
+    def state(self) -> str:
+        with self._lock:
+            row = _with_lock_retry(lambda: self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'state'").fetchone())
+        return row[0] if row is not None else STATE_OPEN
+
+    def requeue_expired(self, now: float | None = None
+                        ) -> list[tuple[str, str]]:
+        """Reclaim every lease whose deadline passed.
+
+        Jobs with attempts left go back to pending (another worker will
+        pick them up); exhausted jobs are poisoned with an UNKNOWN
+        verdict.  Returns ``(job_id, worker_id)`` for each reclaimed
+        lease — the worker named is the one presumed dead.
+        """
+        deadline = now if now is not None else time.time()
+
+        def reap() -> list[tuple[str, str]]:
+            reclaimed: list[tuple[str, str]] = []
+            with self._txn():
+                rows = self._conn.execute(
+                    "SELECT job_id, worker_id, attempts, max_attempts, "
+                    "spec FROM jobs WHERE status = ? AND lease_expiry < ?",
+                    (JOB_LEASED, deadline)).fetchall()
+                for job_id, worker_id, attempts, max_attempts, blob in rows:
+                    if attempts >= max_attempts:
+                        self._poison(job_id, blob,
+                                     f"lease expired {attempts} times")
+                    else:
+                        self._conn.execute(
+                            "UPDATE jobs SET status = ?, worker_id = NULL, "
+                            "lease_expiry = NULL, updated = ? "
+                            "WHERE job_id = ?",
+                            (JOB_PENDING, deadline, job_id))
+                    reclaimed.append((job_id, worker_id or ""))
+            return reclaimed
+
+        with self._lock:
+            return _with_lock_retry(reap)
+
+    def _poison(self, job_id: str, spec_blob: bytes, error: str) -> None:
+        """Mark an unrunnable job done with an UNKNOWN verdict (caller
+        holds the lock and an open transaction)."""
+        spec: JobSpec = pickle.loads(spec_blob)
+        result = JobResult(
+            job_id=job_id,
+            outcome=DispatchOutcome(
+                design=spec.design, property_name=spec.property_name,
+                status="unknown",
+                strategy=spec.specs[0] if spec.specs else "",
+                wall_seconds=0.0, k=0, from_cache=False,
+                fallback=spec.fallback),
+            error=error)
+        self._conn.execute(
+            "UPDATE jobs SET status = ?, result = ?, updated = ? "
+            "WHERE job_id = ?",
+            (JOB_DONE, pickle.dumps(result, pickle.HIGHEST_PROTOCOL),
+             time.time(), job_id))
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str, pid: int) -> None:
+        now = time.time()
+
+        def write() -> None:
+            with self._txn():
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO workers (worker_id, pid, "
+                    "started, last_heartbeat) VALUES (?, ?, ?, ?)",
+                    (worker_id, pid, now, now))
+
+        with self._lock:
+            _with_lock_retry(write)
+
+    def claim(self, worker_id: str,
+              lease_seconds: float) -> Lease | None:
+        """Atomically lease the best pending job, or ``None`` if idle."""
+        now = time.time()
+
+        def txn() -> Lease | None:
+            with self._txn():
+                row = self._conn.execute(
+                    "SELECT job_id, spec, attempts FROM jobs "
+                    "WHERE status = ? ORDER BY priority DESC, created "
+                    "LIMIT 1", (JOB_PENDING,)).fetchone()
+                if row is None:
+                    return None
+                job_id, blob, attempts = row
+                expires = now + lease_seconds
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, worker_id = ?, "
+                    "lease_expiry = ?, attempts = ?, updated = ? "
+                    "WHERE job_id = ?",
+                    (JOB_LEASED, worker_id, expires, attempts + 1, now,
+                     job_id))
+                return Lease(spec=pickle.loads(blob),
+                             worker_id=worker_id, expires=expires,
+                             attempt=attempts + 1)
+
+        with self._lock:
+            return _with_lock_retry(txn)
+
+    def heartbeat(self, beat: Heartbeat, lease_seconds: float) -> None:
+        """Record liveness and extend the worker's active lease(s)."""
+        def write() -> None:
+            with self._txn():
+                # Upsert, not update: a coordinator's reset() wipes the
+                # workers table, and a standalone worker that registered
+                # before the campaign must reappear, not vanish from the
+                # throughput accounting.
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO workers (worker_id, started, "
+                    "last_heartbeat) VALUES (?, ?, ?)",
+                    (beat.worker_id, beat.sent, beat.sent))
+                self._conn.execute(
+                    "UPDATE workers SET last_heartbeat = ? "
+                    "WHERE worker_id = ?", (beat.sent, beat.worker_id))
+                self._conn.execute(
+                    "UPDATE jobs SET lease_expiry = ? "
+                    "WHERE worker_id = ? AND status = ?",
+                    (beat.sent + lease_seconds, beat.worker_id,
+                     JOB_LEASED))
+
+        with self._lock:
+            _with_lock_retry(write)
+
+    def complete(self, result: JobResult, worker_id: str) -> bool:
+        """Record a finished job; ``False`` if this worker's lease was
+        already reclaimed (the late result is discarded — the verdict
+        the requeued attempt produces is the one reported, so nothing
+        is duplicated)."""
+        now = time.time()
+        blob = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+
+        def txn() -> bool:
+            with self._txn():
+                cur = self._conn.execute(
+                    "UPDATE jobs SET status = ?, result = ?, updated = ? "
+                    "WHERE job_id = ? AND worker_id = ? AND status = ?",
+                    (JOB_DONE, blob, now, result.job_id, worker_id,
+                     JOB_LEASED))
+                if cur.rowcount == 0:
+                    return False
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO workers (worker_id, started, "
+                    "last_heartbeat) VALUES (?, ?, ?)",
+                    (worker_id, now, now))
+                self._conn.execute(
+                    "UPDATE workers SET jobs_done = jobs_done + 1, "
+                    "busy_seconds = busy_seconds + ?, last_heartbeat = ? "
+                    "WHERE worker_id = ?",
+                    (result.busy_seconds, now, worker_id))
+                return True
+
+        with self._lock:
+            return _with_lock_retry(txn)
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+        """A worker could not run its job: requeue or poison it."""
+        def txn() -> None:
+            with self._txn():
+                row = self._conn.execute(
+                    "SELECT attempts, max_attempts, spec FROM jobs "
+                    "WHERE job_id = ? AND worker_id = ? AND status = ?",
+                    (job_id, worker_id, JOB_LEASED)).fetchone()
+                if row is None:
+                    return  # lease already reclaimed; nothing to do
+                attempts, max_attempts, blob = row
+                if attempts >= max_attempts:
+                    self._poison(job_id, blob, error)
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET status = ?, worker_id = NULL, "
+                        "lease_expiry = NULL, updated = ? "
+                        "WHERE job_id = ?",
+                        (JOB_PENDING, time.time(), job_id))
+
+        with self._lock:
+            _with_lock_retry(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = _with_lock_retry(lambda: self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs "
+                "GROUP BY status").fetchall())
+        return dict(rows)
+
+    def unfinished(self) -> int:
+        """Jobs not yet done (pending + leased)."""
+        counts = self.counts()
+        return counts.get(JOB_PENDING, 0) + counts.get(JOB_LEASED, 0)
+
+    def results(self) -> dict[str, JobResult]:
+        """Every completed job's :class:`JobResult`, by job id."""
+        with self._lock:
+            rows = _with_lock_retry(lambda: self._conn.execute(
+                "SELECT job_id, result FROM jobs "
+                "WHERE status = ? AND result IS NOT NULL",
+                (JOB_DONE,)).fetchall())
+        out: dict[str, JobResult] = {}
+        for job_id, blob in rows:
+            try:
+                loaded = pickle.loads(blob)
+            except Exception:
+                continue  # a torn result row reads as still-missing
+            if isinstance(loaded, JobResult):
+                out[job_id] = loaded
+        return out
+
+    def worker_stats(self) -> list[WorkerStat]:
+        with self._lock:
+            rows = _with_lock_retry(lambda: self._conn.execute(
+                "SELECT worker_id, jobs_done, busy_seconds FROM workers "
+                "ORDER BY worker_id").fetchall())
+        return [WorkerStat(worker_id=w, jobs_done=j, busy_seconds=b)
+                for w, j, b in rows]

@@ -1,0 +1,173 @@
+"""Distributed campaign worker: claims leases, proves, heartbeats.
+
+One worker process owns one :class:`~repro.dist.queue.WorkQueue` handle
+and one two-tier result cache backed by the shared
+:class:`~repro.campaign.store.ProofStore`.  Its loop is deliberately
+dumb: claim the best pending job, recompile the (design, property) from
+the registry — which fingerprints the query exactly as every other
+layer does, so the verdict lands in the shared store under the same key
+— race the job's strategy specs through the ordinary
+:class:`~repro.mc.portfolio.PortfolioScheduler`, report the outcome,
+repeat.  A daemon thread heartbeats throughout, extending the lease so
+the coordinator only reclaims jobs from workers that actually died.
+
+Run standalone via ``repro-verify worker --cache-dir DIR`` (point any
+number of machines/processes at one shared directory), or let the
+coordinator spawn local workers with ``campaign --workers N``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.campaign.scheduler import DispatchOutcome, compile_design
+from repro.campaign.store import ProofStore
+from repro.designs.registry import get_design
+from repro.dist.protocol import Heartbeat, JobResult, JobSpec, Lease
+from repro.dist.queue import STATE_CLOSED, WorkQueue
+from repro.mc.cache import ResultCache
+from repro.mc.portfolio import PortfolioScheduler, VerifyTask
+
+
+class Worker:
+    """One worker process's claim/prove/report loop.
+
+    ``lease_seconds`` is the crash-detection horizon: a worker that
+    stops heartbeating for this long forfeits its job.  ``idle_timeout``
+    (seconds without work) and ``max_jobs`` bound standalone workers;
+    coordinator-spawned workers instead exit when the queue closes.
+    """
+
+    def __init__(self, cache_dir: str | Path,
+                 worker_id: str | None = None,
+                 lease_seconds: float = 15.0,
+                 poll_interval: float = 0.2,
+                 idle_timeout: float | None = None,
+                 max_jobs: int | None = None,
+                 jobs: int = 1):
+        self.cache_dir = Path(cache_dir)
+        self.worker_id = worker_id or f"w-{os.getpid()}"
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.max_jobs = max_jobs
+        self.jobs = jobs
+        self.queue = WorkQueue.open(self.cache_dir)
+        self.store = ProofStore.open(self.cache_dir)
+        self.cache = ResultCache(backing=self.store)
+        self._scheduler = PortfolioScheduler(jobs=jobs, cache=self.cache)
+        # design name -> property name -> (compiled prop, scoped system)
+        self._compiled: dict[str, dict] = {}
+        self._current_job: str | None = None
+        self._stop_beats = threading.Event()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Process jobs until the queue closes (or idle/max bounds hit).
+
+        Returns the number of jobs this worker completed.
+        """
+        self.queue.register_worker(self.worker_id, os.getpid())
+        beats = threading.Thread(target=self._beat_loop, daemon=True)
+        beats.start()
+        done = 0
+        idle_since: float | None = None
+        try:
+            while self.max_jobs is None or done < self.max_jobs:
+                try:
+                    lease = self.queue.claim(self.worker_id,
+                                             self.lease_seconds)
+                except sqlite3.Error:
+                    time.sleep(self.poll_interval)
+                    continue
+                if lease is None:
+                    if self.queue.state() == STATE_CLOSED:
+                        break
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    elif self.idle_timeout is not None and \
+                            now - idle_since >= self.idle_timeout:
+                        break
+                    time.sleep(self.poll_interval)
+                    continue
+                idle_since = None
+                if self._process(lease):
+                    done += 1
+        finally:
+            self._stop_beats.set()
+            beats.join(timeout=2.0)
+            self.queue.close()
+            self.store.close()
+        return done
+
+    # ------------------------------------------------------------------
+
+    def _process(self, lease: Lease) -> bool:
+        spec = lease.spec
+        self._current_job = spec.job_id
+        started = time.perf_counter()
+        try:
+            result = self._execute(spec)
+        except Exception as exc:
+            self._current_job = None
+            self.queue.fail(spec.job_id, self.worker_id,
+                            f"{type(exc).__name__}: {exc}")
+            return False
+        result = replace(result,
+                         busy_seconds=time.perf_counter() - started)
+        self._current_job = None
+        return self.queue.complete(result, self.worker_id)
+
+    def _execute(self, spec: JobSpec) -> JobResult:
+        prop, scoped = self._compile(spec)
+        task = VerifyTask(scoped, prop, tag=spec.design,
+                          strategies=spec.specs)
+        stats_before = replace(self.cache.stats)
+        outcome = next(iter(self._scheduler.stream([task])))
+        return JobResult(
+            job_id=spec.job_id,
+            outcome=DispatchOutcome(
+                design=spec.design, property_name=spec.property_name,
+                status=outcome.result.status.value,
+                strategy=outcome.strategy,
+                wall_seconds=outcome.result.stats.wall_seconds,
+                k=outcome.result.k, from_cache=outcome.from_cache,
+                fallback=spec.fallback, worker_id=self.worker_id),
+            cache=self.cache.stats.since(stats_before))
+
+    def _compile(self, spec: JobSpec):
+        """The (property, scoped system) for one job, compiled once per
+        design per worker — the same pipeline the campaign scheduler and
+        single-design runs use, so cache keys are identical."""
+        per_design = self._compiled.get(spec.design)
+        if per_design is None:
+            design = get_design(spec.design)
+            per_design = {prop.name: (prop, scoped)
+                          for _spec, prop, scoped in compile_design(design)}
+            self._compiled[spec.design] = per_design
+        try:
+            return per_design[spec.property_name]
+        except KeyError:
+            raise ValueError(
+                f"design {spec.design!r} has no property "
+                f"{spec.property_name!r}")
+
+    # ------------------------------------------------------------------
+
+    def _beat_loop(self) -> None:
+        interval = max(self.lease_seconds / 3.0, 0.05)
+        while not self._stop_beats.wait(interval):
+            try:
+                self.queue.heartbeat(
+                    Heartbeat(worker_id=self.worker_id, sent=time.time(),
+                              job_id=self._current_job),
+                    self.lease_seconds)
+            except sqlite3.Error:
+                pass  # next beat retries; the lease has slack for this

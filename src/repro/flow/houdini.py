@@ -27,7 +27,7 @@ from repro.ir.system import TransitionSystem
 from repro.mc.cache import ResultCache, run_cached
 from repro.mc.portfolio import PortfolioScheduler
 from repro.mc.property import SafetyProperty
-from repro.mc.result import CheckResult, ProofStats, Status
+from repro.mc.result import ProofStats, Status
 from repro.trace.trace import Trace
 
 

@@ -14,7 +14,7 @@ Pipeline stages (each one a measured filter):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.designs.base import Design
 from repro.flow.houdini import houdini_prove

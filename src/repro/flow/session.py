@@ -25,6 +25,8 @@ history.  :func:`run_campaign` is the cross-design entry point the CLI's
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -222,7 +224,10 @@ def run_campaign(designs: list[str] | None = None,
                  adaptive: bool = True,
                  min_samples: int = 3,
                  max_k: int | None = None,
-                 bmc_bound: int | None = None) -> CampaignReport:
+                 bmc_bound: int | None = None,
+                 workers: int = 0,
+                 lease_seconds: float = 15.0,
+                 wall_timeout: float | None = None) -> CampaignReport:
     """Verify many designs in one cross-design campaign.
 
     ``designs`` are registry names (default: the whole registry).  With
@@ -231,12 +236,52 @@ def run_campaign(designs: list[str] | None = None,
     answered from it without re-proving, and its accumulated history
     drives adaptive strategy selection.  Without either, an in-memory
     store scopes all of that to this process.
+
+    ``workers=N`` (N >= 1) dispatches the job pool across N local worker
+    processes instead of running it in-process: the coordinator leases
+    jobs through a SQLite work queue next to the proof store, workers
+    write into the shared store, and crashed workers' jobs are requeued
+    (see :mod:`repro.dist`).  Verdicts are identical either way.
+    Crash detection is heartbeat-based, so a worker stuck *inside* one
+    solver call (alive and still beating) keeps its lease;
+    ``wall_timeout`` bounds the whole distributed run as the guard for
+    that case.  A distributed run needs an on-disk rendezvous point, so
+    without a
+    ``cache_dir`` (or a file-backed ``store``) a temporary directory is
+    used and discarded afterwards — matching the single-process
+    in-memory default.
     """
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = run in-process)")
+    scratch_dir: str | None = None
+    if workers > 0 and cache_dir is None:
+        if store is not None and store.path is not None:
+            cache_dir = store.path.parent
+        else:
+            if store is not None:
+                raise ValueError(
+                    "a distributed campaign (workers >= 1) cannot share "
+                    "an in-memory store across processes; pass cache_dir "
+                    "or a file-backed store")
+            scratch_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+            cache_dir = scratch_dir
     if store is None:
         store = ProofStore.open(cache_dir) if cache_dir is not None \
             else ProofStore.in_memory()
-    scheduler = CampaignScheduler(
-        select_designs(designs), store, jobs=jobs,
-        strategies=strategies, adaptive=adaptive,
-        min_samples=min_samples, max_k=max_k, bmc_bound=bmc_bound)
-    return scheduler.run()
+    dispatcher = None
+    if workers > 0:
+        from repro.dist import DistributedDispatcher
+        dispatcher = DistributedDispatcher(cache_dir, workers=workers,
+                                           lease_seconds=lease_seconds,
+                                           wall_timeout=wall_timeout)
+    try:
+        scheduler = CampaignScheduler(
+            select_designs(designs), store, jobs=jobs,
+            strategies=strategies, adaptive=adaptive,
+            min_samples=min_samples, max_k=max_k, bmc_bound=bmc_bound,
+            dispatcher=dispatcher)
+        return scheduler.run()
+    finally:
+        if scratch_dir is not None:
+            store.close()
+            shutil.rmtree(scratch_dir, ignore_errors=True)

@@ -7,7 +7,7 @@ the surviving helpers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mc.result import CheckResult
 

@@ -16,7 +16,7 @@ import hashlib
 import random
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.errors import GenAiError

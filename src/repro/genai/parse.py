@@ -11,7 +11,7 @@ measurements the Section V model comparison reports.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import HdlError, PropertyError
 from repro.ir.system import TransitionSystem

@@ -32,7 +32,7 @@ approximated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ElaborationError
 from repro.hdl import ast

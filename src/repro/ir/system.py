@@ -20,8 +20,8 @@ equation, and every cycle satisfies every constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 from repro.errors import SystemError_
 from repro.ir import expr as E

@@ -36,21 +36,21 @@ def bmc(system: TransitionSystem, prop: SafetyProperty, bound: int,
     never used for proofs.
     """
     resolved = prop.resolved_against(system)
-    lemma_pairs = [(system.resolve_defines(l), vf)
-                   for l, vf in (lemmas or [])]
+    lemma_pairs = [(system.resolve_defines(g), vf)
+                   for g, vf in (lemmas or [])]
     stats = ProofStats()
     frame = FrameSolver(system)
     with StatsTimer(stats):
         frame.add_init()
-        for l, vf in lemma_pairs:
+        for g, vf in lemma_pairs:
             if vf <= 0:
-                frame.assert_at(l, 0)
+                frame.assert_at(g, 0)
         for t in range(bound + 1):
             if t > 0:
                 frame.add_frame(t - 1)
-                for l, vf in lemma_pairs:
+                for g, vf in lemma_pairs:
                     if vf <= t:
-                        frame.assert_at(l, t)
+                        frame.assert_at(g, t)
             stats.max_depth = t
             if t < resolved.valid_from:
                 continue
@@ -95,8 +95,8 @@ def bmc_probe(system: TransitionSystem, prop: SafetyProperty, bound: int,
     more expensive reasoning, never as a proof.
     """
     resolved = prop.resolved_against(system)
-    lemma_pairs = [(system.resolve_defines(l), vf)
-                   for l, vf in (lemmas or [])]
+    lemma_pairs = [(system.resolve_defines(g), vf)
+                   for g, vf in (lemmas or [])]
     stats = ProofStats()
     frame = FrameSolver(system)
     with StatsTimer(stats):
@@ -105,9 +105,9 @@ def bmc_probe(system: TransitionSystem, prop: SafetyProperty, bound: int,
         for t in range(bound + 1):
             if t > 0:
                 frame.add_frame(t - 1)
-            for l, vf in lemma_pairs:
+            for g, vf in lemma_pairs:
                 if vf <= t:
-                    frame.assert_at(l, t)
+                    frame.assert_at(g, t)
             if t >= resolved.valid_from:
                 bads.append(frame.unroller.at_time(resolved.bad, t))
         stats.max_depth = bound

@@ -8,7 +8,7 @@ reports uniform :class:`~repro.mc.result.CheckResult` records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 from repro.ir import expr as E

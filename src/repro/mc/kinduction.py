@@ -55,8 +55,8 @@ def k_induction(system: TransitionSystem, prop: SafetyProperty,
     """
     opts = options or KInductionOptions()
     resolved = prop.resolved_against(system)
-    lemma_pairs = [(system.resolve_defines(l), vf)
-                   for l, vf in (lemmas or [])]
+    lemma_pairs = [(system.resolve_defines(g), vf)
+                   for g, vf in (lemmas or [])]
     stats = ProofStats()
 
     base = FrameSolver(system)
@@ -69,13 +69,13 @@ def k_induction(system: TransitionSystem, prop: SafetyProperty,
         # window sits at arbitrary late absolute times, so every lemma
         # holds at every frame.
         base.add_init()
-        for l, vf in lemma_pairs:
+        for g, vf in lemma_pairs:
             if vf <= 0:
-                base.assert_at(l, 0)
+                base.assert_at(g, 0)
         for c in step.unroller.constraints_at(0):
             step.assert_expr(c)
-        for l, _vf in lemma_pairs:
-            step.assert_at(l, 0)
+        for g, _vf in lemma_pairs:
+            step.assert_at(g, 0)
 
         base_depth = 0  # frames already unrolled in the base solver
 
@@ -89,9 +89,9 @@ def k_induction(system: TransitionSystem, prop: SafetyProperty,
                 t = base_depth
                 if t > 0:
                     base.add_frame(t - 1)
-                    for l, vf in lemma_pairs:
+                    for g, vf in lemma_pairs:
                         if vf <= t:
-                            base.assert_at(l, t)
+                            base.assert_at(g, t)
                 if t >= resolved.valid_from:
                     bad_t = base.unroller.at_time(resolved.bad, t)
                     if base.solve([base.assumption_for(bad_t)]):
@@ -108,8 +108,8 @@ def k_induction(system: TransitionSystem, prop: SafetyProperty,
 
             # ---- inductive step: good at 0..k-1, bad at k ---------------
             step.add_frame(k - 1)
-            for l, _vf in lemma_pairs:
-                step.assert_at(l, k)
+            for g, _vf in lemma_pairs:
+                step.assert_at(g, k)
             good_prev = step.unroller.at_time(resolved.good, k - 1)
             step.assert_expr(good_prev)
             if opts.simple_path:

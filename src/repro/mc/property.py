@@ -9,7 +9,7 @@ hand-written checks can construct them directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PropertyError
 from repro.ir import expr as E

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Iterable
 
 
 class Table:

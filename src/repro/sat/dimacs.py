@@ -49,7 +49,7 @@ def to_dimacs(num_vars: int, clauses: Iterable[list[int]]) -> str:
     clause_list = [list(c) for c in clauses]
     lines = [f"p cnf {num_vars} {len(clause_list)}"]
     for clause in clause_list:
-        lines.append(" ".join(str(l) for l in clause) + " 0")
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
     return "\n".join(lines) + "\n"
 
 

@@ -387,7 +387,7 @@ class Solver:
         self._enqueue(learnt[0], clause)
 
     def _compute_lbd(self, lits: list[int]) -> int:
-        return len({self._level[l >> 1] for l in lits})
+        return len({self._level[lit >> 1] for lit in lits})
 
     def _reduce_db(self) -> None:
         """Remove the worse half of learnt clauses (high LBD, low activity)."""

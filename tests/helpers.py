@@ -16,7 +16,8 @@ def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
 
     assert num_vars <= 16
     for bits in itertools.product((False, True), repeat=num_vars):
-        if all(any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1])
-                   for l in clause) for clause in clauses):
+        if all(any((bits[abs(lit) - 1] if lit > 0
+                    else not bits[abs(lit) - 1])
+                   for lit in clause) for clause in clauses):
             return True
     return False

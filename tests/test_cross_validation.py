@@ -13,7 +13,6 @@ can offer about itself:
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.aig.bitblast import BitBlaster
@@ -25,7 +24,7 @@ from repro.mc import SafetyProperty, Status, bmc, k_induction
 from repro.mc.kinduction import KInductionOptions
 from repro.sat.solver import Solver
 from repro.sim import Simulator
-from repro.utils.bits import mask, to_signed
+from repro.utils.bits import mask
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,377 @@
+"""Distributed campaign subsystem: queue, protocol, workers, recovery."""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+import time
+from multiprocessing import Process
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import DispatchOutcome, ProofStore
+from repro.designs import get_design
+from repro.dist import (JOB_DONE, JOB_PENDING, STATE_CLOSED, STATE_OPEN,
+                        Heartbeat, JobResult, JobSpec, Lease, WorkQueue,
+                        Worker)
+from repro.flow import run_campaign
+from repro.mc import Status
+from repro.mc.result import CheckResult, ProofStats
+
+
+def _spec(job_id: str = "d1::p1", design: str = "d1", prop: str = "p1",
+          priority: float = 0.0, fallback: bool = False) -> JobSpec:
+    return JobSpec(job_id=job_id, design=design, property_name=prop,
+                   specs=("k_induction", "bmc"),
+                   full_specs=("k_induction", "bmc"),
+                   priority=priority, fallback=fallback)
+
+
+def _result(spec: JobSpec, status: str = "proven",
+            worker_id: str = "w1") -> JobResult:
+    return JobResult(
+        job_id=spec.job_id,
+        outcome=DispatchOutcome(
+            design=spec.design, property_name=spec.property_name,
+            status=status, strategy="k_induction", wall_seconds=0.5,
+            k=2, from_cache=False, worker_id=worker_id),
+        busy_seconds=0.5)
+
+
+def _design_specs(design_name: str, max_k: int = 3) -> list[JobSpec]:
+    """Real, runnable job specs for every property of one design."""
+    design = get_design(design_name)
+    race = (f"k_induction(max_k={max_k})", "bmc")
+    return [JobSpec(job_id=f"{design_name}::{spec.name}",
+                    design=design_name, property_name=spec.name,
+                    specs=race, full_specs=race,
+                    priority=float(-i), order=i)
+            for i, spec in enumerate(design.properties)]
+
+
+class TestProtocol:
+    def test_records_pickle_round_trip(self):
+        spec = _spec()
+        lease = Lease(spec=spec, worker_id="w1", expires=123.0, attempt=2)
+        beat = Heartbeat(worker_id="w1", sent=124.0, job_id=spec.job_id)
+        result = _result(spec)
+        for record in (spec, lease, beat, result):
+            clone = pickle.loads(pickle.dumps(record))
+            assert clone == record
+
+
+class TestWorkQueue:
+    def test_claim_is_priority_ordered_and_exclusive(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([_spec("a", priority=1.0),
+                       _spec("b", priority=5.0),
+                       _spec("c", priority=3.0)])
+        first = queue.claim("w1", lease_seconds=30)
+        second = queue.claim("w2", lease_seconds=30)
+        assert first.spec.job_id == "b"          # highest priority first
+        assert second.spec.job_id == "c"
+        assert first.attempt == 1
+        third = queue.claim("w3", lease_seconds=30)
+        assert third.spec.job_id == "a"
+        assert queue.claim("w4", lease_seconds=30) is None
+
+    def test_complete_records_result_and_worker_stats(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.register_worker("w1", pid=123)
+        queue.enqueue([_spec("a")])
+        lease = queue.claim("w1", lease_seconds=30)
+        assert queue.complete(_result(lease.spec), "w1") is True
+        assert queue.counts() == {JOB_DONE: 1}
+        assert queue.unfinished() == 0
+        results = queue.results()
+        assert results["a"].outcome.status == "proven"
+        (stat,) = queue.worker_stats()
+        assert stat.worker_id == "w1"
+        assert stat.jobs_done == 1
+        assert stat.busy_seconds == pytest.approx(0.5)
+
+    def test_expired_lease_is_requeued(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([_spec("a")])
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        assert queue.requeue_expired() == [("a", "w1")]
+        assert queue.counts() == {JOB_PENDING: 1}
+        # The requeued job is claimable again, as a second attempt.
+        lease = queue.claim("w2", lease_seconds=30)
+        assert lease.spec.job_id == "a"
+        assert lease.attempt == 2
+
+    def test_heartbeat_extends_the_lease(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.register_worker("w1", pid=1)
+        queue.enqueue([_spec("a")])
+        queue.claim("w1", lease_seconds=0.05)
+        queue.heartbeat(Heartbeat(worker_id="w1", sent=time.time(),
+                                  job_id="a"), lease_seconds=60)
+        time.sleep(0.06)   # past the original deadline, inside the new
+        assert queue.requeue_expired() == []
+        assert queue.counts() == {"leased": 1}
+
+    def test_late_completion_from_presumed_dead_worker_is_discarded(
+            self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.register_worker("w1", pid=1)
+        queue.register_worker("w2", pid=2)
+        queue.enqueue([_spec("a")])
+        stale = queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        queue.requeue_expired()
+        fresh = queue.claim("w2", lease_seconds=30)
+        assert queue.complete(_result(fresh.spec, worker_id="w2"),
+                              "w2") is True
+        # w1 wakes up and reports late: discarded, not duplicated.
+        assert queue.complete(_result(stale.spec, worker_id="w1"),
+                              "w1") is False
+        assert queue.counts() == {JOB_DONE: 1}
+        assert queue.results()["a"].outcome.worker_id == "w2"
+        stats = {s.worker_id: s.jobs_done for s in queue.worker_stats()}
+        assert stats == {"w1": 0, "w2": 1}
+
+    def test_fail_requeues_then_poisons_after_max_attempts(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([_spec("a")], max_attempts=2)
+        queue.claim("w1", lease_seconds=30)
+        queue.fail("a", "w1", "boom")
+        assert queue.counts() == {JOB_PENDING: 1}
+        queue.claim("w1", lease_seconds=30)
+        queue.fail("a", "w1", "boom again")
+        assert queue.counts() == {JOB_DONE: 1}
+        poisoned = queue.results()["a"]
+        assert poisoned.outcome.status == "unknown"
+        assert poisoned.error == "boom again"
+
+    def test_exhausted_expired_lease_is_poisoned_not_looped(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([_spec("a")], max_attempts=1)
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        assert queue.requeue_expired() == [("a", "w1")]
+        assert queue.counts() == {JOB_DONE: 1}
+        assert queue.results()["a"].outcome.status == "unknown"
+
+    def test_worker_stats_survive_coordinator_reset(self, tmp_path):
+        # A standalone worker registers, then a coordinator starts a
+        # campaign (reset wipes the tables): the worker's completions
+        # must re-create its stats row, not vanish from the accounting.
+        queue = WorkQueue.open(tmp_path)
+        queue.register_worker("standalone", pid=42)
+        queue.reset()
+        queue.enqueue([_spec("a")])
+        lease = queue.claim("standalone", lease_seconds=30)
+        assert queue.complete(_result(lease.spec,
+                                      worker_id="standalone"),
+                              "standalone") is True
+        (stat,) = queue.worker_stats()
+        assert stat.worker_id == "standalone"
+        assert stat.jobs_done == 1
+
+    def test_state_and_reset(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        assert queue.state() == STATE_OPEN       # the default
+        queue.set_state(STATE_CLOSED)
+        assert queue.state() == STATE_CLOSED
+        queue.enqueue([_spec("a")])
+        queue.reset()
+        assert queue.counts() == {}
+        assert queue.state() == STATE_OPEN
+
+
+class TestWorker:
+    def test_worker_drains_queue_into_shared_store(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue(_design_specs("updown_counter"))
+        queue.set_state(STATE_CLOSED)    # drain, then exit
+        worker = Worker(tmp_path, worker_id="w1", lease_seconds=10,
+                        poll_interval=0.02)
+        assert worker.run() == 2
+        queue_after = WorkQueue.open(tmp_path)
+        results = queue_after.results()
+        assert {r.outcome.status for r in results.values()} == {"proven"}
+        assert all(r.outcome.worker_id == "w1"
+                   for r in results.values())
+        # Verdicts landed in the shared proof store under content keys.
+        store = ProofStore.open(tmp_path)
+        assert len(store) > 0
+
+    def test_second_identical_job_answers_from_shared_store(self, tmp_path):
+        design = "updown_counter"
+        prop = get_design(design).properties[0].name
+        race = ("k_induction(max_k=3)", "bmc")
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([
+            JobSpec(job_id="cold", design=design, property_name=prop,
+                    specs=race, full_specs=race, priority=1.0),
+            JobSpec(job_id="warm", design=design, property_name=prop,
+                    specs=race, full_specs=race, priority=0.0),
+        ])
+        queue.set_state(STATE_CLOSED)
+        Worker(tmp_path, worker_id="w1", lease_seconds=10,
+               poll_interval=0.02).run()
+        results = WorkQueue.open(tmp_path).results()
+        assert results["cold"].outcome.from_cache is False
+        assert results["warm"].outcome.from_cache is True
+
+    def test_unrunnable_job_is_poisoned_and_worker_survives(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.enqueue([
+            JobSpec(job_id="bad", design="updown_counter",
+                    property_name="no_such_property",
+                    specs=("bmc",), full_specs=("bmc",), priority=1.0),
+        ] + _design_specs("updown_counter"), max_attempts=2)
+        queue.set_state(STATE_CLOSED)
+        done = Worker(tmp_path, worker_id="w1", lease_seconds=10,
+                      poll_interval=0.02).run()
+        assert done == 2                 # the two real jobs completed
+        results = WorkQueue.open(tmp_path).results()
+        assert len(results) == 3
+        assert results["bad"].outcome.status == "unknown"
+        assert "no_such_property" in results["bad"].error
+
+
+def _claim_and_hang(cache_dir: Path, lease_seconds: float):
+    """Spawn a real process that claims a lease and then never finishes
+    (the crash-recovery tests SIGKILL it mid-lease)."""
+    script = textwrap.dedent("""
+        import sys, time
+        from repro.dist import WorkQueue
+        queue = WorkQueue.open(sys.argv[1])
+        lease = queue.claim("doomed", float(sys.argv[2]))
+        assert lease is not None, "nothing to claim"
+        print(lease.spec.job_id, flush=True)
+        time.sleep(600)
+    """)
+    import repro
+    env = os.environ.copy()
+    env["PYTHONPATH"] = \
+        str(Path(repro.__file__).resolve().parent.parent) + \
+        os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(cache_dir),
+         str(lease_seconds)],
+        stdout=subprocess.PIPE, env=env, text=True)
+    claimed_job = proc.stdout.readline().strip()
+    return proc, claimed_job
+
+
+class TestCrashRecovery:
+    def test_killed_worker_job_is_requeued_and_completed_once(
+            self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        specs = _design_specs("updown_counter")
+        queue.enqueue(specs)
+        queue.set_state(STATE_CLOSED)
+
+        # A real worker process claims the best job, then dies mid-lease
+        # without completing or heartbeating.
+        proc, claimed_job = _claim_and_hang(tmp_path, lease_seconds=0.3)
+        assert claimed_job == specs[0].job_id
+        proc.kill()
+        proc.wait()
+
+        # Until the lease expires the job is protected ...
+        assert queue.requeue_expired() == []
+        time.sleep(0.35)
+        # ... then the coordinator's reaper hands it back to the pool.
+        assert queue.requeue_expired() == [(claimed_job, "doomed")]
+
+        # A surviving worker completes everything: every job has exactly
+        # one verdict, none lost to the crash, none duplicated.
+        survivor = Worker(tmp_path, worker_id="survivor",
+                          lease_seconds=10, poll_interval=0.02)
+        assert survivor.run() == len(specs)
+        results = WorkQueue.open(tmp_path).results()
+        assert sorted(results) == sorted(s.job_id for s in specs)
+        assert queue.counts() == {JOB_DONE: len(specs)}
+        assert results[claimed_job].outcome.worker_id == "survivor"
+        assert all(r.outcome.status == "proven"
+                   for r in results.values())
+
+
+class TestDistributedCampaign:
+    DESIGNS = ["updown_counter", "sync_counters_bug"]
+
+    def test_distributed_verdicts_match_single_process(self, tmp_path):
+        single = run_campaign(designs=self.DESIGNS,
+                              cache_dir=tmp_path / "single", max_k=3)
+        dist = run_campaign(designs=self.DESIGNS,
+                            cache_dir=tmp_path / "dist", max_k=3,
+                            workers=2, lease_seconds=10)
+        verdicts = lambda report: {  # noqa: E731
+            (r.design, r.property_name, r.status) for r in report.rows}
+        assert verdicts(dist) == verdicts(single)
+        assert dist.mismatches == 0
+        assert dist.workers == 2
+        assert dist.store_results > 0
+        # Per-worker throughput is reported, and accounts every job.
+        assert sum(s.jobs_done for s in dist.worker_stats) == \
+            len(dist.rows)
+        assert all(r.worker for r in dist.rows)
+
+    def test_distributed_history_is_recorded_once_per_property(
+            self, tmp_path):
+        report = run_campaign(designs=self.DESIGNS, cache_dir=tmp_path,
+                              max_k=3, workers=2, lease_seconds=10)
+        store = ProofStore.open(tmp_path)
+        # Only the coordinator writes history — one row per verdict.
+        assert store.history_size() == len(report.rows)
+
+    def test_distributed_campaign_without_cache_dir_uses_scratch(self):
+        report = run_campaign(designs=["updown_counter"], max_k=3,
+                              workers=2, lease_seconds=10)
+        assert report.mismatches == 0
+        assert report.workers == 2
+
+    def test_in_memory_store_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(designs=["updown_counter"], max_k=3, workers=2,
+                         store=ProofStore.in_memory())
+
+    def test_warm_distributed_rerun_hits_the_shared_store(self, tmp_path):
+        cold = run_campaign(designs=self.DESIGNS, cache_dir=tmp_path,
+                            max_k=3, workers=2, lease_seconds=10)
+        warm = run_campaign(designs=self.DESIGNS, cache_dir=tmp_path,
+                            max_k=3, workers=2, lease_seconds=10)
+        assert warm.cache.disk_hits > 0
+        assert warm.cache.misses == 0
+        verdicts = lambda report: {  # noqa: E731
+            (r.design, r.property_name, r.status) for r in report.rows}
+        assert verdicts(warm) == verdicts(cold)
+
+
+def _hammer_store(cache_dir: str, worker: int, writes: int) -> None:
+    store = ProofStore.open(cache_dir)
+    for i in range(writes):
+        result = CheckResult(f"prop_{worker}_{i}", Status.PROVEN, k=1,
+                             stats=ProofStats(wall_seconds=0.01))
+        store.store(f"key_{worker}_{i}", result)
+        store.record(design=f"d{worker}", family="fam",
+                     property_name=f"p{i}", strategy="bmc",
+                     status="proven", wall_seconds=0.01,
+                     from_cache=False)
+    store.close()
+
+
+class TestConcurrentStoreWriters:
+    def test_parallel_writers_never_lose_a_row(self, tmp_path):
+        """Four processes hammer one store; WAL + busy-timeout retries
+        must land every single write (the 'database is locked' fix)."""
+        writers, writes = 4, 25
+        procs = [Process(target=_hammer_store,
+                         args=(str(tmp_path), w, writes))
+                 for w in range(writers)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = ProofStore.open(tmp_path)
+        assert len(store) == writers * writes
+        assert store.history_size() == writers * writes

@@ -4,11 +4,10 @@ These are the end-to-end integration tests of the paper's contribution;
 every assertion here corresponds to a claim the benchmarks quantify.
 """
 
-import pytest
 
 from repro.designs import get_design
 from repro.flow import VerificationSession, houdini_prove
-from repro.genai.client import LLMResponse, SimulatedLLM
+from repro.genai.client import LLMResponse
 from repro.mc import Status
 from repro.mc.engine import EngineConfig
 from repro.sva import MonitorContext
@@ -141,8 +140,8 @@ class TestLemmaFlow:
         session = VerificationSession(get_design("sync_counters"),
                                       model="gpt-4o", seed=1)
         result = session.lemma_flow(targets=["equal_count"])
-        assert any("count1 == count2" in (l.source_text or "")
-                   for l in result.lemmas)
+        assert any("count1 == count2" in (lemma.source_text or "")
+                   for lemma in result.lemmas)
         assert result.targets[0].enabled_proof
 
     def test_outcome_lifecycle_recorded(self):

@@ -153,8 +153,9 @@ class TestStaticSynthesizer:
         design = get_design("sync_counters")
         with_spec = StaticSynthesizer(design.system(), design.spec)
         without = StaticSynthesizer(design.system(), "")
-        get = lambda s: next(c for c in s.candidates()
-                             if c.sva == "count1 == count2")
+        def get(s):
+            return next(c for c in s.candidates()
+                        if c.sva == "count1 == count2")
         assert get(with_spec).score > get(without).score
 
     def test_fifo_occupancy_relation_mined(self):

@@ -68,7 +68,7 @@ class TestBasics:
         assert s.solve() is True
         model = s.model()
         for c in clauses:
-            assert any(model[abs(l) - 1] == l for l in c)
+            assert any(model[abs(lit) - 1] == lit for lit in c)
 
     def test_model_unavailable_after_unsat(self):
         s = Solver()
@@ -206,7 +206,8 @@ class TestFuzzAgainstBruteForce:
             if got:
                 model = solver.model()
                 for clause in clauses:
-                    assert any(model[abs(l) - 1] == l for l in clause)
+                    assert any(model[abs(lit) - 1] == lit
+                               for lit in clause)
 
 
 class TestLuby:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import PropertyError
 from repro.hdl import elaborate
-from repro.mc import ProofEngine, SafetyProperty, Status
+from repro.mc import ProofEngine, Status
 from repro.mc.engine import EngineConfig
 from repro.sva import MonitorContext, compile_property, parse_property
 from repro.sva.parser import parse_properties

@@ -93,8 +93,8 @@ class TestVcd:
             if line.startswith("$var wire 1"):
                 en_id = line.split()[3]
         assert en_id is not None
-        changes = [l for l in vcd.splitlines()
-                   if l == f"1{en_id}" or l == f"0{en_id}"]
+        changes = [line for line in vcd.splitlines()
+                   if line == f"1{en_id}" or line == f"0{en_id}"]
         assert len(changes) == 1
 
 
