@@ -5,6 +5,10 @@ Layering (registry -> scheduler -> portfolio -> two-tier cache -> report):
 * :class:`~repro.campaign.store.ProofStore` — persistent SQLite proof
   store; plugs into :class:`~repro.mc.cache.ResultCache` as its disk
   tier and accumulates the outcome history adaptive selection mines.
+  One implementation of the :class:`~repro.dist.backend.StoreBackend`
+  interface — campaigns can point the same cache tier at a
+  ``repro-verify serve`` instance on another machine instead
+  (``--backend http://HOST:PORT``).
 * :class:`~repro.campaign.scheduler.CampaignScheduler` — flattens many
   designs into one job pool and drives the existing
   :class:`~repro.mc.portfolio.PortfolioScheduler` under a global job

@@ -14,6 +14,15 @@ any pruned race that ends inconclusive is re-raced with the full
 portfolio, so adaptive campaigns report the same verdicts as full ones.
 Every final outcome is appended to the store's history, feeding the next
 campaign's selector.
+
+Execution is delegated through the :class:`Dispatcher` interface:
+:class:`LocalDispatcher` streams the pool through one in-process
+portfolio scheduler, while
+:class:`~repro.dist.coordinator.DistributedDispatcher` fans it across
+worker processes rendezvousing on any shared backend (a cache
+directory or a ``repro-verify serve`` URL).  ``CampaignScheduler.run``
+is the same code either way — it records history and builds the report
+from dispatcher-neutral :class:`DispatchOutcome` records.
 """
 
 from __future__ import annotations

@@ -18,11 +18,17 @@ One SQLite file holds two tables:
   :class:`~repro.campaign.adaptive.AdaptiveSelector` mines for
   per-family strategy statistics.
 
-Robustness contract: the store degrades, it never raises into a proof.
-A corrupt database file is moved aside and a cold store opened in its
-place; if even that fails the store runs in-memory for the process
-lifetime.  Unreadable pickled payloads are dropped and reported as
-misses.
+Cache-tier contract (every :class:`~repro.dist.backend.StoreBackend`
+implementation honors it): **the store degrades, it never raises into
+a proof**.  A corrupt database file is moved aside and a cold store
+opened in its place; if even that fails the store runs in-memory for
+the process lifetime.  Unreadable pickled payloads are dropped and
+reported as misses.  The network-served variant
+(:class:`~repro.dist.remote.RemoteProofStore`, fronting this class via
+``repro-verify serve``) extends the same contract across the wire: an
+unreachable service reads as a miss, never as an error.  Verification
+is therefore always *correct* with no store at all — the store only
+decides how much work is repeated.
 """
 
 from __future__ import annotations

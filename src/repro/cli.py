@@ -9,9 +9,13 @@ Subcommands::
     repro-verify campaign [DESIGN ...]        # cross-design campaign over
                         [--jobs N]            # the persistent proof store
                         [--workers N]         # ... across N worker processes
+                        [--worker-jobs N]     # ... each with a local pool
+                        [--backend sqlite:DIR | http://HOST:PORT]
                         [--cache-dir DIR] [--no-adaptive] [--json PATH]
-    repro-verify worker --cache-dir DIR       # standalone campaign worker
-                        [--id ID] [--lease S] [--idle-timeout S]
+    repro-verify serve  [--cache-dir DIR]     # host the queue + proof store
+                        [--host H] [--port P] # over HTTP for other machines
+    repro-verify worker --backend SPEC        # standalone campaign worker
+                        [--id ID] [--lease S] [--idle-timeout S] [--jobs N]
     repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
     repro-verify bmc    DESIGN PROP [--bound]
     repro-verify repair DESIGN PROP [--model] # Fig. 2 flow
@@ -84,7 +88,8 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     design = get_design(args.design)
-    session = VerificationSession(design, cache_dir=args.cache_dir)
+    session = VerificationSession(design, cache_dir=args.cache_dir,
+                                  backend=args.backend)
     strategies = _split_strategies(args.strategy)
     result = session.verify_all(
         properties=args.properties or None, jobs=args.jobs,
@@ -126,7 +131,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs, strategies=_split_strategies(args.strategy),
         adaptive=not args.no_adaptive, min_samples=args.min_samples,
         max_k=args.max_k, bmc_bound=args.bound, workers=args.workers,
-        lease_seconds=args.lease, wall_timeout=args.wall_timeout)
+        lease_seconds=args.lease, wall_timeout=args.wall_timeout,
+        backend=args.backend, worker_jobs=args.worker_jobs)
     print(report.to_text())
     if args.json_path:
         rendered = report.to_json()
@@ -144,13 +150,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.dist import Worker
-    worker = Worker(args.cache_dir, worker_id=args.id,
+    backend = args.backend if args.backend is not None else args.cache_dir
+    if backend is None:
+        raise ValueError(
+            "a worker needs a rendezvous: pass --backend sqlite:DIR, "
+            "--backend http://HOST:PORT, or --cache-dir DIR")
+    worker = Worker(backend, worker_id=args.id,
                     lease_seconds=args.lease,
                     poll_interval=args.poll_interval,
                     idle_timeout=args.idle_timeout,
-                    max_jobs=args.max_jobs)
+                    max_jobs=args.max_jobs,
+                    jobs=args.jobs)
     done = worker.run()
     print(f"worker {worker.worker_id}: completed {done} jobs")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dist import ProofService
+    service = ProofService(cache_dir=args.cache_dir, host=args.host,
+                           port=args.port)
+    if args.cache_dir is None:
+        print("serving from a scratch directory: queue and proof store "
+              "are lost when this process exits (pass --cache-dir to "
+              "survive restarts)")
+    print(f"serving work queue + proof store at {service.address}")
+    print(f"  campaign: repro-verify campaign --backend "
+          f"{service.address} --workers N")
+    print(f"  workers:  repro-verify worker --backend {service.address}")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
     return 0
 
 
@@ -194,6 +227,14 @@ def _add_cache_dir(p: argparse.ArgumentParser) -> None:
                         "read and write the same store campaigns use")
 
 
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default=None,
+                   help="where the proof store (and work queue) lives: "
+                        "'sqlite:DIR' for an on-disk store, or "
+                        "'http://HOST:PORT' for a repro-verify serve "
+                        "instance; overrides --cache-dir")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-verify",
@@ -224,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bound", type=int, default=None,
                    help="BMC bound for the default portfolio refuter")
     _add_cache_dir(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
@@ -236,8 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="global worker-process limit across all designs")
     p.add_argument("--workers", type=int, default=0,
                    help="dispatch the job pool across N worker "
-                        "processes through the on-disk work queue "
+                        "processes through the shared work queue "
                         "(0 = run in-process)")
+    p.add_argument("--worker-jobs", type=int, default=1,
+                   help="process-pool size inside each spawned worker: "
+                        "one claimed job's strategy race fans out "
+                        "across this many local processes")
     p.add_argument("--lease", type=float, default=15.0,
                    help="distributed lease/heartbeat horizon in "
                         "seconds: a worker silent this long forfeits "
@@ -263,27 +309,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the JSON report here ('-' for stdout)")
     _add_cache_dir(p)
+    _add_backend(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
         "worker",
         help="run one standalone campaign worker against a shared "
-             "cache dir (see `campaign --workers`)")
-    p.add_argument("--cache-dir", required=True,
-                   help="the shared directory holding the work queue "
-                        "and proof store")
+             "backend (see `campaign --workers` and `serve`)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared directory holding the work queue and "
+                        "proof store (same as --backend sqlite:DIR)")
+    _add_backend(p)
     p.add_argument("--id", default=None,
-                   help="worker id (default: derived from the pid)")
+                   help="worker id (default: derived from hostname "
+                        "and pid; must be unique across all joined "
+                        "machines)")
     p.add_argument("--lease", type=float, default=15.0,
                    help="lease/heartbeat horizon in seconds")
     p.add_argument("--poll-interval", type=float, default=0.2,
                    help="seconds between claim attempts when idle")
     p.add_argument("--idle-timeout", type=float, default=60.0,
-                   help="exit after this many idle seconds (the "
+                   help="exit after this many idle seconds — no "
+                        "claimable work or no reachable backend (the "
                         "coordinator-closed queue also ends the worker)")
     p.add_argument("--max-jobs", type=int, default=None,
                    help="exit after completing this many jobs")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool size inside this worker: each "
+                        "claimed job's strategy race fans out across "
+                        "this many local processes")
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="host the work queue + proof store over HTTP so "
+             "campaigns and workers on other machines can join "
+             "(--backend http://HOST:PORT)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the backing SQLite files; reuse "
+                        "it across restarts to resume in-flight "
+                        "campaigns (default: a scratch directory)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (use 0.0.0.0 to accept other "
+                        "machines — trusted networks only: the wire "
+                        "protocol is pickle and unauthenticated)")
+    p.add_argument("--port", type=int, default=7333,
+                   help="bind port (0 picks an ephemeral port)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("prove", help="k-induction without GenAI")
     p.add_argument("design")

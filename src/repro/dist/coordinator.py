@@ -3,17 +3,18 @@
 The :class:`Coordinator` owns the work queue for one campaign run.  It
 serializes the campaign scheduler's job pool into
 :class:`~repro.dist.protocol.JobSpec` rows, spawns local workers (each
-one a real ``repro-verify worker`` process pointed at the shared cache
-directory — remote machines can join the same directory over a shared
-filesystem), and supervises:
+one a real ``repro-verify worker`` process pointed at the shared
+backend — a cache directory other machines can mount, or a
+``repro-verify serve`` URL other machines can reach), and supervises:
 
 * expired leases are requeued, so the job of any worker that stopped
-  heartbeating (killed, SIGSTOPped, machine-dead) is re-raced by a
-  survivor — the proof store's content-keyed results make the retry
-  idempotent, and the queue's completion guard discards any late result
-  from the presumed-dead worker, so no verdict is lost or duplicated
-  (a worker wedged *inside* one solver call keeps beating; that failure
-  mode is bounded by ``wall_timeout``, not by leases);
+  heartbeating (killed, SIGSTOPped, machine-dead, or cut off from the
+  backend) is re-raced by a survivor — the proof store's content-keyed
+  results make the retry idempotent, and the queue's completion guard
+  discards any late result from the presumed-dead worker, so no verdict
+  is lost or duplicated (a worker wedged *inside* one solver call keeps
+  beating; that failure mode is bounded by ``wall_timeout``, not by
+  leases);
 * dead worker processes are respawned while work remains (up to a
   budget), and if no worker can run at all the coordinator drains the
   queue inline, so a campaign always terminates with a verdict per job;
@@ -25,12 +26,14 @@ filesystem), and supervises:
 :class:`DistributedDispatcher` adapts all of this to the campaign
 scheduler's :class:`~repro.campaign.scheduler.Dispatcher` interface, so
 ``CampaignScheduler.run()`` is byte-for-byte the same code path whether
-jobs run in-process or across workers.
+jobs run in-process, across local workers on a shared directory, or
+across machines against a network backend.
 """
 
 from __future__ import annotations
 
 import os
+import socket
 import subprocess
 import sys
 import time
@@ -39,13 +42,28 @@ from typing import Sequence
 
 from repro.campaign.scheduler import (CampaignJob, DispatchOutcome,
                                       DispatchResult, fallback_jobs)
-from repro.dist.protocol import JobResult, JobSpec
-from repro.dist.queue import STATE_CLOSED, STATE_OPEN, WorkQueue
+from repro.dist.backend import (TRANSIENT_BACKEND_ERRORS, Backend,
+                                is_transient_error, open_queue,
+                                parse_backend)
+from repro.dist.protocol import (JOB_LEASED, JOB_PENDING, JobResult,
+                                 JobSpec)
+from repro.dist.queue import STATE_CLOSED
 from repro.dist.worker import Worker
+from repro.errors import ReproError
 from repro.mc.cache import CacheStats
 
 #: Suffix distinguishing full-portfolio rerun jobs from first-pass jobs.
 FALLBACK_SUFFIX = "::full"
+
+
+class CampaignConflictError(ReproError):
+    """Another campaign is actively running on the shared backend.
+
+    One backend hosts one campaign at a time (any number of standalone
+    workers may serve it): a campaign owns the whole queue and resets
+    it on start, so starting a second one would silently wipe the
+    first's jobs.  Stale state from a *crashed* campaign does not
+    conflict — its leases expire and the new campaign takes over."""
 
 
 def job_id_for(design: str, property_name: str,
@@ -71,33 +89,45 @@ def spec_from_job(job: CampaignJob, fallback: bool = False) -> JobSpec:
 
 
 class Coordinator:
-    """Drives one distributed campaign pass over a shared cache dir.
+    """Drives one distributed campaign pass over a shared backend.
 
-    ``workers`` local worker processes are spawned via ``python -m repro
-    worker``; ``lease_seconds`` bounds crash detection (a worker silent
-    that long forfeits its job); ``wall_timeout`` (None = unbounded)
-    bounds the whole run as a last-resort stall guard.
+    ``backend`` is the rendezvous every worker shares (directory path,
+    ``sqlite:DIR``, or ``http://HOST:PORT``); ``workers`` local worker
+    processes are spawned via ``python -m repro worker``, each racing
+    one claimed job across ``worker_jobs`` local processes;
+    ``lease_seconds`` bounds crash detection (a worker silent that long
+    forfeits its job); ``wall_timeout`` (None = unbounded) bounds the
+    whole run as a last-resort stall guard.
     """
 
-    def __init__(self, cache_dir: str | Path,
+    def __init__(self, backend: str | Path | Backend,
                  workers: int = 2,
                  lease_seconds: float = 15.0,
                  poll_interval: float = 0.2,
                  wall_timeout: float | None = None,
-                 max_respawns: int | None = None):
+                 max_respawns: int | None = None,
+                 worker_jobs: int = 1):
         if workers < 1:
             raise ValueError("a distributed campaign needs >= 1 worker")
-        self.cache_dir = Path(cache_dir)
+        self.backend = parse_backend(backend)
         self.workers = workers
         self.lease_seconds = lease_seconds
         self.poll_interval = poll_interval
         self.wall_timeout = wall_timeout
         self.max_respawns = max_respawns if max_respawns is not None \
             else workers * 2
-        self.queue = WorkQueue.open(self.cache_dir)
+        self.worker_jobs = worker_jobs
+        self.queue = open_queue(self.backend)
         self.requeued: list[tuple[str, str]] = []  # (job_id, dead worker)
         self._procs: dict[str, subprocess.Popen] = {}
         self._spawned = 0
+        self._started = time.monotonic()    # wall_timeout reference
+        self._backend_answered = False      # ever reached at all?
+        # Campaign-lease identity: the atomic begin_campaign guard
+        # keys on this, and renewal every supervision tick keeps the
+        # claim alive (a crashed coordinator's claim lapses).
+        self._campaign_id = f"c-{socket.gethostname()}-{os.getpid()}"
+        self._campaign_lease = max(lease_seconds * 2, 10.0)
 
     # ------------------------------------------------------------------
     # Worker process management
@@ -105,10 +135,11 @@ class Coordinator:
 
     def _worker_command(self, worker_id: str) -> list[str]:
         return [sys.executable, "-m", "repro", "worker",
-                "--cache-dir", str(self.cache_dir),
+                "--backend", self.backend.spec(),
                 "--id", worker_id,
                 "--lease", str(self.lease_seconds),
-                "--poll-interval", str(self.poll_interval)]
+                "--poll-interval", str(self.poll_interval),
+                "--jobs", str(self.worker_jobs)]
 
     def _spawn_worker(self) -> bool:
         self._spawned += 1
@@ -136,7 +167,16 @@ class Coordinator:
         return len(self._procs)
 
     def _shutdown_workers(self) -> None:
-        self.queue.set_state(STATE_CLOSED)
+        try:
+            self.queue.set_state(STATE_CLOSED)
+            self.queue.end_campaign(self._campaign_id)
+        except Exception:
+            # Best-effort close/release signals only: this runs in
+            # run()'s finally clause, so raising here would mask the
+            # primary exception and skip reaping the spawned processes
+            # below (workers idle out, and an unreleased campaign
+            # claim lapses on its own).
+            pass
         deadline = time.monotonic() + max(self.poll_interval * 10, 2.0)
         for proc in self._procs.values():
             remaining = deadline - time.monotonic()
@@ -154,25 +194,83 @@ class Coordinator:
     # Supervision
     # ------------------------------------------------------------------
 
+    def _check_wall_timeout(self) -> None:
+        if self.wall_timeout is not None and \
+                time.monotonic() - self._started > self.wall_timeout:
+            raise TimeoutError(
+                f"distributed campaign stalled: jobs unfinished after "
+                f"{self.wall_timeout}s")
+
+    #: How long a backend that has NEVER answered gets before the
+    #: campaign fails fast — a typo'd URL should error out, not hang
+    #: silently forever.  Once the backend has answered even once, only
+    #: ``wall_timeout`` bounds outage patience (ride-through contract).
+    NEVER_ANSWERED_GRACE = 30.0
+
+    def _with_backend_retry(self, operation):
+        """Run one queue operation, riding out backend outages.
+
+        Every queue call a campaign makes outside the drain loop goes
+        through here: a backend that stops answering (server
+        restarting, lock storm) pauses the campaign instead of
+        crashing it, and only ``wall_timeout`` bounds that patience —
+        the ride-through contract ``_await_drained`` documents has to
+        hold for the surrounding calls too, or a blip between drain
+        and report would still lose the run.  A backend that has never
+        answered at all is a misconfiguration, not an outage, and
+        fails after :data:`NEVER_ANSWERED_GRACE`.
+        """
+        while True:
+            try:
+                value = operation()
+            except TRANSIENT_BACKEND_ERRORS as exc:
+                if not is_transient_error(exc):
+                    raise  # disk full, corrupt file: fail loudly
+                self._check_wall_timeout()
+                if not self._backend_answered and \
+                        time.monotonic() - self._started > \
+                        self.NEVER_ANSWERED_GRACE:
+                    raise TimeoutError(
+                        f"backend {self.backend.spec()} never answered "
+                        f"within {self.NEVER_ANSWERED_GRACE}s: "
+                        f"{exc}") from exc
+                time.sleep(self.poll_interval)
+                continue
+            self._backend_answered = True
+            return value
+
     def _await_drained(self) -> None:
         """Block until every enqueued job is done.
 
         The loop requeues expired leases, respawns dead workers while
         pending work and respawn budget remain, and — if no worker
         process can run at all — drains the queue inline so the
-        campaign still terminates.
+        campaign still terminates.  A backend that stops answering
+        does not end the campaign: the loop keeps polling, workers
+        retry on their own, and queue state — leases included — is on
+        disk behind the backend, so the run resumes where it stopped
+        once the backend answers again.  Only ``wall_timeout`` bounds
+        that patience.
         """
-        started = time.monotonic()
-        while self.queue.unfinished() > 0:
-            if self.wall_timeout is not None and \
-                    time.monotonic() - started > self.wall_timeout:
-                raise TimeoutError(
-                    f"distributed campaign stalled: "
-                    f"{self.queue.unfinished()} jobs unfinished after "
-                    f"{self.wall_timeout}s")
-            self.requeued.extend(self.queue.requeue_expired())
+        while True:
+            self._check_wall_timeout()
+            try:
+                self.requeued.extend(self.queue.requeue_expired())
+                self.queue.renew_campaign(self._campaign_id,
+                                          self._campaign_lease)
+                # One snapshot answers both questions per tick — the
+                # supervision loop runs at 5 Hz against what may be a
+                # remote service, so every redundant wire call counts.
+                counts = self.queue.counts()
+            except TRANSIENT_BACKEND_ERRORS as exc:
+                if not is_transient_error(exc):
+                    raise  # disk full, corrupt file: fail loudly
+                time.sleep(self.poll_interval)
+                continue
+            pending = counts.get(JOB_PENDING, 0)
+            if pending + counts.get(JOB_LEASED, 0) == 0:
+                return
             alive = self._reap_processes()
-            pending = self.queue.counts().get("pending", 0)
             if pending > 0 and alive < self.workers:
                 in_budget = \
                     self._spawned - self.workers < self.max_respawns
@@ -186,11 +284,19 @@ class Coordinator:
             time.sleep(self.poll_interval)
 
     def _drain_inline(self) -> None:
-        """Run pending jobs in this process (no workers available)."""
-        Worker(self.cache_dir, worker_id="w-inline",
+        """Run pending jobs in this process (no workers available).
+
+        The inline worker borrows this coordinator's thread, so it
+        also carries the campaign ownership claim: its beat thread
+        renews the claim that ``_await_drained`` (blocked here) cannot,
+        keeping a long inline drain safe from takeover."""
+        Worker(self.backend, worker_id="w-inline",
                lease_seconds=self.lease_seconds,
                poll_interval=self.poll_interval,
-               idle_timeout=self.poll_interval).run()
+               idle_timeout=self.poll_interval,
+               jobs=self.worker_jobs,
+               campaign_owner=self._campaign_id,
+               campaign_lease=self._campaign_lease).run()
 
     # ------------------------------------------------------------------
     # The campaign pass
@@ -198,42 +304,64 @@ class Coordinator:
 
     def run(self, pool: Sequence[CampaignJob]) -> DispatchResult:
         """Execute the pool across workers; one outcome per job."""
-        self.queue.reset()
-        self.queue.set_state(STATE_OPEN)
-        self.queue.enqueue(spec_from_job(job) for job in pool)
-        dispatched = sum(len(job.choice.specs) for job in pool)
-        for _ in range(min(self.workers, max(len(pool), 1))):
-            self._spawn_worker()
+        self._started = time.monotonic()
         try:
-            self._await_drained()
-            results = self.queue.results()
-            outcomes = {job.identity: _outcome_for(results, job)
-                        for job in pool}
-
-            # Adaptive-fallback contract: re-race pruned-but-unsettled
-            # jobs with the full portfolio (already-raced specs answer
-            # from the shared store, so the extra work is the pruned
-            # remainder only).
-            rerun = fallback_jobs(pool, outcomes)
-            if rerun:
-                dispatched += sum(len(j.choice.pruned) for j in rerun)
-                self.queue.enqueue(spec_from_job(job, fallback=True)
-                                   for job in rerun)
+            # Atomically take the queue for this campaign (one
+            # transaction server-side, so two coordinators can never
+            # interleave the conflict check with the wipe).  A crashed
+            # campaign's claim lapses and is taken over; a live one is
+            # refused — without touching its state, which is why the
+            # worker-shutdown finally only wraps the acquired section.
+            acquired = self._with_backend_retry(
+                lambda: self.queue.begin_campaign(self._campaign_id,
+                                                  self._campaign_lease))
+            if not acquired:
+                raise CampaignConflictError(
+                    f"another campaign is active on "
+                    f"{self.backend.spec()}; one backend runs one "
+                    f"campaign at a time — wait for it to finish")
+            self._with_backend_retry(
+                lambda: self.queue.enqueue([spec_from_job(job)
+                                            for job in pool]))
+            dispatched = sum(len(job.choice.specs) for job in pool)
+            for _ in range(min(self.workers, max(len(pool), 1))):
+                self._spawn_worker()
+            try:
                 self._await_drained()
-                results = self.queue.results()
-                for job in rerun:
-                    outcomes[job.identity] = \
-                        _outcome_for(results, job, fallback=True)
-        finally:
-            self._shutdown_workers()
+                results = self._with_backend_retry(self.queue.results)
+                outcomes = {job.identity: _outcome_for(results, job)
+                            for job in pool}
 
-        cache = _sum_cache_stats(results.values())
-        worker_stats = self.queue.worker_stats()
-        self.queue.close()
-        return DispatchResult(
-            outcomes=outcomes, dispatched_specs=dispatched,
-            fallback_reruns=len(rerun), cache=cache,
-            workers=self.workers, worker_stats=worker_stats)
+                # Adaptive-fallback contract: re-race pruned-but-
+                # unsettled jobs with the full portfolio (already-raced
+                # specs answer from the shared store, so the extra work
+                # is the pruned remainder only).
+                rerun = fallback_jobs(pool, outcomes)
+                if rerun:
+                    dispatched += sum(len(j.choice.pruned)
+                                      for j in rerun)
+                    self._with_backend_retry(
+                        lambda: self.queue.enqueue(
+                            [spec_from_job(job, fallback=True)
+                             for job in rerun]))
+                    self._await_drained()
+                    results = self._with_backend_retry(
+                        self.queue.results)
+                    for job in rerun:
+                        outcomes[job.identity] = \
+                            _outcome_for(results, job, fallback=True)
+            finally:
+                self._shutdown_workers()
+
+            cache = _sum_cache_stats(results.values())
+            worker_stats = self._with_backend_retry(
+                self.queue.worker_stats)
+            return DispatchResult(
+                outcomes=outcomes, dispatched_specs=dispatched,
+                fallback_reruns=len(rerun), cache=cache,
+                workers=self.workers, worker_stats=worker_stats)
+        finally:
+            self.queue.close()
 
 
 def _outcome_for(results: dict[str, JobResult], job: CampaignJob,
@@ -264,26 +392,30 @@ def _sum_cache_stats(results) -> CacheStats:
 class DistributedDispatcher:
     """The campaign scheduler's :class:`Dispatcher` over worker processes.
 
-    Construct with the shared cache directory (proof store + work queue
-    live there) and plug into :class:`CampaignScheduler`; every other
-    campaign behavior — job building, adaptive selection, history
-    recording, reporting — is unchanged.
+    Construct with the shared backend (a cache directory holding the
+    proof store + work queue, or a ``repro-verify serve`` URL) and plug
+    into :class:`CampaignScheduler`; every other campaign behavior —
+    job building, adaptive selection, history recording, reporting — is
+    unchanged.
     """
 
-    def __init__(self, cache_dir: str | Path, workers: int = 2,
+    def __init__(self, backend: str | Path | Backend, workers: int = 2,
                  lease_seconds: float = 15.0,
                  poll_interval: float = 0.2,
-                 wall_timeout: float | None = None):
-        self.cache_dir = Path(cache_dir)
+                 wall_timeout: float | None = None,
+                 worker_jobs: int = 1):
+        self.backend = parse_backend(backend)
         self.workers = workers
         self.lease_seconds = lease_seconds
         self.poll_interval = poll_interval
         self.wall_timeout = wall_timeout
+        self.worker_jobs = worker_jobs
 
     def dispatch(self, pool: Sequence[CampaignJob]) -> DispatchResult:
         coordinator = Coordinator(
-            self.cache_dir, workers=self.workers,
+            self.backend, workers=self.workers,
             lease_seconds=self.lease_seconds,
             poll_interval=self.poll_interval,
-            wall_timeout=self.wall_timeout)
+            wall_timeout=self.wall_timeout,
+            worker_jobs=self.worker_jobs)
         return coordinator.run(pool)

@@ -1,13 +1,17 @@
 """Picklable records exchanged between the coordinator and workers.
 
-Everything that crosses a process boundary in the distributed campaign
-— job descriptions, leases, results, heartbeats — is one of these
-records, pickled into the SQLite work queue (:mod:`repro.dist.queue`).
+Everything that crosses a process (or machine) boundary in the
+distributed campaign — job descriptions, leases, results, heartbeats —
+is one of these records, pickled into the SQLite work queue
+(:mod:`repro.dist.queue`) and onto the network backend's wire
+(:mod:`repro.dist.server` / :mod:`repro.dist.remote`).
 They deliberately carry *names*, not compiled objects: a worker
 reconstructs the verification task from the design registry via
 :func:`repro.campaign.scheduler.compile_design`, which fingerprints the
 query exactly as the coordinator (and any single-process run) would, so
-results land in the shared proof store under identical keys.
+results land in the shared proof store under identical keys — the
+invariant that keeps distributed, remote, and local verdicts
+interchangeable.
 """
 
 from __future__ import annotations

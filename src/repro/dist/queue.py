@@ -1,10 +1,14 @@
 """SQLite-backed work queue: the distributed campaign's dispatch fabric.
 
 One ``queue.sqlite`` file, living next to the proof store inside the
-campaign's ``--cache-dir``, coordinates any number of worker processes
-with no network and no daemon — workers and coordinator rendezvous on
-the filesystem alone, which is exactly the deployment story of the
-proof store itself.
+campaign's cache directory, coordinates any number of worker processes
+with no daemon — workers and coordinator rendezvous on the filesystem
+alone, which is exactly the deployment story of the proof store itself.
+This class is the SQLite implementation of the
+:class:`~repro.dist.backend.QueueBackend` interface; it is also the
+queue a ``repro-verify serve`` process hosts over HTTP
+(:mod:`repro.dist.server`), so the lease protocol below is *the* lease
+protocol, whatever transport carries the calls.
 
 The lease protocol:
 
@@ -140,24 +144,111 @@ class WorkQueue:
         with self._lock:
             _with_lock_retry(wipe)
 
+    def _meta(self, key: str) -> str | None:
+        """One meta value (caller holds the lock and a transaction)."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row is not None else None
+
+    def begin_campaign(self, owner: str, lease_seconds: float) -> bool:
+        """Atomically take ownership of the queue for one campaign.
+
+        One backend runs one campaign at a time; this is the
+        check-and-reset made atomic (a single transaction, so two
+        coordinators can never interleave a check with a wipe).  The
+        begin is refused — ``False``, queue untouched — while another
+        owner's campaign lease is unexpired, or while any job is under
+        a live worker lease.  Otherwise all queue state is wiped, the
+        queue opens, and ``owner`` holds the campaign lease until it
+        ends the campaign or stops renewing (a crashed coordinator's
+        claim lapses, so the next campaign takes over).  Re-beginning
+        under the same ``owner`` is idempotent — a begin whose response
+        was lost can safely be retried.
+        """
+        now = time.time()
+
+        def txn() -> bool:
+            with self._txn():
+                current = self._meta("campaign_owner")
+                expiry = float(self._meta("campaign_expiry") or 0.0)
+                foreign = current is not None and current != owner
+                if foreign and expiry > now:
+                    return False
+                live = self._conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE status = ? "
+                    "AND lease_expiry >= ?",
+                    (JOB_LEASED, now)).fetchone()[0]
+                # A live lease is activity even with no owner recorded
+                # (work enqueued outside any coordinator): refuse
+                # unless the queue is already this owner's.
+                if live > 0 and current != owner:
+                    return False
+                self._conn.execute("DELETE FROM jobs")
+                self._conn.execute("DELETE FROM workers")
+                self._conn.execute("DELETE FROM meta")
+                self._conn.executemany(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    [("state", STATE_OPEN),
+                     ("campaign_owner", owner),
+                     ("campaign_expiry", str(now + lease_seconds))])
+                return True
+
+        with self._lock:
+            return _with_lock_retry(txn)
+
+    def renew_campaign(self, owner: str, lease_seconds: float) -> None:
+        """Extend ``owner``'s campaign lease (no-op for anyone else)."""
+        now = time.time()
+
+        def txn() -> None:
+            with self._txn():
+                if self._meta("campaign_owner") == owner:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) "
+                        "VALUES ('campaign_expiry', ?)",
+                        (str(now + lease_seconds),))
+
+        with self._lock:
+            _with_lock_retry(txn)
+
+    def end_campaign(self, owner: str) -> None:
+        """Release ``owner``'s campaign lease so the next campaign can
+        begin immediately instead of waiting out the expiry."""
+        def txn() -> None:
+            with self._txn():
+                if self._meta("campaign_owner") == owner:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) "
+                        "VALUES ('campaign_expiry', '0')")
+
+        with self._lock:
+            _with_lock_retry(txn)
+
     def enqueue(self, specs: Iterable[JobSpec],
                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
-        """Add jobs as pending; returns how many were added."""
+        """Add jobs as pending; returns how many were actually added.
+
+        Idempotent per job id: a job already in the queue is left
+        exactly as it is.  This makes retried enqueues safe — under the
+        network backend a commit whose response was lost gets re-sent,
+        and clobbering the row would reset a live lease (and its
+        attempts count) out from under the worker holding it.
+        """
         now = time.time()
         rows = [(spec.job_id, spec.priority, JOB_PENDING, max_attempts,
                  pickle.dumps(spec, pickle.HIGHEST_PROTOCOL), now, now)
                 for spec in specs]
 
-        def insert() -> None:
+        def insert() -> int:
             with self._txn():
-                self._conn.executemany(
-                    "INSERT OR REPLACE INTO jobs (job_id, priority, "
+                cur = self._conn.executemany(
+                    "INSERT OR IGNORE INTO jobs (job_id, priority, "
                     "status, max_attempts, spec, created, updated) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?)", rows)
+                return cur.rowcount
 
         with self._lock:
-            _with_lock_retry(insert)
-        return len(rows)
+            return _with_lock_retry(insert)
 
     def set_state(self, state: str) -> None:
         def write() -> None:
@@ -274,7 +365,25 @@ class WorkQueue:
             return _with_lock_retry(txn)
 
     def heartbeat(self, beat: Heartbeat, lease_seconds: float) -> None:
-        """Record liveness and extend the worker's active lease(s)."""
+        """Record liveness and extend the lease of the job being beaten.
+
+        Deadlines are stamped with *this process's* clock, never with
+        ``beat.sent``: leases are judged against this clock in
+        ``requeue_expired``, and under the HTTP backend this method runs
+        server-side, so extending from the worker's clock would let
+        cross-machine skew expire (or unduly prolong) the lease of a
+        healthy, actively-beating worker.  ``beat.sent`` stays on the
+        record as wire-level provenance only.
+
+        Only the lease of ``beat.job_id`` is extended — never every
+        lease the worker holds.  A claim whose response was lost in
+        transit leaves a leased job the worker does not know about;
+        since the worker never beats *that* job id, the orphan's lease
+        expires and the job is requeued, instead of being kept alive
+        forever by the worker's beats for other work.
+        """
+        now = time.time()
+
         def write() -> None:
             with self._txn():
                 # Upsert, not update: a coordinator's reset() wipes the
@@ -284,15 +393,17 @@ class WorkQueue:
                 self._conn.execute(
                     "INSERT OR IGNORE INTO workers (worker_id, started, "
                     "last_heartbeat) VALUES (?, ?, ?)",
-                    (beat.worker_id, beat.sent, beat.sent))
+                    (beat.worker_id, now, now))
                 self._conn.execute(
                     "UPDATE workers SET last_heartbeat = ? "
-                    "WHERE worker_id = ?", (beat.sent, beat.worker_id))
-                self._conn.execute(
-                    "UPDATE jobs SET lease_expiry = ? "
-                    "WHERE worker_id = ? AND status = ?",
-                    (beat.sent + lease_seconds, beat.worker_id,
-                     JOB_LEASED))
+                    "WHERE worker_id = ?", (now, beat.worker_id))
+                if beat.job_id is not None:
+                    self._conn.execute(
+                        "UPDATE jobs SET lease_expiry = ? "
+                        "WHERE job_id = ? AND worker_id = ? "
+                        "AND status = ?",
+                        (now + lease_seconds, beat.job_id,
+                         beat.worker_id, JOB_LEASED))
 
         with self._lock:
             _with_lock_retry(write)

@@ -1,0 +1,281 @@
+"""The network backend's server half: ``repro-verify serve``.
+
+:class:`ProofService` hosts one :class:`~repro.dist.queue.WorkQueue`
+and one :class:`~repro.campaign.store.ProofStore` — the same SQLite
+files a shared-directory deployment uses — behind a pure-stdlib
+``http.server`` endpoint, so campaigns and workers on *other machines*
+can rendezvous on a URL instead of a shared filesystem.
+
+Wire protocol (deliberately minimal — both ends are this package):
+
+* ``POST /queue/<method>`` and ``POST /store/<method>`` carry one
+  pickled ``(args, kwargs)`` tuple and return the pickled result of
+  calling that method on the service's queue or store.  Methods are
+  allow-listed; anything else is a 404.  A method that raises returns
+  a 500 whose body pickles ``{"ok": False, "error": ...}``.
+* ``GET /health`` returns a JSON snapshot (queue counts, store size,
+  uptime) for load balancers, smoke tests, and humans with ``curl``.
+
+Because the server *is* the ordinary SQLite queue/store, every
+coordination guarantee is inherited rather than re-implemented: claims
+stay atomic (one ``BEGIN IMMEDIATE`` per claim, whatever socket it
+arrived on), heartbeats extend leases, completions are guarded by the
+claiming (job, worker) pair, and expired leases are requeued.  A client
+that loses its connection simply stops heartbeating and is handled as
+a crashed worker.  Restarting the service on the same ``--cache-dir``
+resumes the queue exactly where it stopped — lease deadlines are
+absolute timestamps, so leases that "expired" during the outage are
+requeued on the first ``requeue_expired`` after restart.
+
+Security note: the wire format is pickle, which executes arbitrary
+code on load.  Bind the service to trusted networks only (the default
+bind is loopback); it authenticates nobody, by design — it is proof
+infrastructure for a lab, not an internet service.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import sqlite3
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.campaign.store import ProofStore, _is_lock_error
+from repro.dist.queue import WorkQueue
+
+DEFAULT_PORT = 7333
+
+#: Queue methods callable over the wire (the QueueBackend surface).
+QUEUE_METHODS = frozenset({
+    "reset", "begin_campaign", "renew_campaign", "end_campaign",
+    "enqueue", "set_state", "state", "requeue_expired",
+    "register_worker", "claim", "heartbeat", "complete", "fail",
+    "counts", "unfinished", "results", "worker_stats",
+})
+
+#: Store methods callable over the wire (the StoreBackend surface).
+#: ``size`` maps to ``len(store)`` — dunder names stay off the URL.
+STORE_METHODS = frozenset({
+    "load", "store", "record", "history_size", "strategy_stats",
+    "property_stats", "expected_wall", "clear", "size",
+})
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatches wire calls onto the owning :class:`ProofService`."""
+
+    protocol_version = "HTTP/1.1"
+
+    # The service is headless infrastructure; per-request access logs
+    # would swamp a campaign's output.  Errors still surface as HTTP
+    # statuses the client reports.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    @property
+    def service(self) -> "ProofService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, body: bytes,
+               content_type: str = "application/octet-stream") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.partition("?")[0]    # probes add cache-busters
+        if path.rstrip("/") not in ("", "/health"):
+            self._reply(404, b"{}", content_type="application/json")
+            return
+        # Health checks go through the same in-flight accounting as
+        # wire calls: a poller racing close() gets a JSON 503, never a
+        # closed-handle traceback.
+        if not self.service.checkin():
+            self._reply(503, b'{"status": "closing"}',
+                        content_type="application/json")
+            return
+        try:
+            snapshot = self.service.health()
+        except Exception as exc:
+            self._reply(500, json.dumps(
+                {"status": "error",
+                 "error": f"{type(exc).__name__}: {exc}"}).encode(),
+                content_type="application/json")
+            return
+        finally:
+            self.service.checkout()
+        self._reply(200, json.dumps(snapshot).encode(),
+                    content_type="application/json")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if not self.service.checkin():
+            # Shutting down: answer 503 (clients treat it as transient
+            # unreachability) rather than racing the closing handles.
+            self._reply(503, pickle.dumps(
+                {"ok": False, "error": "service shutting down"}))
+            return
+        try:
+            self._dispatch()
+        finally:
+            self.service.checkout()
+
+    def _dispatch(self) -> None:
+        scope, _, method = self.path.strip("/").partition("/")
+        target = self.service.dispatch_target(scope, method)
+        if target is None:
+            self._reply(404, pickle.dumps(
+                {"ok": False,
+                 "error": f"unknown endpoint {self.path!r}"}))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            args, kwargs = pickle.loads(self.rfile.read(length)) \
+                if length else ((), {})
+        except Exception as exc:
+            self._reply(400, pickle.dumps(
+                {"ok": False, "error": f"bad request body: {exc}"}))
+            return
+        try:
+            value = target(*args, **kwargs)
+        except sqlite3.OperationalError as exc:
+            # Lock contention that outlived the queue's own retries is
+            # transient, not a protocol failure: 503 tells the client
+            # to treat it like unreachability (retry / lease expiry),
+            # exactly as the same error behaves on the sqlite backend.
+            status = 503 if _is_lock_error(exc) else 500
+            self._reply(status, pickle.dumps(
+                {"ok": False,
+                 "error": f"{type(exc).__name__}: {exc}"}))
+            return
+        except Exception as exc:
+            self._reply(500, pickle.dumps(
+                {"ok": False,
+                 "error": f"{type(exc).__name__}: {exc}"}))
+            return
+        self._reply(200, pickle.dumps(
+            {"ok": True, "value": value}, pickle.HIGHEST_PROTOCOL))
+
+
+class ProofService:
+    """One queue + store served over HTTP (see module docstring).
+
+    ``cache_dir`` is where the backing SQLite files live; pass the same
+    directory across restarts to resume in-flight campaigns.  Without
+    one, a scratch directory scopes all state to this service's
+    lifetime (fine for throwaway runs, useless for crash recovery).
+    ``port=0`` binds an ephemeral port — read :attr:`address` after
+    construction.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT):
+        if cache_dir is None:
+            cache_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        self.cache_dir = Path(cache_dir)
+        self.queue = WorkQueue.open(self.cache_dir)
+        self.store = ProofStore.open(self.cache_dir)
+        self.started = time.time()
+        self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        # In-flight request accounting: handler threads are daemons and
+        # outlive server_close(), so close() must drain them before the
+        # SQLite handles go away under a dispatching request.
+        self._inflight = 0
+        self._closing = False
+        self._drained = threading.Condition()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The host clients should dial: wildcard binds (0.0.0.0, ::)
+        are advertised as this machine's hostname, since the bind
+        address itself is meaningless from any other machine."""
+        bound = self._httpd.server_address[0]
+        if bound in ("0.0.0.0", "::"):
+            return socket.gethostname()
+        return bound
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """The backend spec clients pass as ``--backend``."""
+        return f"http://{self.host}:{self.port}"
+
+    def checkin(self) -> bool:
+        """Register one request; ``False`` once shutdown has begun."""
+        with self._drained:
+            if self._closing:
+                return False
+            self._inflight += 1
+            return True
+
+    def checkout(self) -> None:
+        with self._drained:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.notify_all()
+
+    def dispatch_target(self, scope: str, method: str):
+        """The bound callable for one wire endpoint, or ``None``."""
+        if scope == "queue" and method in QUEUE_METHODS:
+            return getattr(self.queue, method)
+        if scope == "store" and method in STORE_METHODS:
+            if method == "size":
+                return lambda: len(self.store)
+            return getattr(self.store, method)
+        return None
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "address": self.address,
+            "cache_dir": str(self.cache_dir),
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "queue": {"state": self.queue.state(),
+                      "counts": self.queue.counts()},
+            "store": {"results": len(self.store),
+                      "history": self.store.history_size()},
+        }
+
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI)."""
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "ProofService":
+        """Serve on a background thread (tests, embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        with self._drained:
+            self._closing = True   # new requests get 503 from here on
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Drain dispatching handler threads (daemons that outlive
+        # server_close) before closing the handles under them; a
+        # request wedged past the timeout is abandoned to its fate.
+        with self._drained:
+            self._drained.wait_for(lambda: self._inflight == 0,
+                                   timeout=5.0)
+        self.queue.close()
+        self.store.close()

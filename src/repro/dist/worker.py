@@ -1,35 +1,51 @@
 """Distributed campaign worker: claims leases, proves, heartbeats.
 
-One worker process owns one :class:`~repro.dist.queue.WorkQueue` handle
-and one two-tier result cache backed by the shared
-:class:`~repro.campaign.store.ProofStore`.  Its loop is deliberately
-dumb: claim the best pending job, recompile the (design, property) from
-the registry — which fingerprints the query exactly as every other
-layer does, so the verdict lands in the shared store under the same key
-— race the job's strategy specs through the ordinary
-:class:`~repro.mc.portfolio.PortfolioScheduler`, report the outcome,
-repeat.  A daemon thread heartbeats throughout, extending the lease so
-the coordinator only reclaims jobs from workers that actually died.
+One worker process owns one work-queue handle and one two-tier result
+cache whose disk tier is the shared proof store — both opened from a
+single backend spec (``sqlite:DIR`` shared directory or
+``http://HOST:PORT`` service; see :mod:`repro.dist.backend`).  Its loop
+is deliberately dumb: claim the best pending job, recompile the
+(design, property) from the registry — which fingerprints the query
+exactly as every other layer does, so the verdict lands in the shared
+store under the same key — race the job's strategy specs through the
+ordinary :class:`~repro.mc.portfolio.PortfolioScheduler`, report the
+outcome, repeat.  A daemon thread heartbeats throughout, extending the
+lease so the coordinator only reclaims jobs from workers that actually
+died.
 
-Run standalone via ``repro-verify worker --cache-dir DIR`` (point any
-number of machines/processes at one shared directory), or let the
-coordinator spawn local workers with ``campaign --workers N``.
+The lease contract from the worker's side: a worker that cannot reach
+its backend (SQLite lock storm, service down, network cut) keeps
+retrying quietly — it neither completes nor heartbeats, so if the
+outage outlasts ``lease_seconds`` its job is requeued for a healthier
+worker, and any late completion it eventually reports is discarded by
+the queue's guarded completion.  Backend loss therefore degrades into
+the ordinary crashed-worker path instead of wedging a campaign.
+``jobs`` sizes the process pool *inside* this worker: one claimed
+job's strategy race fans out across that many local processes
+(``repro-verify worker --jobs N``).
+
+Run standalone via ``repro-verify worker --backend SPEC`` (point any
+number of machines/processes at one shared directory or one service
+URL), or let the coordinator spawn local workers with
+``campaign --workers N``.
 """
 
 from __future__ import annotations
 
 import os
-import sqlite3
+import socket
 import threading
 import time
 from dataclasses import replace
 from pathlib import Path
 
 from repro.campaign.scheduler import DispatchOutcome, compile_design
-from repro.campaign.store import ProofStore
 from repro.designs.registry import get_design
+from repro.dist.backend import (TRANSIENT_BACKEND_ERRORS, Backend,
+                                is_transient_error, open_queue,
+                                open_store, parse_backend)
 from repro.dist.protocol import Heartbeat, JobResult, JobSpec, Lease
-from repro.dist.queue import STATE_CLOSED, WorkQueue
+from repro.dist.queue import STATE_CLOSED
 from repro.mc.cache import ResultCache
 from repro.mc.portfolio import PortfolioScheduler, VerifyTask
 
@@ -37,28 +53,43 @@ from repro.mc.portfolio import PortfolioScheduler, VerifyTask
 class Worker:
     """One worker process's claim/prove/report loop.
 
-    ``lease_seconds`` is the crash-detection horizon: a worker that
-    stops heartbeating for this long forfeits its job.  ``idle_timeout``
-    (seconds without work) and ``max_jobs`` bound standalone workers;
-    coordinator-spawned workers instead exit when the queue closes.
+    ``backend`` names the rendezvous (directory path, ``sqlite:DIR``,
+    or ``http://HOST:PORT``).  ``lease_seconds`` is the crash-detection
+    horizon: a worker that stops heartbeating for this long forfeits
+    its job.  ``idle_timeout`` (seconds without claimable work *or*
+    without a reachable backend) and ``max_jobs`` bound standalone
+    workers; coordinator-spawned workers instead exit when the queue
+    closes.
     """
 
-    def __init__(self, cache_dir: str | Path,
+    def __init__(self, backend: str | Path | Backend,
                  worker_id: str | None = None,
                  lease_seconds: float = 15.0,
                  poll_interval: float = 0.2,
                  idle_timeout: float | None = None,
                  max_jobs: int | None = None,
-                 jobs: int = 1):
-        self.cache_dir = Path(cache_dir)
-        self.worker_id = worker_id or f"w-{os.getpid()}"
+                 jobs: int = 1,
+                 campaign_owner: str | None = None,
+                 campaign_lease: float = 0.0):
+        self.backend = parse_backend(backend)
+        # Hostname + pid: pids alone collide across the machines a
+        # network backend invites in, and worker identity guards lease
+        # extension and completion — two workers must never share one.
+        self.worker_id = worker_id or \
+            f"w-{socket.gethostname()}-{os.getpid()}"
         self.lease_seconds = lease_seconds
         self.poll_interval = poll_interval
         self.idle_timeout = idle_timeout
         self.max_jobs = max_jobs
         self.jobs = jobs
-        self.queue = WorkQueue.open(self.cache_dir)
-        self.store = ProofStore.open(self.cache_dir)
+        # Set by a coordinator draining inline: while this worker has
+        # the coordinator's thread, its beats also renew the campaign
+        # ownership claim, so a long inline drain cannot lapse and be
+        # taken over by a second campaign.
+        self.campaign_owner = campaign_owner
+        self.campaign_lease = campaign_lease
+        self.queue = open_queue(self.backend)
+        self.store = open_store(self.backend)
         self.cache = ResultCache(backing=self.store)
         self._scheduler = PortfolioScheduler(jobs=jobs, cache=self.cache)
         # design name -> property name -> (compiled prop, scoped system)
@@ -73,22 +104,31 @@ class Worker:
 
         Returns the number of jobs this worker completed.
         """
-        self.queue.register_worker(self.worker_id, os.getpid())
+        try:
+            self.queue.register_worker(self.worker_id, os.getpid())
+        except TRANSIENT_BACKEND_ERRORS:
+            pass  # registration is bookkeeping; claims re-upsert stats
         beats = threading.Thread(target=self._beat_loop, daemon=True)
         beats.start()
         done = 0
         idle_since: float | None = None
         try:
             while self.max_jobs is None or done < self.max_jobs:
+                lease = None
                 try:
                     lease = self.queue.claim(self.worker_id,
                                              self.lease_seconds)
-                except sqlite3.Error:
-                    time.sleep(self.poll_interval)
-                    continue
-                if lease is None:
-                    if self.queue.state() == STATE_CLOSED:
+                    if lease is None and \
+                            self.queue.state() == STATE_CLOSED:
                         break
+                except TRANSIENT_BACKEND_ERRORS as exc:
+                    if not is_transient_error(exc):
+                        raise  # corrupt/full queue: fail loudly
+                    # backend unreachable: poll again below
+                if lease is None:
+                    # No work, or no backend — both count as idle, so a
+                    # standalone worker pointed at a dead service exits
+                    # after idle_timeout instead of spinning forever.
                     now = time.monotonic()
                     if idle_since is None:
                         idle_since = now
@@ -100,6 +140,7 @@ class Worker:
                 idle_since = None
                 if self._process(lease):
                     done += 1
+                self._renew_campaign()
         finally:
             self._stop_beats.set()
             beats.join(timeout=2.0)
@@ -109,6 +150,18 @@ class Worker:
 
     # ------------------------------------------------------------------
 
+    def _renew_campaign(self) -> None:
+        """Refresh the borrowed campaign ownership claim (inline-drain
+        workers only) — per job here, per beat in the beat loop, so
+        both fast drains and long solves keep the claim alive."""
+        if self.campaign_owner is None:
+            return
+        try:
+            self.queue.renew_campaign(self.campaign_owner,
+                                      self.campaign_lease)
+        except Exception:
+            pass  # best-effort; the claim has beat-loop slack
+
     def _process(self, lease: Lease) -> bool:
         spec = lease.spec
         self._current_job = spec.job_id
@@ -116,14 +169,35 @@ class Worker:
         try:
             result = self._execute(spec)
         except Exception as exc:
-            self._current_job = None
-            self.queue.fail(spec.job_id, self.worker_id,
-                            f"{type(exc).__name__}: {exc}")
+            try:
+                self.queue.fail(spec.job_id, self.worker_id,
+                                f"{type(exc).__name__}: {exc}")
+            except TRANSIENT_BACKEND_ERRORS as fail_exc:
+                if not is_transient_error(fail_exc):
+                    raise
+                # lease expiry requeues the job anyway
+            finally:
+                self._current_job = None
             return False
         result = replace(result,
                          busy_seconds=time.perf_counter() - started)
-        self._current_job = None
-        return self.queue.complete(result, self.worker_id)
+        # _current_job stays set until the report lands: the beat
+        # thread must keep extending the lease through a slow
+        # complete() RPC, or a healthy worker's verdict gets reclaimed
+        # and discarded as 'late' mid-report.  (A beat after
+        # completion matches no leased row and is harmless.)
+        try:
+            return self.queue.complete(result, self.worker_id)
+        except TRANSIENT_BACKEND_ERRORS as exc:
+            if not is_transient_error(exc):
+                raise  # corrupt/full queue: fail loudly
+            # Backend vanished between solving and reporting: the
+            # verdict already sits in the shared store (when reachable),
+            # the lease will expire, and the requeued attempt answers
+            # from that store — nothing is lost, nothing re-proven.
+            return False
+        finally:
+            self._current_job = None
 
     def _execute(self, spec: JobSpec) -> JobResult:
         prop, scoped = self._compile(spec)
@@ -169,5 +243,12 @@ class Worker:
                     Heartbeat(worker_id=self.worker_id, sent=time.time(),
                               job_id=self._current_job),
                     self.lease_seconds)
-            except sqlite3.Error:
-                pass  # next beat retries; the lease has slack for this
+                self._renew_campaign()
+            except Exception:
+                # Never let the beat thread die: heartbeats are
+                # best-effort liveness, the lease has slack for missed
+                # beats, and a worker that solves but silently stopped
+                # beating would have every long job's completion
+                # discarded.  Persistent backend failure surfaces in
+                # the claim loop, not here.
+                pass

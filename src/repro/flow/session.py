@@ -19,8 +19,10 @@ CLI invocations on one session) is answered from cache.
 Handing the session a campaign :class:`~repro.campaign.store.ProofStore`
 makes that cache two-tier: single-design runs then read and write the
 same persistent store campaigns use, and their outcomes feed the store's
-history.  :func:`run_campaign` is the cross-design entry point the CLI's
-``campaign`` command drives.
+history.  The store can live behind any backend — a local directory
+(``cache_dir``) or a ``repro-verify serve`` URL (``backend``), in which
+case the disk tier is on another machine.  :func:`run_campaign` is the
+cross-design entry point the CLI's ``campaign`` command drives.
 """
 
 from __future__ import annotations
@@ -82,10 +84,11 @@ class BatchVerifyResult:
 class VerificationSession:
     """One design + one model + shared engine configuration + one cache.
 
-    ``store`` (or ``cache_dir``, which opens one) plugs the campaign
+    ``store`` (or ``cache_dir``, which opens one; or ``backend``, a
+    ``sqlite:DIR | http://HOST:PORT`` spec) plugs the campaign
     subsystem's persistent proof store in as the cache's disk tier, so
     a single-design CLI run warm-starts from — and contributes to — the
-    same on-disk results campaigns use.
+    same results campaigns use, wherever that store lives.
     """
 
     def __init__(self, design: Design,
@@ -96,11 +99,15 @@ class VerificationSession:
                  cache: ResultCache | None = None,
                  jobs: int = 1,
                  store: ProofStore | None = None,
-                 cache_dir: str | Path | None = None):
+                 cache_dir: str | Path | None = None,
+                 backend: str | None = None):
         self.design = design
         self.client: LLMClient = client if client is not None \
             else SimulatedLLM(model, seed=seed)
         self.engine_config = engine_config or EngineConfig()
+        if store is None and backend is not None:
+            from repro.dist.backend import open_store
+            store = open_store(backend)
         if store is None and cache_dir is not None:
             store = ProofStore.open(cache_dir)
         self.store = store
@@ -227,7 +234,9 @@ def run_campaign(designs: list[str] | None = None,
                  bmc_bound: int | None = None,
                  workers: int = 0,
                  lease_seconds: float = 15.0,
-                 wall_timeout: float | None = None) -> CampaignReport:
+                 wall_timeout: float | None = None,
+                 backend: str | None = None,
+                 worker_jobs: int = 1) -> CampaignReport:
     """Verify many designs in one cross-design campaign.
 
     ``designs`` are registry names (default: the whole registry).  With
@@ -237,43 +246,64 @@ def run_campaign(designs: list[str] | None = None,
     drives adaptive strategy selection.  Without either, an in-memory
     store scopes all of that to this process.
 
+    ``backend`` picks where the queue and store live:
+    ``sqlite:DIR`` is shorthand for ``cache_dir=DIR``, and
+    ``http://HOST:PORT`` points everything — the proof store, the work
+    queue, and any spawned workers — at a ``repro-verify serve``
+    instance, which is how campaigns span machines without a shared
+    filesystem.  An explicit ``backend`` takes precedence over
+    ``cache_dir``.
+
     ``workers=N`` (N >= 1) dispatches the job pool across N local worker
     processes instead of running it in-process: the coordinator leases
-    jobs through a SQLite work queue next to the proof store, workers
-    write into the shared store, and crashed workers' jobs are requeued
-    (see :mod:`repro.dist`).  Verdicts are identical either way.
+    jobs through the shared work queue, workers write into the shared
+    store (each racing one job across ``worker_jobs`` local processes),
+    and crashed workers' jobs are requeued (see :mod:`repro.dist`).
+    Verdicts are identical either way.
     Crash detection is heartbeat-based, so a worker stuck *inside* one
     solver call (alive and still beating) keeps its lease;
     ``wall_timeout`` bounds the whole distributed run as the guard for
-    that case.  A distributed run needs an on-disk rendezvous point, so
-    without a
+    that case.  A distributed sqlite-backend run needs an on-disk
+    rendezvous point, so without a
     ``cache_dir`` (or a file-backed ``store``) a temporary directory is
     used and discarded afterwards — matching the single-process
     in-memory default.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0 (0 = run in-process)")
+    resolved = None
+    if backend is not None:
+        from repro.dist.backend import parse_backend
+        resolved = parse_backend(backend)
+        if resolved.kind == "sqlite":
+            cache_dir = resolved.location  # backend wins over cache_dir
+    remote = resolved is not None and resolved.is_remote
     scratch_dir: str | None = None
-    if workers > 0 and cache_dir is None:
+    if not remote and workers > 0 and cache_dir is None:
         if store is not None and store.path is not None:
             cache_dir = store.path.parent
         else:
             if store is not None:
                 raise ValueError(
                     "a distributed campaign (workers >= 1) cannot share "
-                    "an in-memory store across processes; pass cache_dir "
-                    "or a file-backed store")
+                    "an in-memory store across processes; pass cache_dir, "
+                    "a file-backed store, or an http:// backend")
             scratch_dir = tempfile.mkdtemp(prefix="repro-campaign-")
             cache_dir = scratch_dir
     if store is None:
-        store = ProofStore.open(cache_dir) if cache_dir is not None \
-            else ProofStore.in_memory()
+        if remote:
+            from repro.dist.remote import RemoteProofStore
+            store = RemoteProofStore(resolved.location)
+        else:
+            store = ProofStore.open(cache_dir) if cache_dir is not None \
+                else ProofStore.in_memory()
     dispatcher = None
     if workers > 0:
         from repro.dist import DistributedDispatcher
-        dispatcher = DistributedDispatcher(cache_dir, workers=workers,
-                                           lease_seconds=lease_seconds,
-                                           wall_timeout=wall_timeout)
+        dispatcher = DistributedDispatcher(
+            resolved if remote else cache_dir, workers=workers,
+            lease_seconds=lease_seconds, wall_timeout=wall_timeout,
+            worker_jobs=worker_jobs)
     try:
         scheduler = CampaignScheduler(
             select_designs(designs), store, jobs=jobs,

@@ -92,6 +92,17 @@ class TestWorkQueue:
         assert stat.jobs_done == 1
         assert stat.busy_seconds == pytest.approx(0.5)
 
+    def test_enqueue_is_idempotent_for_inflight_jobs(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        assert queue.enqueue([_spec("a")]) == 1
+        lease = queue.claim("w1", lease_seconds=30)
+        # A retried enqueue (e.g. the response was lost over the
+        # network backend after the commit landed) must not clobber
+        # the live lease or its attempts count.
+        assert queue.enqueue([_spec("a")]) == 0
+        assert queue.counts() == {"leased": 1}
+        assert queue.complete(_result(lease.spec), "w1") is True
+
     def test_expired_lease_is_requeued(self, tmp_path):
         queue = WorkQueue.open(tmp_path)
         queue.enqueue([_spec("a")])

@@ -1,0 +1,548 @@
+"""Network backend: serve/remote parity, failure modes, recovery."""
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import DispatchOutcome, ProofStore
+from repro.designs import get_design
+from repro.dist import (JOB_DONE, JOB_PENDING, STATE_CLOSED, STATE_OPEN,
+                        Backend, Heartbeat, JobResult, JobSpec,
+                        ProofService, RemoteBackendError,
+                        RemoteOperationError, RemoteProofStore,
+                        RemoteWorkQueue, WorkQueue, Worker, open_queue,
+                        open_store, parse_backend)
+from repro.flow import run_campaign
+from repro.mc import Status
+from repro.mc.result import CheckResult, ProofStats
+
+#: Nothing listens here: connecting must fail fast (port 9 = discard).
+DEAD_URL = "http://127.0.0.1:9"
+
+
+def _spec(job_id: str = "d1::p1", design: str = "d1", prop: str = "p1",
+          priority: float = 0.0) -> JobSpec:
+    return JobSpec(job_id=job_id, design=design, property_name=prop,
+                   specs=("k_induction", "bmc"),
+                   full_specs=("k_induction", "bmc"),
+                   priority=priority)
+
+
+def _result(spec: JobSpec, status: str = "proven",
+            worker_id: str = "w1") -> JobResult:
+    return JobResult(
+        job_id=spec.job_id,
+        outcome=DispatchOutcome(
+            design=spec.design, property_name=spec.property_name,
+            status=status, strategy="k_induction", wall_seconds=0.5,
+            k=2, from_cache=False, worker_id=worker_id),
+        busy_seconds=0.5)
+
+
+def _design_specs(design_name: str, max_k: int = 3) -> list[JobSpec]:
+    design = get_design(design_name)
+    race = (f"k_induction(max_k={max_k})", "bmc")
+    return [JobSpec(job_id=f"{design_name}::{spec.name}",
+                    design=design_name, property_name=spec.name,
+                    specs=race, full_specs=race,
+                    priority=float(-i), order=i)
+            for i, spec in enumerate(design.properties)]
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ProofService(cache_dir=tmp_path / "served", port=0).start()
+    yield svc
+    svc.close()
+
+
+class TestBackendParsing:
+    def test_spec_forms(self, tmp_path):
+        assert parse_backend("sqlite:/x/y") == Backend("sqlite", "/x/y")
+        assert parse_backend("/x/y") == Backend("sqlite", "/x/y")
+        assert parse_backend(tmp_path) == \
+            Backend("sqlite", str(tmp_path))
+        assert parse_backend("http://h:80/") == \
+            Backend("http", "http://h:80")
+        back = Backend("http", "http://h:80")
+        assert parse_backend(back) is back
+
+    def test_spec_round_trips(self, tmp_path):
+        for spec in (f"sqlite:{tmp_path}", "http://host:7333"):
+            assert parse_backend(spec).spec() == spec
+
+    def test_bad_specs_are_rejected(self):
+        with pytest.raises(ValueError):
+            parse_backend("")
+        with pytest.raises(ValueError):
+            parse_backend("sqlite:")
+
+    def test_factories_pick_the_implementation(self, tmp_path):
+        assert isinstance(open_queue(tmp_path), WorkQueue)
+        assert isinstance(open_store(f"sqlite:{tmp_path}"), ProofStore)
+        assert isinstance(open_queue("http://h:1"), RemoteWorkQueue)
+        assert isinstance(open_store("http://h:1"), RemoteProofStore)
+
+
+class TestRemoteQueue:
+    """The remote queue preserves the SQLite queue's lease semantics."""
+
+    def test_claim_is_priority_ordered_and_exclusive(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a", priority=1.0),
+                       _spec("b", priority=5.0)])
+        first = queue.claim("w1", lease_seconds=30)
+        assert first.spec.job_id == "b"
+        assert first.attempt == 1
+        assert queue.claim("w2", lease_seconds=30).spec.job_id == "a"
+        assert queue.claim("w3", lease_seconds=30) is None
+
+    def test_complete_and_stats_round_trip(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.register_worker("w1", pid=123)
+        queue.enqueue([_spec("a")])
+        lease = queue.claim("w1", lease_seconds=30)
+        assert queue.complete(_result(lease.spec), "w1") is True
+        assert queue.counts() == {JOB_DONE: 1}
+        assert queue.unfinished() == 0
+        assert queue.results()["a"].outcome.status == "proven"
+        (stat,) = queue.worker_stats()
+        assert (stat.worker_id, stat.jobs_done) == ("w1", 1)
+
+    def test_expired_lease_requeues_over_the_wire(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a")])
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        assert queue.requeue_expired() == [("a", "w1")]
+        assert queue.counts() == {JOB_PENDING: 1}
+        assert queue.claim("w2", lease_seconds=30).attempt == 2
+
+    def test_heartbeat_extends_the_lease(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a")])
+        queue.claim("w1", lease_seconds=0.05)
+        queue.heartbeat(Heartbeat(worker_id="w1", sent=time.time(),
+                                  job_id="a"), lease_seconds=60)
+        time.sleep(0.06)
+        assert queue.requeue_expired() == []
+
+    def test_heartbeat_extends_only_the_named_job(self, service):
+        """A claim whose response was lost leaves an orphaned lease
+        the worker does not know it holds.  Its beats for other work
+        must not keep the orphan alive: only the named job's lease is
+        extended, so the orphan expires and is requeued."""
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a", priority=2.0),
+                       _spec("b", priority=1.0)])
+        queue.claim("w1", lease_seconds=0.05)           # knows about a
+        queue.claim("w1", lease_seconds=0.05)           # b: lost reply
+        queue.heartbeat(Heartbeat(worker_id="w1", sent=time.time(),
+                                  job_id="a"), lease_seconds=60)
+        time.sleep(0.06)
+        assert queue.requeue_expired() == [("b", "w1")]
+
+    def test_heartbeat_ignores_skewed_worker_clock(self, service):
+        """Lease deadlines are stamped by the server's clock: a healthy
+        worker whose own clock is an hour behind must still extend its
+        lease, not have it expire out from under it."""
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a")])
+        queue.claim("w1", lease_seconds=0.05)
+        queue.heartbeat(Heartbeat(worker_id="w1",
+                                  sent=time.time() - 3600,
+                                  job_id="a"), lease_seconds=60)
+        time.sleep(0.06)
+        assert queue.requeue_expired() == []
+
+    def test_late_completion_from_presumed_dead_remote_worker_discarded(
+            self, service):
+        """Two clients, one job: the requeued claimant's verdict wins;
+        the presumed-dead worker's late report is discarded."""
+        stale_client = RemoteWorkQueue(service.address)
+        fresh_client = RemoteWorkQueue(service.address)
+        stale_client.enqueue([_spec("a")])
+        stale = stale_client.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        fresh_client.requeue_expired()
+        fresh = fresh_client.claim("w2", lease_seconds=30)
+        assert fresh_client.complete(_result(fresh.spec, worker_id="w2"),
+                                     "w2") is True
+        assert stale_client.complete(_result(stale.spec, worker_id="w1"),
+                                     "w1") is False
+        results = fresh_client.results()
+        assert results["a"].outcome.worker_id == "w2"
+        assert fresh_client.counts() == {JOB_DONE: 1}
+
+    def test_fail_requeues_then_poisons(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a")], max_attempts=2)
+        queue.claim("w1", lease_seconds=30)
+        queue.fail("a", "w1", "boom")
+        assert queue.counts() == {JOB_PENDING: 1}
+        queue.claim("w1", lease_seconds=30)
+        queue.fail("a", "w1", "boom again")
+        poisoned = queue.results()["a"]
+        assert poisoned.outcome.status == "unknown"
+        assert poisoned.error == "boom again"
+
+    def test_state_and_reset(self, service):
+        queue = RemoteWorkQueue(service.address)
+        assert queue.state() == STATE_OPEN
+        queue.set_state(STATE_CLOSED)
+        assert queue.state() == STATE_CLOSED
+        queue.enqueue([_spec("a")])
+        queue.reset()
+        assert queue.counts() == {}
+        assert queue.state() == STATE_OPEN
+
+
+class TestRemoteStore:
+    def test_store_load_round_trip(self, service):
+        store = RemoteProofStore(service.address)
+        result = CheckResult("p", Status.PROVEN, k=2,
+                             stats=ProofStats(wall_seconds=0.5))
+        store.store("key1", result)
+        loaded = store.load("key1")
+        assert loaded == result
+        assert store.load("missing") is None
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+    def test_history_round_trip(self, service):
+        store = RemoteProofStore(service.address)
+        for _ in range(2):
+            store.record(design="d", family="fam", property_name="p",
+                         strategy="bmc", status="proven",
+                         wall_seconds=0.25, from_cache=False)
+        assert store.history_size() == 2
+        stats = store.strategy_stats()[("fam", "bmc")]
+        assert stats.attempts == 2 and stats.wins == 2
+        assert stats.median_wall == pytest.approx(0.25)
+        assert store.expected_wall("d", "p") == pytest.approx(0.25)
+        assert ("d", "p") in store.property_stats()
+        # The service's own on-disk store holds the same rows.
+        assert ProofStore.open(service.cache_dir).history_size() == 2
+
+    def test_unreachable_store_degrades_to_misses(self):
+        """The cache contract across the network: no proof ever fails
+        because the store is down — loads miss, stores drop."""
+        store = RemoteProofStore(DEAD_URL, timeout=0.5)
+        result = CheckResult("p", Status.PROVEN, k=1,
+                             stats=ProofStats())
+        store.store("k", result)          # no raise
+        assert store.load("k") is None
+        store.record(design="d", family="f", property_name="p",
+                     strategy="bmc", status="proven",
+                     wall_seconds=0.1, from_cache=False)
+        assert store.history_size() == 0
+        assert store.strategy_stats() == {}
+        assert store.expected_wall("d", "p") is None
+        assert len(store) == 0
+
+    def test_queue_calls_raise_on_unreachable_backend(self):
+        queue = RemoteWorkQueue(DEAD_URL, timeout=0.5)
+        with pytest.raises(RemoteBackendError):
+            queue.claim("w1", lease_seconds=30)
+        with pytest.raises(RemoteBackendError):
+            queue.enqueue([_spec("a")])
+
+
+class TestService:
+    def test_health_endpoint_is_json(self, service):
+        # Load balancers and probes routinely append cache-busting
+        # query strings; both forms must answer.
+        for url in (f"{service.address}/health",
+                    f"{service.address}/health?probe=1"):
+            with urllib.request.urlopen(url, timeout=5) as response:
+                payload = json.loads(response.read())
+            assert payload["status"] == "ok"
+            assert payload["queue"]["state"] == STATE_OPEN
+            assert payload["store"]["results"] == 0
+
+    def test_unknown_methods_are_rejected_as_permanent(self, service):
+        """Version skew / bad endpoints are RemoteOperationError — a
+        ReproError, not an OSError — so worker retry loops do NOT
+        swallow them and misconfiguration surfaces loudly."""
+        queue = RemoteWorkQueue(service.address)
+        with pytest.raises(RemoteOperationError):
+            queue._call("no_such_method")
+        store = RemoteProofStore(service.address)
+        with pytest.raises(RemoteOperationError):
+            store._call("_quarantine_corrupt_file")
+        assert not issubclass(RemoteOperationError, OSError)
+
+    def test_server_side_errors_surface_with_detail(self, service):
+        queue = RemoteWorkQueue(service.address)
+        with pytest.raises(RemoteOperationError, match="TypeError"):
+            queue._call("claim")   # missing required arguments
+
+
+class TestWorkerOverHTTP:
+    def test_worker_drains_queue_into_served_store(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue(_design_specs("updown_counter"))
+        queue.set_state(STATE_CLOSED)
+        worker = Worker(service.address, worker_id="w1",
+                        lease_seconds=10, poll_interval=0.02)
+        assert worker.run() == 2
+        results = queue.results()
+        assert {r.outcome.status for r in results.values()} == {"proven"}
+        assert all(r.outcome.worker_id == "w1"
+                   for r in results.values())
+        # Verdicts landed in the server's store under content keys.
+        assert len(RemoteProofStore(service.address)) > 0
+        assert len(ProofStore.open(service.cache_dir)) > 0
+
+    def test_worker_with_connection_refused_idles_out(self):
+        """A worker pointed at a dead service exits cleanly after its
+        idle timeout instead of crashing or spinning forever."""
+        worker = Worker(DEAD_URL, worker_id="w1", lease_seconds=1,
+                        poll_interval=0.02, idle_timeout=0.2)
+        worker.queue.timeout = 0.5
+        assert worker.run() == 0
+
+    def test_worker_surfaces_permanent_backend_errors(self, tmp_path):
+        """Unreachability is retried; corruption is not: a permanent
+        backend failure must crash the worker loudly, never be ridden
+        out as 'idle' until it exits 0 with no hint."""
+        import sqlite3
+
+        worker = Worker(tmp_path, worker_id="w1", lease_seconds=1,
+                        poll_interval=0.02, idle_timeout=5.0)
+        broken = sqlite3.DatabaseError("file is not a database")
+
+        def corrupt_claim(worker_id, lease_seconds):
+            raise broken
+
+        worker.queue.claim = corrupt_claim
+        with pytest.raises(sqlite3.DatabaseError):
+            worker.run()
+
+    def test_inline_drain_keeps_renewing_the_campaign_claim(
+            self, tmp_path):
+        """A coordinator draining inline is blocked inside Worker.run,
+        so the inline worker's beats must renew the campaign ownership
+        claim — otherwise it lapses mid-drain and a second campaign
+        could take over and wipe the queue."""
+        queue = WorkQueue.open(tmp_path)
+        assert queue.begin_campaign("c1", lease_seconds=0.3) is True
+        queue.enqueue(_design_specs("updown_counter"))
+        queue.set_state(STATE_CLOSED)
+        done = Worker(tmp_path, worker_id="w-inline",
+                      lease_seconds=0.15, poll_interval=0.02,
+                      campaign_owner="c1", campaign_lease=60.0).run()
+        assert done == 2
+        time.sleep(0.35)    # past the original 0.3s claim window
+        # The claim was renewed during the drain: a second campaign is
+        # still refused rather than taking over.
+        assert queue.begin_campaign("c2", lease_seconds=60) is False
+
+
+class TestServerRestart:
+    def test_restart_mid_campaign_requeues_leased_jobs(self, tmp_path):
+        """Kill the server while a job is leased: after a restart on
+        the same cache dir, the lease expires, the job is requeued, a
+        survivor completes it, and the dead claimant's late completion
+        is discarded — nothing lost, nothing duplicated."""
+        served_dir = tmp_path / "served"
+        svc = ProofService(cache_dir=served_dir, port=0).start()
+        port = svc.port
+
+        client = RemoteWorkQueue(svc.address)
+        specs = _design_specs("updown_counter")
+        client.enqueue(specs)
+        client.set_state(STATE_CLOSED)
+        stale = client.claim("doomed", lease_seconds=0.3)
+        assert stale is not None
+
+        svc.close()     # the server dies mid-campaign
+        with pytest.raises(RemoteBackendError):
+            client.counts()
+
+        time.sleep(0.35)    # the outage outlasts the lease
+        revived = ProofService(cache_dir=served_dir, port=port).start()
+        try:
+            # Queue state survived the restart; the stale lease is
+            # reclaimed on the first reap.
+            assert client.requeue_expired() == \
+                [(stale.spec.job_id, "doomed")]
+            survivor = Worker(revived.address, worker_id="survivor",
+                              lease_seconds=10, poll_interval=0.02)
+            assert survivor.run() == len(specs)
+            # The presumed-dead claimant reports late: discarded.
+            assert client.complete(_result(stale.spec,
+                                           worker_id="doomed"),
+                                   "doomed") is False
+            results = client.results()
+            assert sorted(results) == sorted(s.job_id for s in specs)
+            assert client.counts() == {JOB_DONE: len(specs)}
+            assert results[stale.spec.job_id].outcome.worker_id == \
+                "survivor"
+        finally:
+            revived.close()
+
+
+class TestCoordinatorSurvivesServerBounce:
+    def test_campaign_rides_through_server_outage(self, tmp_path):
+        """The coordinator must poll through a backend outage, not
+        crash: with the server down, the campaign pauses (every queue
+        call retries); once it is back on the same cache dir and port,
+        the campaign finishes with every verdict.  The outage spans
+        the campaign's start, so the retry path is exercised
+        deterministically, not by racing the (fast) solver."""
+        from repro.campaign import CampaignScheduler, ProofStore
+        from repro.designs.registry import select_designs
+        from repro.dist import Coordinator
+
+        served = tmp_path / "served"
+        svc = ProofService(cache_dir=served, port=0).start()
+        port = svc.port
+        url = svc.address
+        pool = CampaignScheduler(
+            select_designs(["updown_counter", "sync_counters_bug"]),
+            ProofStore.in_memory(), max_k=3).build_jobs()
+        svc.close()     # the backend is already down when the run starts
+
+        coordinator = Coordinator(url, workers=1,
+                                  lease_seconds=5.0, poll_interval=0.05)
+        box = {}
+
+        def run() -> None:
+            try:
+                box["result"] = coordinator.run(pool)
+            except BaseException as exc:   # surfaced by the assert below
+                box["error"] = exc
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        time.sleep(0.5)     # a real outage window
+        assert thread.is_alive(), \
+            f"campaign ended during the outage: {box}"
+        assert "error" not in box, box.get("error")
+
+        revived = ProofService(cache_dir=served, port=port).start()
+        try:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "campaign never finished"
+            assert "error" not in box, box.get("error")
+            result = box["result"]
+            assert set(result.outcomes) == {j.identity for j in pool}
+            assert all(o.conclusive
+                       for o in result.outcomes.values()), \
+                result.outcomes
+        finally:
+            revived.close()
+
+    def test_second_campaign_refuses_to_clobber_a_live_one(self,
+                                                           service):
+        """A campaign resets the queue on start, so a backend with
+        jobs under live lease (another coordinator's workers are
+        solving) must be refused, not wiped."""
+        from repro.campaign import CampaignScheduler, ProofStore
+        from repro.designs.registry import select_designs
+        from repro.dist import CampaignConflictError, Coordinator
+
+        other = RemoteWorkQueue(service.address)
+        other.enqueue([_spec("a")])
+        other.claim("other-campaigns-worker", lease_seconds=60)
+
+        pool = CampaignScheduler(
+            select_designs(["updown_counter"]),
+            ProofStore.in_memory(), max_k=3).build_jobs()
+        coordinator = Coordinator(service.address, workers=1,
+                                  poll_interval=0.02)
+        with pytest.raises(CampaignConflictError, match="active"):
+            coordinator.run(pool)
+        # The live campaign's job is untouched.
+        assert other.counts() == {"leased": 1}
+
+    def test_campaign_ownership_is_atomic_and_idempotent(self, service):
+        """begin_campaign closes the startup window too: B cannot
+        slip in while A's jobs are still pending (nobody has claimed
+        yet), and A's own retried begin (lost response) stays safe."""
+        queue = RemoteWorkQueue(service.address)
+        assert queue.begin_campaign("campaign-A", 60) is True
+        queue.enqueue([_spec("a")])
+        assert queue.begin_campaign("campaign-B", 60) is False
+        assert queue.counts() == {JOB_PENDING: 1}   # A untouched
+        assert queue.begin_campaign("campaign-A", 60) is True
+        queue.end_campaign("campaign-A")            # A releases...
+        assert queue.begin_campaign("campaign-B", 60) is True
+
+    def test_permanent_sqlite_errors_are_not_transient(self):
+        import sqlite3
+
+        from repro.dist import is_transient_error
+        assert is_transient_error(
+            sqlite3.OperationalError("database is locked"))
+        assert is_transient_error(ConnectionRefusedError("refused"))
+        assert is_transient_error(RemoteBackendError("unreachable"))
+        assert not is_transient_error(
+            sqlite3.OperationalError("database or disk is full"))
+        assert not is_transient_error(
+            sqlite3.DatabaseError("file is not a database"))
+
+    def test_never_reachable_backend_fails_fast(self, monkeypatch):
+        """Ride-through patience is for outages, not typos: a backend
+        that has never answered at all fails the campaign with a clear
+        error instead of hanging forever."""
+        from repro.campaign import CampaignScheduler, ProofStore
+        from repro.designs.registry import select_designs
+        from repro.dist import Coordinator
+
+        pool = CampaignScheduler(
+            select_designs(["updown_counter"]),
+            ProofStore.in_memory(), max_k=3).build_jobs()
+        monkeypatch.setattr(Coordinator, "NEVER_ANSWERED_GRACE", 0.2)
+        coordinator = Coordinator(DEAD_URL, workers=1,
+                                  poll_interval=0.02)
+        coordinator.queue.timeout = 0.3
+        with pytest.raises(TimeoutError, match="never answered"):
+            coordinator.run(pool)
+
+
+class TestRemoteCampaign:
+    DESIGNS = ["updown_counter", "sync_counters_bug"]
+
+    def test_remote_verdicts_match_local_sqlite_run(self, service,
+                                                    tmp_path):
+        local = run_campaign(designs=self.DESIGNS,
+                             cache_dir=tmp_path / "local", max_k=3)
+        remote = run_campaign(designs=self.DESIGNS,
+                              backend=service.address, workers=2,
+                              lease_seconds=10, max_k=3)
+        verdicts = lambda report: {  # noqa: E731
+            (r.design, r.property_name, r.status) for r in report.rows}
+        assert verdicts(remote) == verdicts(local)
+        assert remote.mismatches == 0
+        assert remote.workers == 2
+        assert remote.store_results > 0
+        assert sum(s.jobs_done for s in remote.worker_stats) == \
+            len(remote.rows)
+        # History is recorded once per verdict, in the served store.
+        assert RemoteProofStore(service.address).history_size() == \
+            len(remote.rows)
+
+    def test_warm_remote_rerun_answers_from_served_store(self, service):
+        cold = run_campaign(designs=["updown_counter"], max_k=3,
+                            backend=service.address, workers=2,
+                            lease_seconds=10)
+        warm = run_campaign(designs=["updown_counter"], max_k=3,
+                            backend=service.address, workers=2,
+                            lease_seconds=10)
+        assert cold.mismatches == warm.mismatches == 0
+        assert warm.cache.disk_hits > 0
+        assert warm.cache.misses == 0
+
+    def test_sqlite_backend_spec_is_equivalent_to_cache_dir(self,
+                                                            tmp_path):
+        report = run_campaign(designs=["updown_counter"], max_k=3,
+                              backend=f"sqlite:{tmp_path}")
+        assert report.mismatches == 0
+        assert (Path(tmp_path) / ProofStore.FILENAME).exists()
