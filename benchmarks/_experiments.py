@@ -411,6 +411,62 @@ def run_e8(jobs: int = 1) -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E9 — IC3/PDR vs k-induction, seeded vs unseeded
+# ---------------------------------------------------------------------------
+
+E9_CASES = [
+    ("traffic_onehot", "mutual_exclusion"),
+    ("rr_arbiter", "grant_onehot0"),
+    ("lfsr16", "never_zero"),
+    ("sync_counters", "equal_count"),
+    ("fifo_ctrl", "count_matches_pointers"),
+]
+
+#: Bounded engine knobs so the losing configurations give up in about a
+#: second instead of dominating the benchmark's wall time.
+E9_PDR_OPTS = {"max_frames": 18, "conflict_budget": 3000,
+               "propagation_budget": 500_000, "gen_budget": 500,
+               "max_obligations": 2000}
+
+
+def run_e9() -> Table:
+    """Engine comparison on needs-helper and invariant-shaped targets.
+
+    For each case, three configurations run over one compiled system:
+    k-induction at the property's default depth, plain PDR, and
+    GenAI-seeded PDR.  Conflicts and propagations are the headline
+    columns — the machine-independent effort measures the campaign
+    report now carries per row — because wall time on this substrate
+    mixes solver effort with Python overhead.
+    """
+    from repro.mc.engine import ProofEngine
+
+    table = Table(["design.property", "strategy", "status", "k",
+                   "t (s)", "conflicts", "propagations"],
+                  title="E9: IC3/PDR vs k-induction, seeded vs unseeded")
+    for design_name, prop_name in E9_CASES:
+        design = get_design(design_name)
+        ctx = MonitorContext(design.system())
+        spec = design.property_spec(prop_name)
+        prop = ctx.add(spec.sva, name=spec.name)
+        engine = ProofEngine(ctx.system)
+        runs = [
+            ("k_induction", {"max_k": spec.max_k}),
+            ("pdr", dict(E9_PDR_OPTS)),
+            ("pdr_seeded", dict(E9_PDR_OPTS)),
+        ]
+        for strategy, options in runs:
+            t0 = time.perf_counter()
+            result = engine.check(prop, strategy, **options)
+            elapsed = time.perf_counter() - t0
+            table.add_row(f"{design_name}.{prop_name}", strategy,
+                          result.status.value, result.k, elapsed,
+                          result.stats.conflicts,
+                          result.stats.propagations)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -420,6 +476,7 @@ ALL_EXPERIMENTS = {
     "E6": run_e6,
     "E7": run_e7,
     "E8": run_e8,
+    "E9": run_e9,
     "A1": run_a1,
     "A2": run_a2,
 }

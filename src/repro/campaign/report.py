@@ -49,6 +49,10 @@ class CampaignRow:
     from_cache: bool
     adaptive_fallback: bool = False   # re-raced with the full portfolio
     worker: str = ""             # worker id, distributed campaigns only
+    #: Machine-independent solver-effort counters of the winning run
+    #: (conflicts, decisions, propagations, ...) — what engine
+    #: comparisons rank strategies by instead of wall time.
+    effort: dict = field(default_factory=dict)
 
     @property
     def mismatch(self) -> bool:
@@ -100,6 +104,22 @@ class CampaignReport:
         lookups = self.cache.hits + self.cache.misses
         return self.cache.disk_hits / lookups if lookups else 0.0
 
+    @property
+    def effort_totals(self) -> dict:
+        """Solver effort actually spent by *this* run.
+
+        Cache-hit rows are excluded: their ``effort`` records what the
+        original solve cost, not work done now — a warm campaign
+        reports (near) zero totals, matching its near-zero wall time.
+        """
+        totals: dict[str, int] = {}
+        for r in self.rows:
+            if r.from_cache:
+                continue
+            for key, value in r.effort.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -117,6 +137,7 @@ class CampaignReport:
             "full_portfolio_jobs": self.full_portfolio_jobs,
             "fallback_reruns": self.fallback_reruns,
             "store_results": self.store_results,
+            "effort": self.effort_totals,
             "workers": self.workers,
             "worker_stats": [
                 {
@@ -151,6 +172,7 @@ class CampaignReport:
                     "from_cache": r.from_cache,
                     "adaptive_fallback": r.adaptive_fallback,
                     "worker": r.worker,
+                    "effort": dict(r.effort),
                 }
                 for r in self.rows
             ],
@@ -185,6 +207,10 @@ class CampaignReport:
             f"  jobs: {self.dispatched_jobs} dispatched vs "
             f"{self.full_portfolio_jobs} full-portfolio "
             f"({self.fallback_reruns} fallback reruns)",
+            f"  solver effort: "
+            f"{self.effort_totals.get('conflicts', 0)} conflicts, "
+            f"{self.effort_totals.get('decisions', 0)} decisions, "
+            f"{self.effort_totals.get('propagations', 0)} propagations",
             "  " + self.cache.one_line() +
             f", {self.store_results} results on disk",
         ]

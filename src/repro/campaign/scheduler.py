@@ -131,6 +131,10 @@ class DispatchOutcome:
     from_cache: bool
     fallback: bool = False       # settled by the full-portfolio rerun
     worker_id: str = ""          # distributed dispatch only
+    #: Cumulative solver-effort snapshot of the winning run (conflicts /
+    #: decisions / propagations / ...), machine-independent — see
+    #: :meth:`repro.mc.result.ProofStats.effort_dict`.
+    effort: dict = field(default_factory=dict)
 
     @property
     def conclusive(self) -> bool:
@@ -223,7 +227,7 @@ def _from_portfolio(outcome, fallback: bool = False) -> DispatchOutcome:
         status=outcome.result.status.value, strategy=outcome.strategy,
         wall_seconds=outcome.result.stats.wall_seconds,
         k=outcome.result.k, from_cache=outcome.from_cache,
-        fallback=fallback)
+        fallback=fallback, effort=outcome.result.stats.effort_dict())
 
 
 class CampaignScheduler:
@@ -341,7 +345,8 @@ class CampaignScheduler:
                 k=outcome.k,
                 from_cache=outcome.from_cache,
                 adaptive_fallback=outcome.fallback,
-                worker=outcome.worker_id))
+                worker=outcome.worker_id,
+                effort=dict(outcome.effort)))
 
         return CampaignReport(
             designs=[d.name for d in self.designs],

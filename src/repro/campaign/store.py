@@ -45,7 +45,10 @@ from repro.mc.result import CheckResult
 
 #: Bump on any incompatible change to the tables or the pickle payload
 #: layout; mismatched stores are wiped and rebuilt (they are caches).
-SCHEMA_VERSION = 1
+#: v2: CheckResult.invariant + ProofStats restarts/learned_* fields —
+#: pre-PDR payloads would unpickle without them and break the cache's
+#: dataclasses.replace copies.
+SCHEMA_VERSION = 2
 
 #: SQLite's own wait-for-writer window (ms) before it reports "database
 #: is locked"; generous because parallel campaign workers all write here.
@@ -280,6 +283,35 @@ class ProofStore:
                     "SELECT COUNT(*) FROM results").fetchone()[0])
             except sqlite3.Error:
                 return 0
+
+    def invariant_payloads(self, limit: int = 256) -> list[list]:
+        """Invariant certificates of stored *proven* results.
+
+        Each entry is one result's ``invariant`` conjunct list (PDR's
+        inductive-invariant certificate), newest results first.  The
+        PDR seeding path (:mod:`repro.mc.pdr.seed`) mines these so a
+        warm campaign hands new runs the strengthenings earlier runs
+        already proved.  Unreadable payloads are skipped — same
+        degrade-don't-raise contract as ``load``.
+        """
+        with self._lock:
+            try:
+                rows = _with_lock_retry(lambda: self._conn.execute(
+                    "SELECT payload FROM results WHERE status = ? "
+                    "ORDER BY created DESC LIMIT ?",
+                    ("proven", limit)).fetchall())
+            except sqlite3.Error:
+                return []
+        out: list[list] = []
+        for (payload,) in rows:
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                continue
+            invariant = getattr(result, "invariant", None)
+            if isinstance(result, CheckResult) and invariant:
+                out.append(list(invariant))
+        return out
 
     # ------------------------------------------------------------------
     # Outcome history: what adaptive selection mines

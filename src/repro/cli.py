@@ -260,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="portfolio",
                    help="'portfolio' (default: race k_induction + bmc) or "
                         "'+'-joined strategy specs, e.g. "
-                        "'k_induction(max_k=3)+bmc(bound=12)'")
+                        "'k_induction(max_k=3)+bmc(bound=12)' or "
+                        "'pdr+bmc' (see `repro-verify strategies`)")
     p.add_argument("--max-k", type=int, default=None)
     p.add_argument("--bound", type=int, default=None,
                    help="BMC bound for the default portfolio refuter")

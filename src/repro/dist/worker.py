@@ -213,7 +213,8 @@ class Worker:
                 strategy=outcome.strategy,
                 wall_seconds=outcome.result.stats.wall_seconds,
                 k=outcome.result.k, from_cache=outcome.from_cache,
-                fallback=spec.fallback, worker_id=self.worker_id),
+                fallback=spec.fallback, worker_id=self.worker_id,
+                effort=outcome.result.stats.effort_dict()),
             cache=self.cache.stats.since(stats_before))
 
     def _compile(self, spec: JobSpec):

@@ -10,6 +10,12 @@ Pipeline stages (each one a measured filter):
 6. prove every target property twice — without and with the proven
    lemmas — and report the effort delta (the paper's "faster proof for
    complex properties").
+
+With ``pdr_cross_feed=True`` a third engine joins stage 6: any target
+k-induction still cannot close runs through IC3/PDR, and a PROVEN
+result's inductive-invariant certificate is re-assumed as lemmas for a
+final k-induction pass — PDR-discovered strengthenings feeding the
+paper's core proof method exactly like LLM-generated ones do.
 """
 
 from __future__ import annotations
@@ -86,7 +92,9 @@ class LemmaGenerationFlow:
                  houdini_k: int = 3,
                  houdini_bmc_bound: int = 8,
                  jobs: int = 1,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 pdr_cross_feed: bool = False,
+                 pdr_max_frames: int = 12):
         self.client = client
         self.engine_config = engine_config or EngineConfig()
         self.screen_runs = screen_runs
@@ -95,6 +103,8 @@ class LemmaGenerationFlow:
         self.houdini_bmc_bound = houdini_bmc_bound
         self.jobs = jobs
         self.cache = cache
+        self.pdr_cross_feed = pdr_cross_feed
+        self.pdr_max_frames = pdr_max_frames
 
     # ------------------------------------------------------------------
 
@@ -185,6 +195,10 @@ class LemmaGenerationFlow:
                                  lemma.valid_from)
             with_lemmas = engine.prove(target_prop, max_k=spec.max_k)
             stats.note_proof(with_lemmas)
+            if with_lemmas.status is not Status.PROVEN and \
+                    self.pdr_cross_feed:
+                with_lemmas = self._pdr_assist(engine, target_prop,
+                                               spec, with_lemmas, stats)
             comparison = TargetComparison(target_name, without, with_lemmas)
             comparisons.append(comparison)
             if comparison.enabled_proof or comparison.speedup > 1.2:
@@ -197,3 +211,30 @@ class LemmaGenerationFlow:
                                               "unknown"),
             outcomes=outcomes, lemmas=lemmas, targets=comparisons,
             stats=stats, response_text=response.text)
+
+    def _pdr_assist(self, engine: ProofEngine, target_prop, spec,
+                    with_lemmas: CheckResult,
+                    stats: FlowStats) -> CheckResult:
+        """Cross-feed: close a stuck target with a PDR invariant.
+
+        Runs IC3/PDR on the target; a PROVEN result's invariant
+        certificate is re-assumed as lemmas
+        (:meth:`~repro.mc.engine.ProofEngine.add_invariant_lemmas`) and
+        k-induction gets one more attempt with them.  Any failure along
+        the way leaves the original result untouched.
+        """
+        pdr_result = engine.check(target_prop, "pdr",
+                                  max_frames=self.pdr_max_frames)
+        stats.note_proof(pdr_result)
+        if engine.add_invariant_lemmas(pdr_result) > 0:
+            rerun = engine.prove(target_prop, max_k=spec.max_k)
+            stats.note_proof(rerun)
+            if rerun.status is Status.PROVEN:
+                rerun.detail += \
+                    " (with PDR-discovered invariant lemmas)"
+                return rerun
+        if pdr_result.status is Status.PROVEN:
+            # Proven, but with no reusable certificate (warm-up runs
+            # emit none): the PDR verdict itself is the result.
+            return pdr_result
+        return with_lemmas

@@ -230,6 +230,20 @@ class ResultCache:
             self._entries.clear()
 
 
+def strategy_cacheable(strategy, options: Mapping) -> bool:
+    """May this invocation's result be cached under its query key?
+
+    The key fingerprints the system/property/lemmas/options — which is
+    only sound when the strategy is a deterministic function of those.
+    A strategy can opt specific invocations out by exposing
+    ``cacheable(options)`` (e.g. PDR runs seeded from a proof store:
+    their outcome improves as the store warms, and a cached early
+    UNKNOWN would pin the property to its worst attempt forever).
+    """
+    probe = getattr(strategy, "cacheable", None)
+    return True if probe is None else bool(probe(options))
+
+
 def run_cached(strategy_spec: str, system: TransitionSystem,
                prop: SafetyProperty, options: Mapping,
                lemmas: list[tuple[E.Expr, int]] | None = None,
@@ -244,7 +258,7 @@ def run_cached(strategy_spec: str, system: TransitionSystem,
     strategy, resolved = resolve_strategy(strategy_spec)
     resolved.update(options)
     key = None
-    if cache is not None:
+    if cache is not None and strategy_cacheable(strategy, resolved):
         key = query_key(system, prop, strategy.name,
                         canonical_options(strategy, resolved), lemmas)
         hit = cache.get(key)

@@ -113,15 +113,7 @@ class FrameSolver:
     # ------------------------------------------------------------------
 
     def stats_snapshot(self) -> ProofStats:
-        s = self.solver.stats
-        return ProofStats(
-            sat_queries=self.queries,
-            conflicts=s.conflicts,
-            decisions=s.decisions,
-            propagations=s.propagations,
-            clauses=s.clauses_added,
-            variables=s.max_vars,
-        )
+        return ProofStats.from_solver(self.solver.stats, self.queries)
 
 
 class StatsTimer:

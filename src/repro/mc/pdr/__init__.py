@@ -1,0 +1,36 @@
+"""Property-directed reachability (IC3/PDR).
+
+The third proof engine next to BMC and k-induction: instead of
+unrolling, it maintains inductive frames and blocks counterexamples to
+induction one cube at a time (:mod:`repro.mc.pdr.engine`).  Registered
+with the strategy registry as ``pdr`` and ``pdr_seeded`` (frames
+pre-seeded with GenAI-synthesized and store-mined candidate lemmas —
+see :mod:`repro.mc.pdr.seed`), so every scheduling layer — portfolio
+races, campaigns, adaptive selection, distributed workers, and the CLI
+— gains the engine through the registry with no engine-specific code.
+"""
+
+from repro.mc.pdr.engine import AGE_STATE, PdrOptions, pdr
+from repro.mc.pdr.frames import FrameMember, FrameTrapezoid, PdrContext
+from repro.mc.pdr.obligations import (Obligation, ObligationQueue,
+                                      generalize_clause)
+from repro.mc.pdr.seed import (compile_seed_predicates,
+                               gather_seed_predicates,
+                               static_seed_predicates,
+                               store_seed_predicates)
+
+__all__ = [
+    "AGE_STATE",
+    "FrameMember",
+    "FrameTrapezoid",
+    "Obligation",
+    "ObligationQueue",
+    "PdrContext",
+    "PdrOptions",
+    "compile_seed_predicates",
+    "gather_seed_predicates",
+    "generalize_clause",
+    "pdr",
+    "static_seed_predicates",
+    "store_seed_predicates",
+]

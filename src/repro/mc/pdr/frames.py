@@ -1,0 +1,352 @@
+"""The PDR frame trapezoid over one incremental SAT context.
+
+Property-directed reachability keeps a monotone chain of *frames*
+``F_0 ⊆ F_1 ⊆ ... ⊆ F_K`` as state sets (``F_0 = init``, each ``F_i``
+over-approximates the states reachable in at most ``i`` steps); as
+*clause sets* the containment runs the other way — an outer frame
+holds a subset of the inner frames' clauses.  This module owns both
+halves of that machinery:
+
+* :class:`PdrContext` — a single incremental
+  :class:`~repro.sat.solver.Solver` holding **one** unrolled step
+  (transition ``0 → 1`` plus the time-0 environment constraints).  All
+  PDR queries are solved here under assumptions: per-*level* activation
+  literals select which frames participate, time-1 cube literals pose
+  "is this state reachable in one step", and throwaway activation
+  literals guard the temporary ``¬cube`` clause of a relative-induction
+  query.  Nothing is ever retracted from the solver — retired guards
+  are pinned false so learnt clauses survive every query (the
+  retraction pattern ``tests/test_sat.py`` covers).
+
+* :class:`FrameTrapezoid` — the Python-side ledger of frame *members*
+  in delta encoding: a member stored at level ``i`` belongs to every
+  frame ``F_1 .. F_i``.  Members are either **blocking clauses**
+  (disjunctions of state-register bit literals, discovered by the
+  engine's obligation blocking) or **seeded predicates** (arbitrary
+  width-1 expressions over state variables, admitted by
+  :mod:`repro.mc.pdr.seed` after the level-1 admission checks).
+  :meth:`FrameTrapezoid.propagate` pushes members outward after each
+  new frame and reports the fixpoint level when two adjacent frames
+  coincide — the proof certificate.
+
+Level 0 is special: the initial-state equations are themselves guarded
+by the level-0 activation literal, so a query "relative to ``F_0``"
+simply assumes it — no separate init solver exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.bitblast import BitBlaster
+from repro.aig.cnf import CnfBuilder
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.result import ProofStats
+from repro.mc.unroll import Unroller, timed_name
+from repro.sat.solver import Solver
+
+#: One cube/clause literal: register ``name`` bit ``bit`` has ``value``.
+#: A *cube* is a conjunction of such literals (a set of states); a
+#: *blocking clause* is a disjunction (its negation blocks a cube).
+BitLit = tuple[str, int, int]
+
+Cube = tuple[BitLit, ...]
+
+
+def negate_cube(cube: Cube) -> tuple[BitLit, ...]:
+    """The clause blocking ``cube``: every literal flipped."""
+    return tuple((name, bit, 1 - value) for name, bit, value in cube)
+
+
+def _unbudgeted() -> None:
+    """Default budget supplier: no per-probe conflict limit."""
+    return None
+
+
+@dataclass(frozen=True)
+class FrameMember:
+    """One element of a frame: a blocking clause or a seeded predicate.
+
+    Exactly one of ``clause``/``pred`` is set.  ``seeded`` marks members
+    admitted from external candidates (GenAI synthesis or the proof
+    store) rather than discovered by obligation blocking.
+    """
+
+    clause: tuple[BitLit, ...] | None = None
+    pred: E.Expr | None = None
+    seeded: bool = False
+
+    def blocks(self, cube_map: dict[tuple[str, int], int]) -> bool:
+        """Syntactic check: does this clause block the (full) cube?
+
+        True iff every clause literal is falsified by the cube — i.e.
+        the cube lies entirely inside the region the clause forbids.
+        Predicates never answer syntactically (the solver decides).
+        """
+        if self.clause is None:
+            return False
+        return all(cube_map.get((name, bit)) == 1 - value
+                   for name, bit, value in self.clause)
+
+    def describe(self) -> str:
+        if self.pred is not None:
+            return E.to_sexpr(self.pred, max_depth=4)
+        return " | ".join(
+            f"{'!' if value == 0 else ''}{name}[{bit}]"
+            for name, bit, value in self.clause)
+
+
+class PdrContext:
+    """Shared incremental solver state for every PDR query on one system.
+
+    The context asserts the one-step transition relation and the time-0
+    environment constraints once; everything else — frames, init, cubes,
+    temporary blocking clauses — rides on assumption literals.  Time-1
+    constraints are deliberately **not** asserted: the trace semantics
+    (matching BMC) require constraints only up to the cycle under
+    examination, and successor cubes were themselves discovered under
+    their own time-0 constraints.
+    """
+
+    def __init__(self, system: TransitionSystem):
+        system.validate()
+        self.system = system
+        self.unroller = Unroller(system)
+        self.solver = Solver()
+        self.blaster = BitBlaster()
+        self.cnf = CnfBuilder(self.blaster.aig, self.solver)
+        self.queries = 0
+        self._state_bits: dict[tuple[str, int], list[int]] = {}
+        for eq in self.unroller.transition(0):
+            self._assert(eq)
+        for cond in self.unroller.constraints_at(0):
+            self._assert(cond)
+        # Force state bits at both times so cube literals and model
+        # extraction never depend on which registers the transition
+        # happens to read.
+        for name, v in system.states.items():
+            for t in (0, 1):
+                self._state_bits[(name, t)] = self.blaster.blast(
+                    E.var(timed_name(name, t), v.width))
+
+    # ------------------------------------------------------------------
+    # Low-level plumbing
+    # ------------------------------------------------------------------
+
+    def _assert(self, timed_expr: E.Expr) -> None:
+        self.cnf.assert_lit(self.blaster.blast_bool(timed_expr))
+
+    def new_guard(self) -> int:
+        """A fresh activation variable (assume +guard to enable)."""
+        return self.solver.add_var()
+
+    def retire_guard(self, guard: int) -> None:
+        """Permanently disable a guard: its clauses become satisfied."""
+        self.solver.add_clause([-guard])
+
+    def guarded_expr(self, guard: int, expr: E.Expr, t: int) -> None:
+        """Assert ``guard -> expr@t`` (expr untimed, resolved, width 1)."""
+        lit = self.blaster.blast_bool(self.unroller.at_time(expr, t))
+        self.solver.add_clause([-guard, self.cnf.lit_to_dimacs(lit)])
+
+    def guarded_clause(self, guard: int, clause: tuple[BitLit, ...],
+                       t: int) -> None:
+        """Assert ``guard -> (⋁ literals)@t`` over state bits."""
+        self.solver.add_clause(
+            [-guard] + [self.bit_dimacs(name, bit, value, t)
+                        for name, bit, value in clause])
+
+    def expr_assumption(self, expr: E.Expr, t: int) -> int:
+        """Assumption literal for an untimed width-1 expression at ``t``."""
+        lit = self.blaster.blast_bool(self.unroller.at_time(expr, t))
+        return self.cnf.assumption(lit)
+
+    def bit_dimacs(self, name: str, bit: int, value: int, t: int) -> int:
+        """DIMACS literal asserting state bit ``name[bit] == value@t``."""
+        aig_lit = self._state_bits[(name, t)][bit]
+        d = self.cnf.lit_to_dimacs(aig_lit)
+        return d if value else -d
+
+    def cube_assumptions(self, cube: Cube, t: int) -> list[int]:
+        return [self.bit_dimacs(name, bit, value, t)
+                for name, bit, value in cube]
+
+    def solve(self, assumptions: list[int],
+              conflict_budget: int | None = None) -> bool | None:
+        self.cnf.encode_new_nodes()
+        self.queries += 1
+        if conflict_budget is None:
+            return self.solver.solve(assumptions)
+        return self.solver.solve_limited(assumptions,
+                                         conflict_budget=conflict_budget)
+
+    # ------------------------------------------------------------------
+    # Model extraction (valid immediately after a SAT answer)
+    # ------------------------------------------------------------------
+
+    def state_cube(self, t: int = 0) -> Cube:
+        """The full state assignment at time ``t`` as a cube."""
+        lits: list[BitLit] = []
+        for name in self.system.states:
+            bits = self._state_bits[(name, t)]
+            for i, aig_lit in enumerate(bits):
+                lits.append((name, i, int(self.cnf.lit_value(aig_lit))))
+        return tuple(lits)
+
+    def frame_env(self, t: int = 0) -> dict[str, int]:
+        """Input + state word values at time ``t`` (for trace frames)."""
+        env: dict[str, int] = {}
+        for name, v in list(self.system.inputs.items()) + \
+                list(self.system.states.items()):
+            bits = self.blaster.var_bits(timed_name(name, t))
+            if bits is None:
+                env[name] = 0  # never blasted: unconstrained
+            else:
+                env[name] = self.cnf.bits_value(bits)
+        return env
+
+    def stats_snapshot(self) -> ProofStats:
+        return ProofStats.from_solver(self.solver.stats, self.queries)
+
+
+class FrameTrapezoid:
+    """Delta-encoded frames ``F_0 .. F_K`` over a :class:`PdrContext`.
+
+    ``levels[i]`` holds the members whose *highest* frame is ``F_i``;
+    frame ``F_j`` is the conjunction of init (j == 0 only) and every
+    member at a level ``>= j``.  Each level owns one activation literal;
+    a query relative to ``F_j`` assumes the activation literals of
+    levels ``j..K``.  Pushing a member outward re-asserts it under the
+    next level's activation literal — the superseded copy stays in the
+    solver (it is implied) and keeps its learnt consequences alive.
+    """
+
+    def __init__(self, ctx: PdrContext,
+                 lemmas: list[E.Expr] | None = None):
+        """``lemmas`` are already-proven invariant expressions (resolved,
+        width 1, possibly warm-up-gated by the engine), asserted
+        permanently at both ends of the step — frame strengthening that
+        is sound because lemmas hold in every reachable state."""
+        self.ctx = ctx
+        self.levels: list[list[FrameMember]] = [[], []]  # F_0, F_1
+        self._acts: list[int] = [ctx.new_guard(), ctx.new_guard()]
+        for good in (lemmas or []):
+            for t in (0, 1):
+                ctx._assert(ctx.unroller.at_time(good, t))
+        # F_0 is the initial states, guarded by the level-0 literal.
+        init_guard = self._acts[0]
+        for eq in ctx.unroller.init_constraints():
+            ctx.solver.add_clause(
+                [-init_guard,
+                 ctx.cnf.lit_to_dimacs(ctx.blaster.blast_bool(eq))])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def top(self) -> int:
+        return len(self.levels) - 1
+
+    def add_frame(self) -> None:
+        self.levels.append([])
+        self._acts.append(self.ctx.new_guard())
+
+    def activation(self, level: int) -> list[int]:
+        """Assumption literals selecting frame ``F_level``."""
+        return self._acts[level:]
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_member(self, member: FrameMember, level: int) -> None:
+        """Install ``member`` at ``level`` (it joins ``F_1 .. F_level``)."""
+        if not (1 <= level <= self.top):
+            raise ValueError(f"level {level} outside 1..{self.top}")
+        self._assert_at_level(member, level)
+        self.levels[level].append(member)
+
+    def _assert_at_level(self, member: FrameMember, level: int) -> None:
+        guard = self._acts[level]
+        if member.pred is not None:
+            self.ctx.guarded_expr(guard, member.pred, t=0)
+        else:
+            self.ctx.guarded_clause(guard, member.clause, t=0)
+
+    def blocks_syntactically(self, cube: Cube, level: int) -> bool:
+        """Is ``cube`` already excluded from ``F_level`` by some clause?"""
+        cube_map = {(name, bit): value for name, bit, value in cube}
+        return any(member.blocks(cube_map)
+                   for lvl in range(level, self.top + 1)
+                   for member in self.levels[lvl])
+
+    # ------------------------------------------------------------------
+    # Outward propagation + fixpoint detection
+    # ------------------------------------------------------------------
+
+    def _holds_after_step(self, member: FrameMember, level: int,
+                          budget: int | None = None) -> bool | None:
+        """Consecution probe: ``F_level ∧ T → member'`` ?
+
+        Returns True when the member can move to ``level + 1``; None
+        when an optional conflict budget ran out (treated as "no").
+        """
+        ctx = self.ctx
+        assumptions = list(self.activation(level))
+        if member.pred is not None:
+            assumptions.append(ctx.expr_assumption(E.not_(member.pred), 1))
+        else:
+            assumptions += ctx.cube_assumptions(
+                negate_cube(member.clause), 1)
+        verdict = ctx.solve(assumptions, conflict_budget=budget)
+        if verdict is None:
+            return None
+        return not verdict
+
+    def propagate(self, budget_fn=None) -> int | None:
+        """Push members outward; return the fixpoint level if one forms.
+
+        For each level ``1 .. top-1`` in order, every member that still
+        satisfies consecution relative to its own level moves up one.
+        If some level empties, ``F_level == F_level+1`` and the frames
+        above it form an inductive invariant: that level is returned.
+        ``budget_fn`` supplies each probe's conflict budget (and serves
+        as the engine's run-budget checkpoint); a probe whose budget
+        dies simply keeps its member in place, which is always sound.
+        """
+        if budget_fn is None:
+            budget_fn = _unbudgeted
+        for level in range(1, self.top):
+            kept: list[FrameMember] = []
+            for member in self.levels[level]:
+                if self._holds_after_step(member, level,
+                                          budget=budget_fn()) is True:
+                    self._assert_at_level(member, level + 1)
+                    self.levels[level + 1].append(member)
+                else:
+                    kept.append(member)
+            self.levels[level] = kept
+            if not kept:
+                return level
+        return None
+
+    def invariant_members(self, fixpoint_level: int) -> list[FrameMember]:
+        """The members of the inductive frame above ``fixpoint_level``."""
+        out: list[FrameMember] = []
+        for level in range(fixpoint_level + 1, self.top + 1):
+            out.extend(self.levels[level])
+        return out
+
+    def member_exprs(self, members: list[FrameMember]) -> list[E.Expr]:
+        """Frame members as width-1 expressions over the state variables."""
+        out = []
+        for member in members:
+            if member.pred is not None:
+                out.append(member.pred)
+                continue
+            disjuncts = []
+            for name, bit, value in member.clause:
+                b = E.bit(self.ctx.system.states[name], bit)
+                disjuncts.append(b if value else E.not_(b))
+            out.append(E.bool_or(*disjuncts))
+        return out

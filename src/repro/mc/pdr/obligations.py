@@ -1,0 +1,145 @@
+"""Proof obligations and cube generalization for the PDR engine.
+
+A *proof obligation* ``(cube, level)`` asks the engine to show that no
+state in ``cube`` is reachable from frame ``F_{level-1}`` in one step.
+Obligations form a chain back from the bad state the top-frame query
+produced: a satisfiable consecution query spawns a predecessor
+obligation one level down, and an obligation reaching level 0 is a
+concrete counterexample (its query was solved with the init equations
+active, so its stored environment *is* an initial state).
+
+The queue is a priority heap ordered by (level, age): lowest level
+first — the shallowest unresolved obligation is always the one that can
+refute fastest, and handling it first keeps frames tight before deeper
+obligations are attempted.
+
+:func:`generalize_clause` implements the standard drop-literal
+("MIC-lite") generalization: starting from the blocking clause
+``¬cube``, each literal is tentatively dropped and kept out only if the
+shrunk clause still (a) contains all initial states and (b) passes the
+relative-induction consecution query.  Both probes run under a conflict
+budget via :meth:`~repro.sat.solver.Solver.solve_limited` — an
+indeterminate probe conservatively keeps the literal, trading clause
+strength for bounded latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.mc.pdr.frames import (Cube, FrameTrapezoid, PdrContext,
+                                 _unbudgeted, negate_cube)
+
+_counter = itertools.count()
+
+
+@dataclass
+class Obligation:
+    """One pending proof obligation (see module docstring).
+
+    ``env`` is the full input+state valuation of the time-0 model that
+    produced the cube — the trace frame this obligation contributes if
+    the chain reaches an initial state.  ``succ`` points toward the bad
+    state; walking it from a level-0 obligation yields the
+    counterexample trace in execution order.
+    """
+
+    cube: Cube
+    level: int
+    env: dict[str, int]
+    succ: "Obligation | None" = None
+    seq: int = field(default_factory=lambda: next(_counter))
+
+    def chain_envs(self) -> list[dict[str, int]]:
+        """Trace frames from this obligation to the bad state, in order."""
+        envs = []
+        node: Obligation | None = self
+        while node is not None:
+            envs.append(dict(node.env))
+            node = node.succ
+        return envs
+
+
+class ObligationQueue:
+    """Min-heap of obligations, lowest level (then oldest) first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Obligation]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, obligation: Obligation) -> None:
+        heapq.heappush(self._heap,
+                       (obligation.level, obligation.seq, obligation))
+
+    def pop(self) -> Obligation:
+        return heapq.heappop(self._heap)[2]
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+def generalize_clause(ctx: PdrContext, frames: FrameTrapezoid,
+                      cube: Cube, level: int,
+                      budget_fn=None) -> tuple:
+    """Shrink the blocking clause ``¬cube`` by dropping literals.
+
+    Returns the generalized clause (a tuple of bit literals, in cube
+    order).  Every candidate drop must keep the clause a superset of the
+    initial states and relatively inductive at ``level``; an exhausted
+    per-probe conflict budget keeps the literal.  ``budget_fn`` is
+    called before every probe and returns that probe's conflict budget
+    — the engine uses it as the run-wide budget checkpoint too, so a
+    spent run aborts out of generalization instead of finishing the
+    pass.  The loop is a single pass — quadratic re-passes buy little
+    on the design sizes this engine serves and cost a solver call per
+    literal each time.
+    """
+    if budget_fn is None:
+        budget_fn = _unbudgeted
+    clause = list(negate_cube(cube))
+    index = 0
+    while index < len(clause) and len(clause) > 1:
+        trial = clause[:index] + clause[index + 1:]
+        if _init_intersects(ctx, frames, trial, budget_fn()) or \
+                not _still_inductive(ctx, frames, trial, level,
+                                     budget_fn()):
+            index += 1          # literal is load-bearing: keep it
+        else:
+            clause = trial      # dropped; retry the same position
+    return tuple(clause)
+
+
+def _init_intersects(ctx: PdrContext, frames: FrameTrapezoid,
+                     clause: list, budget: int | None) -> bool:
+    """Does some initial state fall *outside* ``clause``?
+
+    The query assumes the level-0 activation literal (which carries the
+    init equations) plus the negated clause as a cube; SAT — or an
+    exhausted budget — means the drop is unsafe.
+    """
+    assumptions = list(frames.activation(0)) + \
+        ctx.cube_assumptions(negate_cube(tuple(clause)), 0)
+    verdict = ctx.solve(assumptions, conflict_budget=budget)
+    return verdict is not False
+
+
+def _still_inductive(ctx: PdrContext, frames: FrameTrapezoid,
+                     clause: list, level: int,
+                     budget: int | None) -> bool:
+    """Relative induction probe: ``F_{level-1} ∧ c ∧ T → c'`` ?
+
+    The clause is asserted at time 0 under a throwaway guard (retired
+    afterwards so its learnt consequences stay but the clause itself is
+    permanently satisfied) and refuted at time 1 via cube assumptions.
+    """
+    guard = ctx.new_guard()
+    ctx.guarded_clause(guard, tuple(clause), 0)
+    assumptions = list(frames.activation(level - 1)) + [guard] + \
+        ctx.cube_assumptions(negate_cube(tuple(clause)), 1)
+    verdict = ctx.solve(assumptions, conflict_budget=budget)
+    ctx.retire_guard(guard)
+    return verdict is False

@@ -34,11 +34,13 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
-from repro.mc.cache import ResultCache, query_key, run_cached
+from repro.mc.cache import (ResultCache, query_key, run_cached,
+                            strategy_cacheable)
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, Status
 from repro.mc.strategy import (CheckTask, canonical_options,
-                               resolve_strategy, run_check_task)
+                               resolve_strategy, run_check_task,
+                               strategy_option_names)
 
 #: Complementary default race: k-induction proves, BMC refutes.
 DEFAULT_PORTFOLIO: tuple[str, ...] = ("k_induction", "bmc")
@@ -54,14 +56,18 @@ def depth_options(strategies: Sequence[str],
     Maps induction depth (``max_k``/``simple_path``) onto every
     k-induction-family spec and the BMC ``bound`` onto every BMC-family
     spec, *without* clobbering options the spec already sets inline
-    (``"bmc(bound=6)"`` keeps its 6).  The single place the engine
-    defaults and ``verify_all`` both derive portfolio options from, so
-    extending :data:`DEFAULT_PORTFOLIO` cannot silently desynchronize
-    the call sites.
+    (``"bmc(bound=6)"`` keeps its 6).  Options a strategy's ``run``
+    signature does not accept are never applied — PDR measures depth in
+    frames, not unrolling steps, so ``max_k`` deliberately passes it
+    by (bound it with ``max_frames`` in the spec).  The single place
+    the engine defaults and ``verify_all`` both derive portfolio
+    options from, so extending :data:`DEFAULT_PORTFOLIO` cannot
+    silently desynchronize the call sites.
     """
     overrides: dict[str, dict] = {}
     for spec in strategies:
         strategy, inline = resolve_strategy(spec)
+        accepted = strategy_option_names(strategy)
         options: dict = {}
         if strategy.can_prove:  # k-induction family
             if max_k is not None and "max_k" not in inline:
@@ -71,6 +77,7 @@ def depth_options(strategies: Sequence[str],
         else:                   # bmc family
             if bound is not None and "bound" not in inline:
                 options["bound"] = bound
+        options = {k: v for k, v in options.items() if k in accepted}
         if options:
             overrides[spec] = options
     return overrides
@@ -188,9 +195,13 @@ class PortfolioScheduler:
         return task.strategies if task.strategies else self.strategies
 
     def _key_for(self, spec: str, options: Mapping,
-                 task: VerifyTask) -> str:
+                 task: VerifyTask) -> str | None:
+        """Cache key for one slot, or None when the invocation is not
+        cacheable (see :func:`~repro.mc.cache.strategy_cacheable`)."""
         strategy, resolved = resolve_strategy(spec)
         resolved.update(options)
+        if not strategy_cacheable(strategy, resolved):
+            return None
         return query_key(task.system, task.prop, strategy.name,
                          canonical_options(strategy, resolved),
                          task.lemmas)
@@ -247,8 +258,9 @@ class PortfolioScheduler:
                     break
                 options = self._options_for(spec)
                 if self.cache is not None:
-                    hit = self.cache.get(self._key_for(
-                        spec, options, group.task))
+                    key = self._key_for(spec, options, group.task)
+                    hit = self.cache.get(key) if key is not None \
+                        else None
                     if hit is not None:
                         group.record(slot, hit, from_cache=True)
                         continue
@@ -299,9 +311,10 @@ class PortfolioScheduler:
                 else:
                     if self.cache is not None:
                         spec = group.strategies[slot]
-                        self.cache.put(self._key_for(
-                            spec, self._options_for(spec), group.task),
-                            result)
+                        key = self._key_for(
+                            spec, self._options_for(spec), group.task)
+                        if key is not None:
+                            self.cache.put(key, result)
                 already_decided = group.decided
                 group.record(slot, result)
                 if group.decided and not already_decided:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.ir import expr as E
 from repro.trace.trace import Trace
 
 
@@ -38,15 +39,40 @@ class ProofStats:
     clauses: int = 0
     variables: int = 0
     max_depth: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+
+    @classmethod
+    def from_solver(cls, solver_stats, sat_queries: int) -> "ProofStats":
+        """Snapshot one solver's cumulative counters.
+
+        The single mapping from :class:`repro.sat.solver.SatStats` to
+        proof-level stats — every solving context (``FrameSolver``,
+        PDR's ``PdrContext``) snapshots through here, so a counter
+        added to the solver can never reach only half the engines.
+        """
+        return cls(
+            sat_queries=sat_queries,
+            conflicts=solver_stats.conflicts,
+            decisions=solver_stats.decisions,
+            propagations=solver_stats.propagations,
+            clauses=solver_stats.clauses_added,
+            variables=solver_stats.max_vars,
+            restarts=solver_stats.restarts,
+            learned_clauses=solver_stats.learned,
+            learned_literals=solver_stats.learned_literals,
+        )
 
     def merge_from(self, snapshot: "ProofStats") -> None:
         """Fold one solver snapshot into an aggregate, summing everything.
 
         This is the single merge point for per-solver snapshots
         (``FrameSolver.stats_snapshot()``): BMC merges its one frame, a
-        k-induction run merges base and step, and portfolio aggregation
-        merges any number of runs — all with identical summing semantics,
-        so effort counters never double-count or silently overwrite.
+        k-induction run merges base and step, PDR merges its frame
+        context, and portfolio aggregation merges any number of runs —
+        all with identical summing semantics, so effort counters never
+        double-count or silently overwrite.
         """
         self.sat_queries += snapshot.sat_queries
         self.conflicts += snapshot.conflicts
@@ -55,6 +81,9 @@ class ProofStats:
         self.clauses += snapshot.clauses
         self.variables += snapshot.variables
         self.max_depth = max(self.max_depth, snapshot.max_depth)
+        self.restarts += snapshot.restarts
+        self.learned_clauses += snapshot.learned_clauses
+        self.learned_literals += snapshot.learned_literals
 
     def accumulate(self, other: "ProofStats") -> None:
         self.wall_seconds += other.wall_seconds
@@ -65,6 +94,25 @@ class ProofStats:
         self.clauses = max(self.clauses, other.clauses)
         self.variables = max(self.variables, other.variables)
         self.max_depth = max(self.max_depth, other.max_depth)
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+        self.learned_literals += other.learned_literals
+
+    def effort_dict(self) -> dict[str, int]:
+        """The machine-independent solver-effort counters, for reports.
+
+        The campaign JSON embeds this per result row so engine
+        comparisons (E9) can rank strategies by conflicts/decisions/
+        propagations rather than wall time alone.
+        """
+        return {
+            "sat_queries": self.sat_queries,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+        }
 
 
 @dataclass
@@ -78,6 +126,13 @@ class CheckResult:
     step_cex: Trace | None = None   # induction-step CEX (arbitrary pre-state)
     stats: ProofStats = field(default_factory=ProofStats)
     detail: str = ""
+    #: PDR's proof certificate: width-1 expressions over the system's
+    #: state variables whose conjunction is a 1-step inductive invariant
+    #: implying the property (under the system's constraints).  ``None``
+    #: for engines without an invariant certificate and for refutations.
+    #: Each conjunct individually holds in every reachable state, so the
+    #: flows may re-assume them as proven lemmas.
+    invariant: list[E.Expr] | None = None
 
     @property
     def proven(self) -> bool:

@@ -105,6 +105,50 @@ class KInductionStrategy:
         return k_induction(system, prop, options, lemmas=lemmas)
 
 
+@dataclass(frozen=True)
+class PdrStrategy:
+    """IC3/PDR: proves with an invariant certificate, refutes with a
+    real trace.  Depth is measured in *frames*, not unrolling steps, so
+    the k-induction family's ``max_k`` deliberately does not apply —
+    bound it with ``max_frames`` in the spec instead
+    (``"pdr(max_frames=12)"``).
+
+    The ``seed_*`` options pre-load frame 1 with candidate invariants
+    (see :mod:`repro.mc.pdr.seed`); ``pdr_seeded`` is the registered
+    variant with static GenAI synthesis seeding on by default."""
+
+    name: str = "pdr"
+    can_prove: bool = True
+    can_refute: bool = True
+
+    @staticmethod
+    def cacheable(options: Mapping) -> bool:
+        """Store-seeded runs are not cacheable: their outcome depends
+        on the proof store's *contents*, which the query key cannot
+        fingerprint — a cached early UNKNOWN would otherwise pin the
+        property forever and defeat cross-run seed mining."""
+        return options.get("seed_store_dir") is None
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, *, max_frames: int = 25,
+            conflict_budget: int | None = 50_000,
+            propagation_budget: int | None = 5_000_000,
+            gen_budget: int | None = 2000,
+            max_obligations: int = 20_000,
+            seeds: tuple = (),
+            seed_static: bool = False,
+            seed_store_dir: str | None = None,
+            seed_limit: int = 16) -> CheckResult:
+        from repro.mc.pdr import PdrOptions, pdr
+        options = PdrOptions(
+            max_frames=max_frames, conflict_budget=conflict_budget,
+            propagation_budget=propagation_budget,
+            gen_budget=gen_budget, max_obligations=max_obligations,
+            seeds=tuple(seeds), seed_static=seed_static,
+            seed_store_dir=seed_store_dir, seed_limit=seed_limit)
+        return pdr(system, prop, options, lemmas=lemmas)
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -178,6 +222,13 @@ register_strategy(KInductionStrategy())
 # systems, quadratically more clauses — worth racing, not defaulting.
 register_strategy(KInductionStrategy(), name="k_induction_sp",
                   defaults={"simple_path": True})
+register_strategy(PdrStrategy())
+# Seeded PDR pre-loads frames with GenAI-synthesized candidate lemmas
+# (and store-mined invariants when seed_store_dir points at a campaign
+# cache): its own registry entry so adaptive selection can learn when
+# seeding pays for a design family.
+register_strategy(PdrStrategy(), name="pdr_seeded",
+                  defaults={"seed_static": True})
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +256,17 @@ def _signature_defaults(strategy: Strategy) -> tuple[tuple[str, object], ...]:
     sig = _inspect.signature(strategy.run)
     return tuple((name, p.default) for name, p in sig.parameters.items()
                  if p.kind is p.KEYWORD_ONLY)
+
+
+def strategy_option_names(strategy: Strategy) -> frozenset[str]:
+    """The keyword options ``strategy.run`` accepts.
+
+    Depth mapping (:func:`~repro.mc.portfolio.depth_options`) uses this
+    to apply caller limits only where they exist — PDR, for example,
+    has no ``max_k``.
+    """
+    return frozenset(name for name, _default
+                     in _signature_defaults(strategy))
 
 
 def canonical_options(strategy: Strategy, options: Mapping) -> dict:

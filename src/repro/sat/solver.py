@@ -181,10 +181,20 @@ class Solver:
         result = self._search(assumed)
         self._conflict_limit = None
         self._cancel_until(0)
+        if result is not True:
+            # Drop any model from an earlier SAT call: callers that read
+            # model values after an UNSAT/indeterminate solve must fail
+            # loudly, not silently consume a stale assignment.  PDR's
+            # cube extraction depends on this.
+            self._model = []
         return result
 
     def model_value(self, var: int) -> bool:
-        """Value of ``var`` in the most recent satisfying model."""
+        """Value of ``var`` in the most recent satisfying model.
+
+        Only valid while the most recent ``solve``/``solve_limited``
+        returned True; any other outcome invalidates the model.
+        """
         if not self._model:
             raise SatError("no model available (last solve returned False?)")
         if not (1 <= var <= self._nvars):

@@ -1,0 +1,469 @@
+"""IC3/PDR engine tests.
+
+Coverage contract (the PR's acceptance criteria):
+
+* invariant certificates are independently re-certified 1-step
+  inductive by k-induction;
+* counterexamples replay through the reference simulator as concrete
+  initial-state-rooted executions ending in a bad cycle;
+* verdict parity pdr-vs-kinduction-vs-bmc across every registry design
+  (conclusive verdicts never contradict, and match expectations);
+* GenAI/static seeding closes proofs k-induction alone cannot close at
+  its default depth, and proof-store mining feeds invariants across
+  runs;
+* the engine participates in portfolio and campaign scheduling through
+  the registry with no layer-specific code.
+"""
+
+import pickle
+import re
+
+import pytest
+
+from repro.designs import all_designs, get_design
+from repro.flow import run_campaign
+from repro.ir import expr as E
+from repro.mc import (KInductionOptions, ResultCache, Status,
+                      k_induction, resolve_strategy, run_cached,
+                      run_check_task, strategy_names)
+from repro.mc.engine import ProofEngine
+from repro.mc.pdr import (compile_seed_predicates, gather_seed_predicates,
+                          pdr, PdrOptions, store_seed_predicates)
+from repro.mc.portfolio import depth_options
+from repro.mc.property import SafetyProperty
+from repro.mc.strategy import CheckTask
+from repro.campaign.store import ProofStore
+from repro.sim.simulator import Simulator
+from repro.sva.compile import MonitorContext
+
+#: Tight budgets for sweep-style tests: hard properties give up in
+#: about a second instead of grinding, easy ones still close.
+FAST = dict(max_frames=20, conflict_budget=3000,
+            propagation_budget=400_000, gen_budget=500,
+            max_obligations=2000)
+
+
+def _compile(design_name, prop_name):
+    design = get_design(design_name)
+    ctx = MonitorContext(design.system())
+    spec = design.property_spec(prop_name)
+    prop = ctx.add(spec.sva, name=spec.name)
+    return design, spec, ctx, prop
+
+
+def _run_pdr(design_name, prop_name, strategy="pdr", **options):
+    _design, _spec, ctx, prop = _compile(design_name, prop_name)
+    engine = ProofEngine(ctx.system)
+    return engine.check(prop, strategy, **options)
+
+
+class TestRegistry:
+    def test_pdr_strategies_registered(self):
+        names = strategy_names()
+        assert "pdr" in names and "pdr_seeded" in names
+
+    def test_resolve_with_options(self):
+        strategy, options = resolve_strategy(
+            "pdr(max_frames=7, seeds=('a == b',))")
+        assert strategy.name == "pdr"
+        assert options == {"max_frames": 7, "seeds": ("a == b",)}
+        _strategy, seeded = resolve_strategy("pdr_seeded")
+        assert seeded == {"seed_static": True}
+
+    def test_capabilities(self):
+        strategy, _ = resolve_strategy("pdr")
+        assert strategy.can_prove and strategy.can_refute
+
+    def test_depth_options_skip_pdr(self):
+        """--max-k must map onto k-induction but pass PDR by (its depth
+        is frames, not unrolling steps)."""
+        overrides = depth_options(["k_induction", "pdr", "bmc"],
+                                  max_k=3, bound=12)
+        assert overrides["k_induction"] == {"max_k": 3}
+        assert overrides["bmc"] == {"bound": 12}
+        assert "pdr" not in overrides
+
+    def test_check_task_pickles_and_runs(self):
+        """PDR tasks must survive the worker-process boundary."""
+        _design, _spec, ctx, prop = _compile("traffic_onehot",
+                                             "mutual_exclusion")
+        engine = ProofEngine(ctx.system)
+        task = CheckTask(key=("t", 0),
+                         system=engine.scoped_system(prop), prop=prop,
+                         strategy="pdr(max_frames=10)")
+        task = pickle.loads(pickle.dumps(task))
+        result = run_check_task(task)
+        assert result.status is Status.PROVEN
+        assert result.invariant
+
+
+class TestProofsAndCertificates:
+    """PDR closes needs-helper properties k-induction cannot, and its
+    invariant certificate re-certifies through an independent engine."""
+
+    CASES = [("traffic_onehot", "mutual_exclusion"),
+             ("rr_arbiter", "grant_onehot0"),
+             ("updown_counter", "upper_bound")]
+
+    @pytest.mark.parametrize("design_name,prop_name", CASES)
+    def test_proves_where_default_kinduction_cannot(self, design_name,
+                                                    prop_name):
+        design, spec, ctx, prop = _compile(design_name, prop_name)
+        engine = ProofEngine(ctx.system)
+        kind = engine.check(prop, "k_induction", max_k=spec.max_k)
+        result = engine.check(prop, "pdr")
+        assert result.status is Status.PROVEN
+        if spec.needs_helper:
+            assert kind.status is Status.UNKNOWN
+
+    @pytest.mark.parametrize("design_name,prop_name", CASES)
+    def test_invariant_certified_by_kinduction(self, design_name,
+                                               prop_name):
+        """The certificate's conjunction must be 1-step inductive *and*
+        imply the property — checked by a different engine entirely."""
+        _design, _spec, ctx, prop = _compile(design_name, prop_name)
+        engine = ProofEngine(ctx.system)
+        result = engine.check(prop, "pdr")
+        assert result.status is Status.PROVEN and result.invariant
+        scoped = engine.scoped_system(prop)
+        conjunction = E.bool_and(
+            *[scoped.resolve_defines(g) for g in result.invariant])
+        certificate = k_induction(
+            scoped, SafetyProperty.from_invariant("cert", conjunction),
+            KInductionOptions(max_k=1))
+        assert certificate.status is Status.PROVEN
+        assert certificate.k == 1
+
+    def test_invariant_conjuncts_are_reassumable_lemmas(self):
+        """add_invariant_lemmas feeds the certificate back into
+        k-induction, which then closes the proof it could not close."""
+        design, spec, ctx, prop = _compile("traffic_onehot",
+                                           "mutual_exclusion")
+        engine = ProofEngine(ctx.system)
+        stuck = engine.check(prop, "k_induction", max_k=spec.max_k)
+        assert stuck.status is Status.UNKNOWN
+        added = engine.add_invariant_lemmas(engine.check(prop, "pdr"))
+        assert added > 0
+        closed = engine.prove(prop, max_k=spec.max_k)
+        assert closed.status is Status.PROVEN
+
+    def test_warmup_property_proves_without_certificate(self):
+        """valid_from > 0 goes through the age-counter composition; the
+        proof stands but no reusable certificate is emitted."""
+        result = _run_pdr("shift_pipe", "stage_consistency")
+        assert result.status is Status.PROVEN
+        assert result.invariant is None
+
+    def test_stats_threaded(self):
+        result = _run_pdr("traffic_onehot", "mutual_exclusion")
+        assert result.stats.sat_queries > 0
+        assert result.stats.propagations > 0
+        effort = result.stats.effort_dict()
+        assert set(effort) >= {"conflicts", "decisions", "propagations",
+                               "restarts", "learned_clauses"}
+
+
+class TestCounterexamples:
+    def test_cex_replays_in_simulator(self):
+        """A PDR refutation is a concrete execution: init-rooted,
+        transition-consistent, bad at the final cycle."""
+        design, _spec, ctx, prop = _compile("sync_counters_bug",
+                                            "counters_equal")
+        engine = ProofEngine(ctx.system)
+        result = engine.check(prop, "pdr", max_frames=40)
+        assert result.status is Status.VIOLATED
+        trace = result.cex
+        assert trace is not None and trace.length == 17  # bug period
+        system = ctx.system
+        for name, init_expr in system.init.items():
+            assert trace.value(name, 0) == E.evaluate(init_expr, {})
+        sim = Simulator(system, check_constraints=False)
+        sim.load_state({n: trace.value(n, 0) for n in system.states})
+        for t in range(trace.length):
+            inputs = {n: trace.value(n, t) for n in system.inputs}
+            snap = sim.peek(inputs)
+            for name in system.states:
+                assert snap[name] == trace.value(name, t), (name, t)
+            sim.step(inputs)
+        final_env = {n: trace.value(n, trace.length - 1)
+                     for n in list(system.inputs) + list(system.states)}
+        bad = system.resolve_defines(prop.bad)
+        assert E.evaluate(bad, final_env) == 1
+
+    def test_short_cex(self):
+        result = _run_pdr("counter_bank", "ring_no_msb", **FAST)
+        assert result.status is Status.VIOLATED
+        assert result.cex is not None
+        assert result.k == result.cex.length - 1
+
+
+class TestVerdictParity:
+    """pdr vs k-induction vs bmc across every registry design: no two
+    engines may ever disagree on a conclusive verdict, and conclusive
+    verdicts must match the design's ground truth."""
+
+    def test_every_registry_design(self):
+        conclusive = 0
+        for design in all_designs():
+            ctx = MonitorContext(design.system())
+            compiled = [(spec, ctx.add(spec.sva, name=spec.name))
+                        for spec in design.properties]
+            engine = ProofEngine(ctx.system)
+            for spec, prop in compiled:
+                pdr_result = engine.check(prop, "pdr", **FAST)
+                case = (design.name, spec.name)
+                # An inconclusive PDR run cannot contradict anything;
+                # skip the cross-engine work (the full-depth
+                # expectations are covered by the design-suite tests).
+                if not pdr_result.status.conclusive:
+                    continue
+                conclusive += 1
+                # Conclusive verdicts match ground truth...
+                expected = Status.VIOLATED \
+                    if spec.expect == "violated" else Status.PROVEN
+                assert pdr_result.status is expected, case
+                # ... and never contradict the other engines, at any
+                # bound (shallow runs keep the sweep fast).
+                kind = engine.check(prop, "k_induction",
+                                    max_k=min(spec.max_k, 2),
+                                    keep_last_step_cex=False)
+                bounded = engine.check(prop, "bmc", bound=4)
+                if pdr_result.status is Status.PROVEN:
+                    assert kind.status is not Status.VIOLATED, case
+                    assert bounded.status is not Status.VIOLATED, case
+                else:
+                    assert kind.status is not Status.PROVEN, case
+        # The engine is not vacuous: a healthy share of the registry
+        # settles even under the tight sweep budgets.
+        assert conclusive >= 12
+
+
+class TestSeeding:
+    def test_static_seeding_closes_sync_counters(self):
+        """The acceptance case: 32-bit lock-step counters.  k-induction
+        cannot close the implication at its default depth; statically
+        seeded PDR admits `count1 == count2` into frame 1 and converges
+        immediately."""
+        design, spec, ctx, prop = _compile("sync_counters",
+                                           "equal_count")
+        engine = ProofEngine(ctx.system)
+        kind = engine.check(prop, "k_induction", max_k=spec.max_k)
+        assert kind.status is Status.UNKNOWN
+        seeded = engine.check(prop, "pdr_seeded", max_frames=8)
+        assert seeded.status is Status.PROVEN
+        assert seeded.invariant
+        match = re.search(r"(\d+) seeded", seeded.detail)
+        assert match and int(match.group(1)) >= 1
+
+    def test_explicit_seeds_option(self):
+        result = _run_pdr("sync_counters", "equal_count",
+                          max_frames=8, seeds=("count1 == count2",))
+        assert result.status is Status.PROVEN
+
+    def test_bogus_seeds_are_harmless(self):
+        """Unparseable, unknown-signal, input-referencing, and false
+        seeds must all be rejected by normalization/admission without
+        affecting soundness."""
+        result = _run_pdr(
+            "sync_counters", "equal_count", max_frames=3,
+            seeds=("count1 == nonexistent", "count1 <",
+                   "count1 != count2",       # false at reset: rejected
+                   "rst == 1'b0"))           # input-only: rejected
+        assert result.status in (Status.UNKNOWN, Status.PROVEN)
+        assert "0 seeded" in result.detail or \
+            result.status is Status.UNKNOWN
+
+    def test_seed_normalization_rules(self):
+        design = get_design("sync_counters")
+        system = design.system()
+        good = compile_seed_predicates(system, ["count1 == count2"])
+        assert len(good) == 1 and good[0].width == 1
+        rejected = compile_seed_predicates(
+            system, ["count1 == $past(count2)",   # needs monitor state
+                     "rst == 1'b0",               # ranges over an input
+                     "count1 == bogus",           # unknown signal
+                     "count1 == "])               # syntax error
+        assert rejected == []
+
+    def test_gather_dedupes_and_caps(self):
+        system = get_design("sync_counters").system()
+        preds = gather_seed_predicates(
+            system, seeds=("count1 == count2", "count1 == count2"),
+            static=True, limit=3)
+        assert 1 <= len(preds) <= 3
+        assert len({id(p) for p in preds}) == len(preds)
+
+    def test_store_mined_seeds_round_trip(self, tmp_path):
+        """A proven PDR certificate lands in the proof store through
+        the ordinary cache tier; a later run mines it back as seeds —
+        and an unrelated design mines nothing."""
+        store = ProofStore.open(tmp_path)
+        cache = ResultCache(backing=store)
+        _design, _spec, ctx, prop = _compile("traffic_onehot",
+                                             "mutual_exclusion")
+        engine = ProofEngine(ctx.system, cache=cache)
+        result = engine.check(prop, "pdr")
+        assert result.status is Status.PROVEN
+        assert store.invariant_payloads()
+        mined = store_seed_predicates(str(tmp_path), ctx.system)
+        assert mined, "certificate conjuncts should mine back"
+        other = store_seed_predicates(
+            str(tmp_path), get_design("sync_counters").system())
+        assert other == []  # foreign state names filter out
+        # End to end: a fresh seeded run admits the mined invariants.
+        rerun = _run_pdr("traffic_onehot", "mutual_exclusion",
+                         seed_store_dir=str(tmp_path))
+        assert rerun.status is Status.PROVEN
+        match = re.search(r"(\d+) seeded", rerun.detail)
+        assert match and int(match.group(1)) >= 1
+        store.close()
+
+    def test_missing_store_dir_degrades(self, tmp_path):
+        result = _run_pdr("traffic_onehot", "mutual_exclusion",
+                          seed_store_dir=str(tmp_path / "nope"))
+        assert result.status is Status.PROVEN
+
+    def test_store_seeded_runs_are_not_cached(self, tmp_path):
+        """A store-seeded result depends on the store's *contents*,
+        which the query key cannot see — so it must bypass the cache
+        entirely (a cached early UNKNOWN would pin the property to its
+        worst attempt and defeat cross-run mining)."""
+        from repro.mc import strategy_cacheable
+
+        strategy, _ = resolve_strategy("pdr")
+        assert strategy_cacheable(strategy, {"seed_store_dir": None})
+        assert not strategy_cacheable(strategy,
+                                      {"seed_store_dir": "/x"})
+        _design, _spec, ctx, prop = _compile("traffic_onehot",
+                                             "mutual_exclusion")
+        engine = ProofEngine(ctx.system)
+        scoped = engine.scoped_system(prop)
+        cache = ResultCache()
+        options = {"seed_store_dir": str(tmp_path)}
+        run_cached("pdr", scoped, prop, options, cache=cache)
+        run_cached("pdr", scoped, prop, options, cache=cache)
+        assert cache.stats.hits == 0 and cache.stats.stores == 0
+
+
+class TestCachingAndLayers:
+    def test_run_cached_round_trip_preserves_invariant(self):
+        _design, _spec, ctx, prop = _compile("traffic_onehot",
+                                             "mutual_exclusion")
+        engine = ProofEngine(ctx.system)
+        scoped = engine.scoped_system(prop)
+        cache = ResultCache()
+        first = run_cached("pdr", scoped, prop, {}, cache=cache)
+        hit = run_cached("pdr", scoped, prop, {}, cache=cache)
+        assert cache.stats.hits == 1
+        assert hit.status is Status.PROVEN
+        assert [E.to_sexpr(g) for g in hit.invariant] == \
+            [E.to_sexpr(g) for g in first.invariant]
+
+    def test_campaign_with_pdr_strategy(self, tmp_path):
+        """`pdr` slots into a campaign via the registry alone — same
+        verdicts the ground truth demands, effort counters in the
+        report JSON."""
+        report = run_campaign(
+            designs=["traffic_onehot", "sync_counters_bug"],
+            cache_dir=tmp_path, strategies=["pdr", "bmc"])
+        assert report.mismatches == 0
+        rows = report.to_dict()["results"]
+        assert any(r["strategy"].startswith("pdr") for r in rows)
+        assert all("effort" in r for r in rows)
+        solver_rows = [r for r in rows if not r["from_cache"]]
+        assert any(r["effort"].get("propagations", 0) > 0
+                   for r in solver_rows)
+        assert report.effort_totals.get("propagations", 0) > 0
+        # A warm rerun spends (almost) nothing: cached rows' recorded
+        # effort must not be re-counted as this run's work.
+        warm = run_campaign(
+            designs=["traffic_onehot", "sync_counters_bug"],
+            cache_dir=tmp_path, strategies=["pdr", "bmc"])
+        cold_total = report.effort_totals.get("propagations", 0)
+        assert warm.effort_totals.get("propagations", 0) < cold_total
+
+    def test_distributed_campaign_with_pdr(self, tmp_path):
+        """The acceptance criterion's distributed leg: a worker process
+        claims and solves PDR jobs unchanged."""
+        report = run_campaign(
+            designs=["traffic_onehot"], cache_dir=tmp_path,
+            strategies=["pdr", "bmc"], workers=1,
+            lease_seconds=20.0, wall_timeout=120.0)
+        assert report.mismatches == 0
+        assert report.workers == 1
+        statuses = {(r.design, r.property_name): r.status
+                    for r in report.rows}
+        assert statuses[("traffic_onehot", "mutual_exclusion")] == \
+            "proven"
+
+
+class TestLemmaFlowCrossFeed:
+    def test_pdr_invariants_enable_kinduction(self):
+        """Fig. 1 flow with PDR assist: when the LLM's lemmas are not
+        enough, the PDR certificate closes the target through plain
+        k-induction."""
+        from repro.flow.lemma_flow import LemmaGenerationFlow
+        from repro.genai.client import SimulatedLLM
+
+        design = get_design("traffic_onehot")
+        # The worst persona in the roster: mostly hallucinated lemmas,
+        # so the PDR cross-feed is what has to close the target.
+        client = SimulatedLLM("scrambler", seed=3)
+        flow = LemmaGenerationFlow(client, pdr_cross_feed=True)
+        result = flow.run(design, targets=["mutual_exclusion"])
+        comparison = result.targets[0]
+        if comparison.with_lemmas.status is Status.PROVEN and \
+                comparison.without.status is not Status.PROVEN:
+            assert comparison.enabled_proof
+        # Whether or not the persona's own lemmas sufficed, the flow
+        # must end with a proof once PDR assist is on.
+        assert comparison.with_lemmas.status is Status.PROVEN
+
+    def test_uncertified_pdr_proof_still_counts(self):
+        """Warm-up targets (valid_from > 0) prove through PDR without a
+        reusable certificate; the assist must surface that PROVEN
+        verdict instead of discarding it for lack of lemmas."""
+        from dataclasses import replace as dc_replace
+
+        from repro.flow.lemma_flow import LemmaGenerationFlow
+        from repro.flow.stats import FlowStats
+        from repro.genai.client import SimulatedLLM
+
+        design = get_design("shift_pipe")
+        spec = dc_replace(design.property_spec("latency3"), max_k=2)
+        ctx = MonitorContext(design.system())
+        prop = ctx.add(spec.sva, name=spec.name)
+        engine = ProofEngine(ctx.system)
+        stuck = engine.check(prop, "k_induction", max_k=spec.max_k)
+        assert stuck.status is Status.UNKNOWN
+        flow = LemmaGenerationFlow(SimulatedLLM("gpt-4o"),
+                                   pdr_cross_feed=True)
+        assisted = flow._pdr_assist(engine, prop, spec, stuck,
+                                    FlowStats())
+        assert assisted.status is Status.PROVEN
+        assert assisted.invariant is None  # the uncertified path
+
+
+class TestDirectApi:
+    def test_pdr_function_signature(self):
+        """The bare pdr() entry point works without the registry."""
+        _design, _spec, ctx, prop = _compile("updown_counter",
+                                             "never_top")
+        engine = ProofEngine(ctx.system)
+        result = pdr(engine.scoped_system(prop), prop,
+                     PdrOptions(max_frames=10))
+        assert result.status is Status.PROVEN
+
+    def test_lemmas_strengthen_frames(self):
+        """A proven lemma passed into pdr() prunes the search: the
+        seeded-style equality makes the implication converge fast."""
+        design, _spec, ctx, prop = _compile("sync_counters",
+                                            "equal_count")
+        engine = ProofEngine(ctx.system)
+        scoped = engine.scoped_system(prop)
+        count1 = scoped.states["count1"]
+        count2 = scoped.states["count2"]
+        lemma = E.eq(count1, count2)
+        result = pdr(scoped, prop, PdrOptions(max_frames=5),
+                     lemmas=[(lemma, 0)])
+        assert result.status is Status.PROVEN

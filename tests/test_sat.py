@@ -133,6 +133,137 @@ class TestBudget:
         assert s.solve() is False
 
 
+def _php_clauses(solver, pigeons, holes, guard=None):
+    """Pigeonhole clauses, optionally guarded by an activation literal."""
+    prefix = [] if guard is None else [-guard]
+    v = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            v[p, h] = solver.add_var()
+    for p in range(pigeons):
+        solver.add_clause(prefix + [v[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause(prefix + [-v[p1, h], -v[p2, h]])
+    return v
+
+
+class TestActivationLiterals:
+    """The assumption-guarded clause pattern PDR's frames are built on:
+    clauses of the form (¬act ∨ c) must behave as present exactly when
+    ``act`` is assumed, across arbitrarily many solve() calls, with
+    learnt clauses surviving throughout."""
+
+    def test_guarded_clause_retracts_across_many_solves(self):
+        s = Solver()
+        act = s.add_var()
+        x = s.add_var()
+        s.add_clause([-act, x])        # act -> x
+        for _ in range(25):
+            assert s.solve([act]) is True and s.model_value(x)
+            assert s.solve([-x]) is True        # guard off: x free
+            assert s.solve([act, -x]) is False  # guard on: forced
+            assert s.solve([act, x]) is True    # and recoverable
+
+    def test_independent_guards_select_clause_subsets(self):
+        s = Solver()
+        g1, g2 = s.add_var(), s.add_var()
+        x, y = s.add_var(), s.add_var()
+        s.add_clause([-g1, x])
+        s.add_clause([-g2, -x])
+        s.add_clause([-g2, y])
+        # Individually consistent, jointly contradictory on x.
+        assert s.solve([g1]) is True and s.model_value(x)
+        assert s.solve([g2]) is True and not s.model_value(x)
+        assert s.solve([g1, g2]) is False
+        assert s.solve([g1]) is True  # no permanent damage
+
+    def test_learnt_clauses_survive_guarded_unsat(self):
+        """An UNSAT proof under a guard learns clauses; re-solving the
+        same query must reuse them (no more conflicts than round one),
+        and retracting the guard must leave the formula satisfiable."""
+        s = Solver()
+        act = s.add_var()
+        _php_clauses(s, 6, 5, guard=act)
+        before = s.stats.conflicts
+        assert s.solve([act]) is False
+        first = s.stats.conflicts - before
+        assert first > 0
+        assert s.stats.learned > 0
+        assert s.solve([]) is True          # guard off: trivially SAT
+        learned_before_rerun = s.stats.learned
+        before = s.stats.conflicts
+        assert s.solve([act]) is False      # same query, warm clause DB
+        second = s.stats.conflicts - before
+        assert second <= first
+        # Learnt clauses were available, not re-derived from scratch.
+        assert s.stats.learned >= learned_before_rerun
+
+    def test_retired_guard_is_permanent(self):
+        """add_clause([-act]) is the retirement idiom: the guarded
+        clause becomes satisfied forever and the guard unassumable."""
+        s = Solver()
+        act = s.add_var()
+        x = s.add_var()
+        s.add_clause([-act, x])
+        assert s.solve([act, x]) is True
+        s.add_clause([-act])                # retire
+        assert s.solve([-x]) is True        # clause gone for good
+        assert s.solve([act]) is False      # guard contradicts the unit
+
+    def test_guards_mixed_with_incremental_clauses(self):
+        """Interleaving guarded solves with fresh permanent clauses —
+        the add-between-solves incremental contract PDR exercises."""
+        s = Solver()
+        guards = [s.add_var() for _ in range(8)]
+        xs = [s.add_var() for _ in range(8)]
+        for g, x in zip(guards, xs):
+            s.add_clause([-g, x])
+        for i, (g, x) in enumerate(zip(guards, xs)):
+            assert s.solve(guards[:i + 1]) is True
+            assert all(s.model_value(y) for y in xs[:i + 1])
+            s.add_clause([-xs[i], xs[(i + 1) % 8]])  # permanent chain
+        assert s.solve(guards) is True
+        assert all(s.model_value(x) for x in xs)
+
+    def test_model_invalidated_by_unsat_solve(self):
+        """A failed solve must not leave the previous model readable:
+        PDR extracts cubes right after SAT answers and depends on a
+        stale read failing loudly."""
+        s = Solver()
+        a = s.add_var()
+        s.add_clause([a])
+        assert s.solve() is True
+        assert s.model_value(a) is True
+        assert s.solve([-a]) is False
+        with pytest.raises(SatError):
+            s.model_value(a)
+        assert s.solve() is True            # and SAT restores it
+        assert s.model_value(a) is True
+
+    def test_model_invalidated_by_budget_exhaustion(self):
+        s = Solver()
+        x = s.add_var()
+        s.add_clause([x])
+        assert s.solve() is True
+        _php_clauses(s, 7, 6)
+        assert s.solve_limited(conflict_budget=2) is None
+        with pytest.raises(SatError):
+            s.model_value(x)
+
+    def test_budgeted_guarded_probe_leaves_solver_reusable(self):
+        """PDR's generalization probes: an indeterminate budgeted solve
+        under guards must not corrupt later unbudgeted solves."""
+        s = Solver()
+        act = s.add_var()
+        _php_clauses(s, 7, 6, guard=act)
+        assert s.solve_limited([act], conflict_budget=3) is None
+        assert s.solve([]) is True
+        assert s.solve([act]) is False
+        assert s.solve([]) is True
+
+
 class TestHardInstances:
     @pytest.mark.parametrize("pigeons,holes", [(4, 3), (5, 4), (6, 5)])
     def test_pigeonhole_unsat(self, pigeons, holes):
