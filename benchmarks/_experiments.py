@@ -467,6 +467,111 @@ def run_e9() -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E10 — solver hot-path micro-benchmark (the perf-regression gate)
+# ---------------------------------------------------------------------------
+
+#: Width sweep for the E1-shaped workload: the solver-bound share of a
+#: k-induction attempt grows with datapath width, so narrow widths
+#: measure encoding overhead and wide widths measure BCP throughput.
+E10_WIDTHS = (8, 16, 32)
+
+#: E9-shaped PDR workload: the unseeded-PDR cases with the E9 budgets.
+E10_PDR_CASES = [
+    ("traffic_onehot", "mutual_exclusion"),
+    ("lfsr16", "never_zero"),
+    ("sync_counters", "equal_count"),
+]
+
+
+def run_e10() -> Table:
+    """Solver hot-path micro-benchmark over E1/E7/E9-shaped workloads.
+
+    Reports propagations/sec and conflicts/sec against *in-solver* wall
+    time (``ProofStats.solve_seconds`` — Python/encoding overhead
+    excluded, so the figure tracks the CDCL inner loops and nothing
+    else) plus end-to-end wall clock per workload.  The JSON dump of
+    this table is the committed perf baseline
+    (``benchmarks/baselines/bench_e10.json``) that
+    ``scripts/check_bench_regression.py`` gates CI against.
+    """
+    table = Table(["workload", "status", "wall (s)", "solver (s)",
+                   "conflicts", "propagations", "props/sec",
+                   "conflicts/sec"],
+                  title="E10: solver hot-path micro-benchmark")
+
+    totals = {"wall": 0.0, "solver": 0.0, "conflicts": 0, "props": 0}
+
+    def add_workload(label: str, runs) -> None:
+        t0 = time.perf_counter()
+        statuses, conflicts, props, solver_s = [], 0, 0, 0.0
+        for result in runs():
+            statuses.append(result.status.value)
+            conflicts += result.stats.conflicts
+            props += result.stats.propagations
+            solver_s += result.stats.solve_seconds
+        wall = time.perf_counter() - t0
+        status = "/".join(sorted(set(statuses)))
+        table.add_row(label, status, wall, solver_s, conflicts, props,
+                      int(props / max(solver_s, 1e-9)),
+                      int(conflicts / max(solver_s, 1e-9)))
+        totals["wall"] += wall
+        totals["solver"] += solver_s
+        totals["conflicts"] += conflicts
+        totals["props"] += props
+
+    # E1-shaped: deep BMC on the lock-step counters across a width
+    # sweep.  BMC at bound 32 on a W-bit datapath is pure BCP weight
+    # (every query is UNSAT, so the solver grinds rather than guessing
+    # lucky models) and scales predictably with W.
+    design = get_design("sync_counters")
+    spec = design.property_spec("equal_count")
+    for width in E10_WIDTHS:
+        def bmc_runs(width=width):
+            system = elaborate(design.rtl, params={"W": width},
+                               name=f"sync{width}")
+            ctx = MonitorContext(system)
+            prop = ctx.add(spec.sva, name=spec.name)
+            engine = ProofEngine(ctx.system)
+            yield engine.check(prop, "bmc", bound=32)
+        add_workload(f"e1_bmc_w{width}", bmc_runs)
+
+    # E7-shaped: the bounded refutation / deep-induction mix a portfolio
+    # batch dispatches, run in-process so only solver effort is timed.
+    def e7_runs():
+        for design_name, prop_name, strategy, options in [
+                ("lfsr16", "never_zero", "bmc", {"bound": 24}),
+                ("fifo_ctrl", "count_matches_pointers", "k_induction",
+                 {"max_k": 10}),
+                ("sync_counters", "equal_count", "bmc", {"bound": 20})]:
+            d = get_design(design_name)
+            ctx = MonitorContext(d.system())
+            p = d.property_spec(prop_name)
+            prop = ctx.add(p.sva, name=p.name)
+            yield ProofEngine(ctx.system).check(prop, strategy, **options)
+    add_workload("e7_portfolio_mix", e7_runs)
+
+    # E9-shaped: unseeded PDR under the E9 budgets (assumption-heavy
+    # incremental queries — the other hot-path profile).
+    def e9_runs():
+        for design_name, prop_name in E10_PDR_CASES:
+            d = get_design(design_name)
+            ctx = MonitorContext(d.system())
+            p = d.property_spec(prop_name)
+            prop = ctx.add(p.sva, name=p.name)
+            yield ProofEngine(ctx.system).check(prop, "pdr",
+                                                **E9_PDR_OPTS)
+    add_workload("e9_pdr_unseeded", e9_runs)
+
+    # The aggregate is the headline regression-gate figure: individual
+    # workloads can be millisecond-scale and noisy, the total is not.
+    table.add_row("TOTAL", "-", totals["wall"], totals["solver"],
+                  totals["conflicts"], totals["props"],
+                  int(totals["props"] / max(totals["solver"], 1e-9)),
+                  int(totals["conflicts"] / max(totals["solver"], 1e-9)))
+    return table
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -477,6 +582,7 @@ ALL_EXPERIMENTS = {
     "E7": run_e7,
     "E8": run_e8,
     "E9": run_e9,
+    "E10": run_e10,
     "A1": run_a1,
     "A2": run_a2,
 }

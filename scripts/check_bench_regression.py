@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: fresh E10 numbers vs the committed baseline.
+
+Compares a fresh ``run_experiments.py --json`` dump against
+``benchmarks/baselines/bench_e10.json`` and fails (exit 1) when any
+gated workload's propagations/sec figure regressed more than the
+threshold (default 30%).
+
+Gating rules, chosen so the gate is strict where the signal is real and
+silent where it would be noise:
+
+* the ``TOTAL`` row is always gated — it aggregates enough solver time
+  to be stable on shared CI runners;
+* per-workload rows are gated only when the *baseline* spent at least
+  ``--min-solver-seconds`` (default 0.05s) inside the solver on them;
+  millisecond-scale rows flap on timer resolution and scheduler jitter;
+* a workload present in the baseline but missing from the fresh run is
+  an error (a silently dropped benchmark is itself a regression);
+  workloads new in the fresh run are reported but not gated (no
+  baseline to compare against — commit a refreshed baseline to start
+  gating them).
+
+Faster-than-baseline results never fail; refresh the committed baseline
+when the improvement is meant to become the new floor::
+
+    PYTHONPATH=src python benchmarks/run_experiments.py \
+        --json benchmarks/baselines/bench_e10.json E10
+
+Usage::
+
+    python scripts/check_bench_regression.py FRESH.json
+    python scripts/check_bench_regression.py FRESH.json --threshold 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_e10.json"
+
+EXPERIMENT = "E10"
+KEY_COLUMN = "workload"
+RATE_COLUMN = "props/sec"
+SOLVER_COLUMN = "solver (s)"
+
+
+def load_rows(path: Path) -> dict[str, dict[str, str]]:
+    """The E10 rows of one JSON dump, keyed by workload label."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"missing benchmark dump: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"unparseable benchmark dump {path}: {exc}")
+    section = payload.get(EXPERIMENT)
+    if section is None:
+        raise SystemExit(f"{path} has no {EXPERIMENT} section "
+                         f"(found: {sorted(payload)})")
+    rows = {}
+    for row in section["rows"]:
+        rows[row[KEY_COLUMN]] = row
+    if "TOTAL" not in rows:
+        raise SystemExit(f"{path}: {EXPERIMENT} rows lack the TOTAL "
+                         f"aggregate the gate keys on")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when E10 propagations/sec regressed vs the "
+                    "committed baseline")
+    parser.add_argument("fresh", type=Path,
+                        help="JSON dump from the current run "
+                             "(run_experiments.py --json PATH E10)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: "
+                             f"{DEFAULT_BASELINE.relative_to(REPO_ROOT)})")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated fractional drop in "
+                             "props/sec (default: 0.30)")
+    parser.add_argument("--min-solver-seconds", type=float, default=0.05,
+                        help="gate per-workload rows only above this "
+                             "baseline in-solver time (default: 0.05)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    failures = []
+    floor = 1.0 - args.threshold
+    print(f"{'workload':<22} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}  gate")
+    for label, base_row in baseline.items():
+        if label not in fresh:
+            failures.append(f"workload {label!r} missing from fresh run")
+            continue
+        base_rate = float(base_row[RATE_COLUMN])
+        fresh_rate = float(fresh[label][RATE_COLUMN])
+        ratio = fresh_rate / base_rate if base_rate else float("inf")
+        gated = label == "TOTAL" or \
+            float(base_row[SOLVER_COLUMN]) >= args.min_solver_seconds
+        verdict = "ok"
+        if gated and ratio < floor:
+            verdict = "FAIL"
+            failures.append(
+                f"{label}: props/sec {base_rate:,.0f} -> "
+                f"{fresh_rate:,.0f} ({ratio:.2f}x, floor {floor:.2f}x)")
+        elif not gated:
+            verdict = "skip (baseline solver time "\
+                      f"{float(base_row[SOLVER_COLUMN]):.3f}s)"
+        print(f"{label:<22} {base_rate:>12,.0f} {fresh_rate:>12,.0f} "
+              f"{ratio:>6.2f}x  {verdict}")
+    for label in fresh:
+        if label not in baseline:
+            print(f"{label:<22} {'-':>12} "
+                  f"{float(fresh[label][RATE_COLUMN]):>12,.0f} "
+                  f"{'-':>7}  new (not gated)")
+
+    if failures:
+        print("\nFAIL: solver performance regressed")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nbench ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

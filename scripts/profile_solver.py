@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Profile the SAT/model-checking hot path and report top hotspots.
+
+Runs a registry-wide batch of solver-heavy workloads (the E10
+micro-benchmark shapes by default: deep BMC, a mixed bounded/induction
+portfolio, unseeded PDR) under :mod:`cProfile` and prints the top-N
+functions by ``tottime`` — the view that found the flat-array rewrite's
+targets (``_propagate``, ``_analyze``, ``_value`` call overhead,
+``_reduce_db`` scans).
+
+Usage::
+
+    python scripts/profile_solver.py                 # E10 shapes, top 25
+    python scripts/profile_solver.py --top 40 --sort cumulative
+    python scripts/profile_solver.py --experiments E9 E10
+    python scripts/profile_solver.py --solver-only   # repro.sat.* frames
+
+``--solver-only`` restricts the report to frames inside ``repro/sat``,
+which answers "where does in-solver time go"; the unrestricted view
+answers "how much of the wall is solver at all" (encoding, bit-blasting
+and Python harness overhead show up as siblings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def run_workloads(experiment_ids: list[str]) -> None:
+    from _experiments import ALL_EXPERIMENTS
+    for exp_id in experiment_ids:
+        driver = ALL_EXPERIMENTS.get(exp_id.upper())
+        if driver is None:
+            raise SystemExit(f"unknown experiment {exp_id!r}; "
+                             f"available: {sorted(ALL_EXPERIMENTS)}")
+        driver()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the solver hot path over benchmark "
+                    "workloads")
+    parser.add_argument("--experiments", nargs="+", default=["E10"],
+                        help="experiment ids to run under the profiler "
+                             "(default: E10)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="number of hotspot rows to print")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"],
+                        help="pstats sort key")
+    parser.add_argument("--solver-only", action="store_true",
+                        help="restrict the report to repro/sat frames")
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_workloads(args.experiments)
+    finally:
+        profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(args.sort)
+    if args.solver_only:
+        stats.print_stats(r"solver\.py|external\.py|dimacs\.py",
+                          args.top)
+    else:
+        stats.print_stats(args.top)
+    print(buf.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

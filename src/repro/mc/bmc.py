@@ -22,7 +22,8 @@ from repro.trace.trace import TraceKind
 
 def bmc(system: TransitionSystem, prop: SafetyProperty, bound: int,
         lemmas: list[tuple[E.Expr, int]] | None = None,
-        conflict_budget: int | None = None) -> CheckResult:
+        conflict_budget: int | None = None,
+        frame: FrameSolver | None = None) -> CheckResult:
     """Search for a counterexample to ``prop`` within ``bound`` cycles.
 
     ``lemmas`` are ``(good_expr, valid_from)`` pairs *already proven*
@@ -34,12 +35,17 @@ def bmc(system: TransitionSystem, prop: SafetyProperty, bound: int,
     search into a best-effort probe: when exhausted, the result is
     BOUNDED_OK with an 'inconclusive' note — fine for bug *hunting*,
     never used for proofs.
+
+    ``frame`` lets a caller supply a pre-built (and possibly
+    differently-backed) :class:`FrameSolver` — the external-solver
+    strategy reuses this exact loop over a subprocess-backed frame.
     """
     resolved = prop.resolved_against(system)
     lemma_pairs = [(system.resolve_defines(g), vf)
                    for g, vf in (lemmas or [])]
     stats = ProofStats()
-    frame = FrameSolver(system)
+    if frame is None:
+        frame = FrameSolver(system)
     with StatsTimer(stats):
         frame.add_init()
         for g, vf in lemma_pairs:

@@ -35,12 +35,14 @@ from dataclasses import dataclass, replace
 from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
 from repro.mc.frame import StatsTimer
-from repro.mc.pdr.frames import (FrameMember, FrameTrapezoid, PdrContext,
-                                 negate_cube)
+from repro.mc.pdr.frames import (Cube, FrameMember, FrameTrapezoid,
+                                 PdrContext, negate_cube)
+from repro.mc.pdr.lift import CubeLifter
 from repro.mc.pdr.obligations import (Obligation, ObligationQueue,
                                       generalize_clause)
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, ProofStats, Status
+from repro.sim.simulator import Simulator
 from repro.trace.trace import Trace, TraceKind
 
 #: Name of the internal warm-up counter state (see module docstring).
@@ -57,10 +59,13 @@ class PdrOptions:
     to lose races gracefully instead of grinding.  ``gen_budget``
     additionally bounds each individual generalization/seed-admission
     probe (an indeterminate probe just keeps the literal / drops the
-    seed).  ``max_obligations`` is the queue-side runaway guard.  The
-    ``seed_*`` options feed :mod:`repro.mc.pdr.seed`: explicit SVA
-    bodies, static-synthesis candidates mined from the design, and
-    invariants mined from a campaign proof store.
+    seed).  ``max_obligations`` is the queue-side runaway guard.
+    ``lift_cubes`` enables ternary-simulation lifting of predecessor
+    cubes (:mod:`repro.mc.pdr.lift`) — on by default, the switch exists
+    for A/B parity checks.  The ``seed_*`` options feed
+    :mod:`repro.mc.pdr.seed`: explicit SVA bodies, static-synthesis
+    candidates mined from the design, and invariants mined from a
+    campaign proof store.
     """
 
     max_frames: int = 25
@@ -68,6 +73,7 @@ class PdrOptions:
     propagation_budget: int | None = 5_000_000
     gen_budget: int | None = 2000
     max_obligations: int = 20_000
+    lift_cubes: bool = True
     seeds: tuple[str, ...] = ()
     seed_static: bool = False
     seed_store_dir: str | None = None
@@ -115,6 +121,9 @@ class _PdrRun:
         self.frames = FrameTrapezoid(self.ctx, lemmas=gated)
         self.queue = ObligationQueue()
         self.obligations = 0
+        self.lifter = CubeLifter(self.ctx, self.bad) \
+            if opts.lift_cubes else None
+        self._init_bits = _constant_init_bits(self.system)
 
     # ------------------------------------------------------------------
 
@@ -223,8 +232,8 @@ class _PdrRun:
             # Clear every bad state the top frame still admits.
             while self._solve_or_raise(list(frames.activation(k)) +
                                        [bad_lit]):
-                cube = ctx.state_cube(0)
                 env = ctx.frame_env(0)
+                cube = self._predecessor_cube(None)
                 cex = self._block(Obligation(cube, k, env))
                 if cex is not None:
                     return self._result(
@@ -286,10 +295,11 @@ class _PdrRun:
             assumptions = list(frames.activation(ob.level - 1)) + \
                 [guard] + ctx.cube_assumptions(ob.cube, 1)
             if self._consecution_sat(assumptions, guard):
-                predecessor = Obligation(ctx.state_cube(0), ob.level - 1,
-                                         ctx.frame_env(0), succ=ob)
+                env = ctx.frame_env(0)
+                cube = self._predecessor_cube(ob)
                 ctx.retire_guard(guard)
-                self.queue.push(predecessor)
+                self.queue.push(Obligation(cube, ob.level - 1, env,
+                                           succ=ob))
                 self.queue.push(ob)
             else:
                 ctx.retire_guard(guard)
@@ -302,6 +312,62 @@ class _PdrRun:
                     # blockable push the proof toward the fixpoint.
                     self.queue.push(replace(ob, level=ob.level + 1))
         return None
+
+    # ------------------------------------------------------------------
+    # Predecessor extraction (cube lifting)
+    # ------------------------------------------------------------------
+
+    def _predecessor_cube(self, succ: Obligation | None) -> Cube:
+        """The current model's time-0 state cube, lifted when safe.
+
+        Must run while the SAT model is still live.  All model reads
+        (the concrete cube and the ternary simulation) happen before the
+        init-disjointness probe, which is the only solver call here and
+        clobbers the model.  ``succ`` is the obligation this state is a
+        predecessor of; None means a root (bad-state) cube.
+        """
+        cube = self.ctx.state_cube(0)
+        if self.lifter is None:
+            return cube
+        if succ is None:
+            lifted = self.lifter.lift_root(cube)
+        else:
+            lifted = self.lifter.lift_predecessor(cube, succ.cube)
+        if len(lifted) == len(cube):
+            return cube
+        if self._avoids_init(lifted):
+            return lifted
+        return cube
+
+    def _avoids_init(self, cube: Cube) -> bool:
+        """Is ``cube`` disjoint from the initial states?
+
+        Obligations wider than the concrete model state may only be
+        posed when they exclude every initial state — a blocking clause
+        learned from an init-intersecting cube would cut reachable
+        states.  For constant-init registers the check is syntactic and
+        exact: one literal contradicting an init bit proves
+        disjointness, and a cube agreeing with every (fully known) init
+        bit contains the initial state.  Anything indeterminate falls
+        through to a budgeted SAT probe, where an exhausted budget
+        counts as unsafe.
+        """
+        indeterminate = False
+        for name, bit, value in cube:
+            want = self._init_bits.get((name, bit))
+            if want is None:
+                indeterminate = True
+            elif want != value:
+                return True
+        if not indeterminate:
+            # Every literal agrees with a constant init bit, so every
+            # initial state satisfies the whole cube.
+            return False
+        verdict = self.ctx.solve(
+            list(self.frames.activation(0)) +
+            self.ctx.cube_assumptions(cube, 0),
+            conflict_budget=self._probe_budget())
+        return verdict is False
 
     # ------------------------------------------------------------------
     # Seeding
@@ -343,14 +409,55 @@ class _PdrRun:
     # ------------------------------------------------------------------
 
     def _trace(self, envs: list[dict[str, int]]) -> Trace:
-        """Project obligation environments onto the original design."""
+        """Re-simulate obligation environments into a consistent trace.
+
+        With cube lifting, an obligation's recorded state values need
+        not agree bit-for-bit with what its predecessor's state actually
+        steps to — only the bits in the (lifted) cube are pinned.  The
+        init-rooted first frame plus the recorded *inputs* determine a
+        genuine execution (lifting keeps the constraints and the
+        chaining next-state bits fixed), so the trace is rebuilt by
+        forward simulation and then projected onto the original design.
+        """
+        sim = Simulator(self.system, check_constraints=False)
+        sim.load_state({name: envs[0].get(name, 0)
+                        for name in self.system.states})
         names = list(self.original.inputs) + list(self.original.states)
-        frames = [{name: env.get(name, 0) for name in names}
-                  for env in envs]
+        frames = []
+        for env in envs:
+            inputs = {name: env.get(name, 0)
+                      for name in self.system.inputs}
+            snap = sim.step(inputs)
+            frames.append({name: snap[name] for name in names})
         return Trace.from_model_values(
             self.original, frames, TraceKind.BMC_CEX,
             property_name=self.prop.name,
             note=f"pdr counterexample, bad at cycle {len(frames) - 1}")
+
+
+def _constant_init_bits(system: TransitionSystem) -> dict[tuple[str, int],
+                                                          int]:
+    """Bit values of registers whose init is a compile-time constant.
+
+    Mirrors the simulator's reset rule (init expressions may reference
+    previously initialized registers); registers with no init or a
+    non-constant one are left out, deferring to the SAT probe in
+    :meth:`_PdrRun._avoids_init`.
+    """
+    env: dict[str, int] = {}
+    bits: dict[tuple[str, int], int] = {}
+    for name, v in system.states.items():
+        init_expr = system.init.get(name)
+        if init_expr is None:
+            continue
+        resolved = system.resolve_defines(init_expr)
+        if E.support(resolved) - set(env):
+            continue
+        value = E.evaluate(resolved, env)
+        env[name] = value
+        for i in range(v.width):
+            bits[(name, i)] = (value >> i) & 1
+    return bits
 
 
 # ---------------------------------------------------------------------------

@@ -172,6 +172,10 @@ class PdrContext:
         return [self.bit_dimacs(name, bit, value, t)
                 for name, bit, value in cube]
 
+    def state_bit_lits(self, name: str, t: int) -> list[int]:
+        """The AIG literals of state ``name``'s bits at time ``t``."""
+        return list(self._state_bits[(name, t)])
+
     def solve(self, assumptions: list[int],
               conflict_budget: int | None = None) -> bool | None:
         self.cnf.encode_new_nodes()
@@ -260,9 +264,30 @@ class FrameTrapezoid:
     # ------------------------------------------------------------------
 
     def add_member(self, member: FrameMember, level: int) -> None:
-        """Install ``member`` at ``level`` (it joins ``F_1 .. F_level``)."""
+        """Install ``member`` at ``level`` (it joins ``F_1 .. F_level``).
+
+        Clause members are subsumption-checked both ways: a new clause
+        already implied by an equal-or-stronger clause covering at least
+        the same frames is skipped outright, and weaker clauses it
+        supersedes are dropped from the ledger (their solver copies stay
+        — implied clauses are harmless there — but the Python-side scans
+        in :meth:`blocks_syntactically` and :meth:`propagate` stop
+        paying for them).
+        """
         if not (1 <= level <= self.top):
             raise ValueError(f"level {level} outside 1..{self.top}")
+        if member.clause is not None:
+            new_lits = set(member.clause)
+            for lvl in range(level, self.top + 1):
+                for old in self.levels[lvl]:
+                    if old.clause is not None and \
+                            set(old.clause) <= new_lits:
+                        return  # subsumed by a stronger, wider member
+            for lvl in range(1, level + 1):
+                self.levels[lvl] = [
+                    old for old in self.levels[lvl]
+                    if old.clause is None
+                    or not new_lits <= set(old.clause)]
         self._assert_at_level(member, level)
         self.levels[level].append(member)
 

@@ -42,6 +42,9 @@ class ProofStats:
     restarts: int = 0
     learned_clauses: int = 0
     learned_literals: int = 0
+    #: Time spent inside the SAT search itself (a subset of
+    #: ``wall_seconds``, which also covers blasting and encoding).
+    solve_seconds: float = 0.0
 
     @classmethod
     def from_solver(cls, solver_stats, sat_queries: int) -> "ProofStats":
@@ -62,6 +65,7 @@ class ProofStats:
             restarts=solver_stats.restarts,
             learned_clauses=solver_stats.learned,
             learned_literals=solver_stats.learned_literals,
+            solve_seconds=solver_stats.solve_seconds,
         )
 
     def merge_from(self, snapshot: "ProofStats") -> None:
@@ -84,6 +88,7 @@ class ProofStats:
         self.restarts += snapshot.restarts
         self.learned_clauses += snapshot.learned_clauses
         self.learned_literals += snapshot.learned_literals
+        self.solve_seconds += snapshot.solve_seconds
 
     def accumulate(self, other: "ProofStats") -> None:
         self.wall_seconds += other.wall_seconds
@@ -97,6 +102,7 @@ class ProofStats:
         self.restarts += other.restarts
         self.learned_clauses += other.learned_clauses
         self.learned_literals += other.learned_literals
+        self.solve_seconds += other.solve_seconds
 
     def effort_dict(self) -> dict[str, int]:
         """The machine-independent solver-effort counters, for reports.

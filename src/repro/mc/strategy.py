@@ -29,7 +29,7 @@ from repro.ir.system import TransitionSystem
 from repro.mc.bmc import bmc, bmc_probe
 from repro.mc.kinduction import KInductionOptions, k_induction
 from repro.mc.property import SafetyProperty
-from repro.mc.result import CheckResult
+from repro.mc.result import CheckResult, ProofStats, Status
 
 
 class StrategyError(ReproError):
@@ -138,15 +138,68 @@ class PdrStrategy:
             seeds: tuple = (),
             seed_static: bool = False,
             seed_store_dir: str | None = None,
-            seed_limit: int = 16) -> CheckResult:
+            seed_limit: int = 16,
+            lift_cubes: bool = True) -> CheckResult:
         from repro.mc.pdr import PdrOptions, pdr
         options = PdrOptions(
             max_frames=max_frames, conflict_budget=conflict_budget,
             propagation_budget=propagation_budget,
             gen_budget=gen_budget, max_obligations=max_obligations,
             seeds=tuple(seeds), seed_static=seed_static,
-            seed_store_dir=seed_store_dir, seed_limit=seed_limit)
+            seed_store_dir=seed_store_dir, seed_limit=seed_limit,
+            lift_cubes=lift_cubes)
         return pdr(system, prop, options, lemmas=lemmas)
+
+
+@dataclass(frozen=True)
+class ExternalBmcStrategy:
+    """Bounded counterexample search on an installed external SAT binary.
+
+    The BMC loop runs unchanged over a subprocess-backed frame solver
+    (see :mod:`repro.sat.external`): each depth's query is piped through
+    the DIMACS bridge to an auto-detected binary (``kissat``,
+    ``minisat``, ...; override with ``binary=`` or ``REPRO_SAT_BINARY``).
+    SAT answers are validated against the sent clauses before a trace is
+    extracted, so a broken binary fails loudly.  With no binary
+    installed the verdict is a clean UNKNOWN, which every racing layer
+    already treats as "keep going" — registering the strategy is
+    therefore always safe, and it stays out of the default portfolio.
+    """
+
+    name: str = "external"
+    can_prove: bool = False
+    can_refute: bool = True
+
+    @staticmethod
+    def cacheable(options: Mapping) -> bool:
+        """Never cacheable: the verdict depends on which (if any)
+        binary is installed, which the query key cannot fingerprint —
+        a cached UNKNOWN from a binary-less machine would otherwise pin
+        the property on machines that do have one."""
+        return False
+
+    def run(self, system: TransitionSystem, prop: SafetyProperty,
+            lemmas: Lemmas | None = None, *, bound: int = 20,
+            binary: str | None = None,
+            timeout_s: float | None = None) -> CheckResult:
+        from repro.aig.cnf import CnfBuilder
+        from repro.mc.frame import FrameSolver
+        from repro.sat.external import SubprocessSolver, find_external_solver
+        spec = find_external_solver(binary)
+        if spec is None:
+            wanted = binary or "auto-detect"
+            return CheckResult(
+                prop.name, Status.UNKNOWN, k=0, stats=ProofStats(),
+                detail=f"no external SAT binary available ({wanted})")
+        frame = FrameSolver(system)
+        ext = SubprocessSolver(spec, timeout_s=timeout_s)
+        frame.solver = ext
+        frame.cnf = CnfBuilder(frame.blaster.aig, ext)
+        result = bmc(system, prop, bound, lemmas=lemmas, frame=frame)
+        result.detail = (f"[{spec.name or spec.path}] "
+                         f"{result.detail}" if result.detail
+                         else f"via {spec.name or spec.path}")
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -229,6 +282,10 @@ register_strategy(PdrStrategy())
 # seeding pays for a design family.
 register_strategy(PdrStrategy(), name="pdr_seeded",
                   defaults={"seed_static": True})
+# The external-binary BMC racer: opt-in (never in the default
+# portfolio), degrades to UNKNOWN when no binary is installed, so any
+# layer may include it in a race unconditionally.
+register_strategy(ExternalBmcStrategy())
 
 
 # ---------------------------------------------------------------------------

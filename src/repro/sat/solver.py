@@ -1,11 +1,12 @@
 """Conflict-driven clause-learning (CDCL) SAT solver.
 
 A from-scratch MiniSat-lineage solver providing the proof engine for the
-model checker.  Features: two-watched-literal propagation, VSIDS variable
-activity with phase saving, first-UIP clause learning with recursive
-self-subsumption minimization, Luby restarts, and glue-(LBD-)aware learnt
-clause database reduction.  The public interface is incremental in the
-"fresh clauses + solve under assumptions" style:
+model checker.  Features: two-watched-literal propagation with blocker
+literals, VSIDS variable activity on an indexed binary heap with phase
+saving, first-UIP clause learning with self-subsumption minimization,
+Luby restarts, and glue-(LBD-)aware learnt clause database reduction
+with lazy deletion plus arena garbage collection.  The public interface
+is incremental in the "fresh clauses + solve under assumptions" style:
 
 >>> s = Solver()
 >>> a, b = s.add_var(), s.add_var()
@@ -17,11 +18,41 @@ True
 
 Literals use DIMACS conventions externally (nonzero ints, negative =
 negated) and an internal packed encoding (``var << 1 | sign``).
+
+Data layout (the solve hot path)
+--------------------------------
+
+Clauses live in one flat integer arena (``_ca``) instead of per-clause
+objects: a clause is just an offset ``cref`` with the layout
+``[size, lbd, lit0, lit1, ...]``, so the propagation loop reads
+literals with plain integer indexing and zero attribute lookups.  Watch
+lists are flat interleaved ``[cref, blocker, cref, blocker, ...]``
+lists: the *blocker* is a literal of the clause (usually the other
+watched literal) whose truth lets propagation skip the clause without
+touching the arena at all.  Assignment state is a *literal-indexed*
+value array (``_lv[lit]`` is 1/-1/0 for true/false/unassigned), so the
+hot loop's truth test is a single list index instead of the
+``assigns[lit >> 1] == (lit & 1) ^ 1`` shift/mask/xor dance — at the
+price of two writes per (much rarer) assignment.  Binary clauses take a
+dedicated fast path: their blocker is always the other literal, so unit
+propagation and conflict detection read nothing from the arena and
+never move the watch entry.  Deleting a clause flips its size slot
+negative — an O(1) mark that propagation sweeps drop lazily — and the
+arena is compacted (crefs remapped, watches rebuilt) once a third of it
+is dead.  ``array('l')`` was benchmarked for the arena and the watch
+lists and rejected: on CPython its write path (``__setitem__`` plus
+boxing every read) loses ~15% against flat lists of small ints, which
+the interpreter caches.
+
+The VSIDS order is an indexed binary max-heap (`_heap` of vars plus a
+`_hpos` position array): activity bumps sift in place (decrease-key)
+and unassignment re-inserts, so there are no stale entries and no
+rebuild-from-scratch scans.
 """
 
 from __future__ import annotations
 
-import heapq
+import time
 from dataclasses import dataclass
 
 from repro.errors import SatError
@@ -42,19 +73,12 @@ class SatStats:
     db_reductions: int = 0
     max_vars: int = 0
     clauses_added: int = 0
+    #: Wall time spent inside ``solve_limited`` — the denominator for
+    #: the propagations/sec figures the perf-regression harness tracks.
+    solve_seconds: float = 0.0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
-
-
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity", "lbd")
-
-    def __init__(self, lits: list[int], learnt: bool):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-        self.lbd = 0
 
 
 def _lit(internal_var: int, negative: bool) -> int:
@@ -67,12 +91,25 @@ class Solver:
     def __init__(self, restart_base: int = 100,
                  var_decay: float = 0.95, clause_decay: float = 0.999):
         self._nvars = 0
-        self._clauses: list[_Clause] = []
-        self._learnts: list[_Clause] = []
-        self._watches: list[list[_Clause]] = [[], []]  # indexed by lit
-        self._assigns: list[int] = [_UNDEF]  # indexed by var (1-based)
+        # Clause arena: [size, lbd, lit0, lit1, ...] per clause; a
+        # negative size marks a deleted clause (lazily swept).  lbd is 0
+        # for problem clauses and >= 1 for learnts, doubling as the
+        # learnt flag.
+        self._ca: list[int] = []
+        self._clauses: list[int] = []       # problem clause crefs
+        self._learnts: list[int] = []       # learnt clause crefs
+        self._cact: dict[int, float] = {}   # learnt clause activity
+        self._wasted = 0                    # dead arena slots
+        # Flat watch lists: [cref, blocker, ...] per literal.  Binary
+        # clauses live in their own lists ([cref, other, ...]): their
+        # watches never move, so propagation walks them with zero
+        # compaction bookkeeping and never touches the arena.
+        self._watches: list[list[int]] = [[], []]
+        self._bwatches: list[list[int]] = [[], []]
+        # Literal-indexed values: 1 true, -1 false, 0 unassigned.
+        self._lv: list[int] = [0, 0]
         self._level: list[int] = [0]
-        self._reason: list[_Clause | None] = [None]
+        self._reason: list[int] = [-1]       # cref or -1
         self._activity: list[float] = [0.0]
         self._phase: list[int] = [0]
         self._trail: list[int] = []
@@ -86,7 +123,10 @@ class Solver:
         self._restart_base = restart_base
         self._max_learnts = 2000.0
         self._learnt_growth = 1.3
-        self._order: list[tuple[float, int]] = []  # lazy max-heap entries
+        # Indexed VSIDS max-heap: _heap holds vars, _hpos[v] is v's
+        # position in _heap or -1.
+        self._heap: list[int] = []
+        self._hpos: list[int] = [-1]
         self._seen: list[int] = [0]
         self._conflict_limit: int | None = None
         self.stats = SatStats()
@@ -99,16 +139,19 @@ class Solver:
     def add_var(self) -> int:
         """Allocate a fresh variable; returns its (positive) DIMACS index."""
         self._nvars += 1
-        self._assigns.append(_UNDEF)
+        self._lv.extend((0, 0))
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(-1)
         self._activity.append(0.0)
         self._phase.append(0)
         self._seen.append(0)
+        self._hpos.append(-1)
         self._watches.append([])
         self._watches.append([])
+        self._bwatches.append([])
+        self._bwatches.append([])
         self.stats.max_vars = self._nvars
-        self._heap_push(self._nvars)
+        self._heap_insert(self._nvars)
         return self._nvars
 
     def num_vars(self) -> int:
@@ -141,14 +184,18 @@ class Solver:
             self._ok = False
             return False
         if len(lits) == 1:
-            if not self._enqueue(lits[0], None):
+            if not self._enqueue(lits[0], -1):
                 self._ok = False
                 return False
-            self._ok = self._propagate() is None
+            # Level-0 BCP is solver work (BMC encodings are unit-heavy),
+            # so it counts toward solve_seconds like in-search BCP does.
+            started = time.perf_counter()
+            self._ok = self._propagate() < 0
+            self.stats.solve_seconds += time.perf_counter() - started
             return self._ok
-        clause = _Clause(lits, learnt=False)
-        self._attach(clause)
-        self._clauses.append(clause)
+        cref = self._alloc(lits, lbd=0)
+        self._attach(cref)
+        self._clauses.append(cref)
         return True
 
     # ------------------------------------------------------------------
@@ -169,16 +216,31 @@ class Solver:
         Used for best-effort probes (e.g. the repair flow's bug check)
         where an inconclusive answer is acceptable and bounded latency
         matters more than completeness.
+
+        The budget is **exact**: a budget of N admits at most N counted
+        (and fully analyzed) conflicts; hitting conflict N+1 returns
+        None without counting it, so ``stats.conflicts`` grows by
+        exactly N on an indeterminate solve and by at most N otherwise.
+        A non-positive budget still permits conflict-free solves.
         """
         if not self._ok:
             return False
-        assumed = [self._from_dimacs(d) for d in (assumptions or [])]
-        for lit in assumed:
-            if (lit >> 1) > self._nvars:
-                raise SatError(f"assumption over unknown variable {lit >> 1}")
+        # Inline DIMACS conversion: assumption lists are long on the
+        # PDR/k-induction paths and a per-literal call is measurable.
+        nv = self._nvars
+        assumed = []
+        for d in assumptions or ():
+            v = -d if d < 0 else d
+            if v == 0:
+                raise SatError("literal 0 is not valid")
+            if v > nv:
+                raise SatError(f"assumption over unknown variable {v}")
+            assumed.append(v << 1 | (d < 0))
         self._conflict_limit = None if conflict_budget is None else \
-            self.stats.conflicts + conflict_budget
+            self.stats.conflicts + max(conflict_budget, 0)
+        started = time.perf_counter()
         result = self._search(assumed)
+        self.stats.solve_seconds += time.perf_counter() - started
         self._conflict_limit = None
         self._cancel_until(0)
         if result is not True:
@@ -199,11 +261,12 @@ class Solver:
             raise SatError("no model available (last solve returned False?)")
         if not (1 <= var <= self._nvars):
             raise SatError(f"variable {var} out of range")
-        return self._model[var] == 1
+        return self._model[var << 1] > 0
 
     def model(self) -> list[int]:
-        """The model as a list of DIMACS literals (index 0 unused)."""
-        return [v if self._model[v] == 1 else -v
+        """The model as a list of DIMACS literals."""
+        model = self._model
+        return [v if model[v << 1] > 0 else -v
                 for v in range(1, self._nvars + 1)]
 
     # ------------------------------------------------------------------
@@ -212,137 +275,234 @@ class Solver:
 
     def _search(self, assumptions: list[int]) -> bool | None:
         conflicts_until_restart = self._luby_limit()
+        stats = self.stats
         while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
-                if self._conflict_limit is not None and \
-                        self.stats.conflicts >= self._conflict_limit:
-                    return None
-                conflicts_until_restart -= 1
-                if self._decision_level() == 0:
+            confl = self._propagate()
+            if confl >= 0:
+                limit = self._conflict_limit
+                if limit is not None and stats.conflicts >= limit:
+                    return None     # budget spent before this conflict
+                stats.conflicts += 1
+                if not self._trail_lim:
                     self._ok = False
                     return False
-                if self._current_level_is_assumed(assumptions):
+                if len(self._trail_lim) <= len(assumptions):
                     # The conflict is forced by the assumptions alone.
                     return False
-                learnt, bt_level = self._analyze(conflict)
-                self._cancel_until(max(bt_level, 0))
+                learnt, bt_level = self._analyze(confl)
+                self._cancel_until(bt_level)
                 self._record_learnt(learnt)
-                self._decay_activities()
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
                 if len(self._learnts) >= self._max_learnts:
                     self._reduce_db()
+                conflicts_until_restart -= 1
                 continue
             if conflicts_until_restart <= 0 and \
-                    self._decision_level() > len(assumptions):
-                self.stats.restarts += 1
+                    len(self._trail_lim) > len(assumptions):
+                stats.restarts += 1
                 self._cancel_until(len(assumptions))
                 conflicts_until_restart = self._luby_limit()
                 continue
             # Extend assumptions first, then decide.
-            level = self._decision_level()
+            level = len(self._trail_lim)
             if level < len(assumptions):
                 lit = assumptions[level]
-                value = self._value(lit)
-                if value == 1:
+                value = self._lv[lit]
+                if value > 0:
                     self._trail_lim.append(len(self._trail))
                     continue
-                if value == 0:
+                if value < 0:
                     return False
                 self._trail_lim.append(len(self._trail))
-                self._enqueue(lit, None)
+                self._enqueue(lit, -1)
                 continue
             lit = self._pick_branch()
             if lit is None:
-                self._model = list(self._assigns)
+                # C-speed snapshot of the literal-value array; the
+                # model accessors index it by literal.
+                self._model = self._lv[:]
                 return True
-            self.stats.decisions += 1
+            stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            self._enqueue(lit, None)
+            self._enqueue(lit, -1)
 
-    def _current_level_is_assumed(self, assumptions: list[int]) -> bool:
-        """True when every open decision level is an assumption level and a
-        conflict therefore contradicts the assumptions themselves.
+    def _propagate(self) -> int:
+        """Two-watched-literal BCP; returns the conflicting cref or -1.
 
-        Called only on a conflict; precise failed-assumption cores are not
-        needed by the model checker, so we only detect the condition."""
-        return 0 < self._decision_level() <= len(assumptions)
-
-    def _propagate(self) -> _Clause | None:
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
-            watch_list = self._watches[p]
-            kept: list[_Clause] = []
-            i = 0
-            n = len(watch_list)
+        The hottest loop in the system: everything is a local, literal
+        truth is one index into the literal-value array (``lv[lit] > 0``
+        is "true", ``< 0`` is "false"), blockers short-circuit satisfied
+        clauses, binary clauses resolve against the blocker without
+        touching the arena, and watch lists compact in place.
+        """
+        trail = self._trail
+        lv = self._lv
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        watches = self._watches
+        bwatches = self._bwatches
+        ca = self._ca
+        qhead = self._qhead
+        dl = len(self._trail_lim)
+        nt = len(trail)
+        props = 0
+        confl = -1
+        while qhead < nt:
+            p = trail[qhead]
+            qhead += 1
+            props += 1
+            bwl = bwatches[p]
+            if bwl:
+                # Binary sweep: entries are (cref, other-literal) pairs
+                # that never move — no arena reads, no compaction.
+                bi = 0
+                bn = len(bwl)
+                while bi < bn:
+                    other = bwl[bi + 1]
+                    bi += 2
+                    bv = lv[other]
+                    if bv > 0:
+                        continue
+                    if bv < 0:              # other literal false: conflict
+                        qhead = nt
+                        confl = bwl[bi - 2]
+                        break
+                    lv[other] = 1           # unit: enqueue the other
+                    lv[other ^ 1] = -1
+                    v = other >> 1
+                    phase[v] = (other & 1) ^ 1
+                    level[v] = dl
+                    reason[v] = bwl[bi - 2]
+                    trail.append(other)
+                    nt += 1
+                if confl >= 0:
+                    break
+            wl = watches[p]
+            if not wl:
+                continue
+            fl = p ^ 1          # the literal this assignment falsified
+            i = j = 0
+            n = len(wl)
             while i < n:
-                clause = watch_list[i]
-                i += 1
-                lits = clause.lits
-                # Normalize: the falsified literal goes to position 1.
-                if lits[0] == p ^ 1:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._value(first) == 1:
-                    kept.append(clause)
+                blocker = wl[i + 1]
+                bv = lv[blocker]
+                if bv > 0:      # blocker true: clause satisfied
+                    if j != i:
+                        wl[j] = wl[i]
+                        wl[j + 1] = blocker
+                    i += 2
+                    j += 2
                     continue
+                c = wl[i]
+                i += 2
+                size = ca[c]
+                if size < 0:
+                    continue    # deleted clause: drop the entry
+                base = c + 2
+                l0 = ca[base]
+                if l0 == fl:    # normalize: falsified literal at slot 1
+                    l0 = ca[base + 1]
+                    ca[base] = l0
+                    ca[base + 1] = fl
+                av = lv[l0]
+                if av > 0:      # first watch true: satisfied
+                    wl[j] = c
+                    wl[j + 1] = l0
+                    j += 2
+                    continue
+                end = base + size
+                k = base + 2
                 moved = False
-                for k in range(2, len(lits)):
-                    if self._value(lits[k]) != 0:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[lits[1] ^ 1].append(clause)
+                while k < end:
+                    lk = ca[k]
+                    if lv[lk] >= 0:          # not false: new watch
+                        ca[base + 1] = lk
+                        ca[k] = fl
+                        wlk = watches[lk ^ 1]
+                        wlk.append(c)
+                        wlk.append(l0)
                         moved = True
                         break
+                    k += 1
                 if moved:
                     continue
-                kept.append(clause)
-                if self._value(first) == 0:
-                    # Conflict: keep the rest of the watch list intact.
-                    kept.extend(watch_list[i:])
-                    self._watches[p] = kept
-                    self._qhead = len(self._trail)
-                    return clause
-                self._enqueue(first, clause)
-            self._watches[p] = kept
-        return None
+                wl[j] = c
+                wl[j + 1] = l0
+                j += 2
+                if av < 0:                  # first watch false: conflict
+                    while i < n:
+                        wl[j] = wl[i]
+                        wl[j + 1] = wl[i + 1]
+                        i += 2
+                        j += 2
+                    qhead = nt
+                    confl = c
+                    break
+                lv[l0] = 1                   # unit: enqueue inline
+                lv[l0 ^ 1] = -1
+                v = l0 >> 1
+                phase[v] = (l0 & 1) ^ 1
+                level[v] = dl
+                reason[v] = c
+                trail.append(l0)
+                nt += 1
+            if j != n:
+                del wl[j:]
+            if confl >= 0:
+                break
+        self._qhead = qhead
+        self.stats.propagations += props
+        return confl
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
         """First-UIP learning; returns (learnt clause lits, backtrack level)."""
-        learnt: list[int] = [0]  # placeholder for the asserting literal
+        ca = self._ca
         seen = self._seen
+        levels = self._level
+        trail = self._trail
+        reason = self._reason
+        act = self._activity
+        var_inc = self._var_inc
+        dl = len(self._trail_lim)
+        learnt: list[int] = [0]  # placeholder for the asserting literal
         to_clear: list[int] = []
         counter = 0
         p = -1
-        index = len(self._trail) - 1
-        clause: _Clause | None = conflict
+        index = len(trail) - 1
+        c = confl
         while True:
-            assert clause is not None
-            if clause.learnt:
-                self._bump_clause(clause)
-            start = 1 if clause.lits and p != -1 and \
-                clause.lits[0] == p else 0
-            for q in clause.lits[start:]:
+            if ca[c + 1]:        # learnt clause (lbd >= 1): bump it
+                self._bump_clause(c)
+            base = c + 2
+            start = base + 1 if p != -1 and ca[base] == p else base
+            for k in range(start, base + ca[c]):
+                q = ca[k]
+                if q == p:
+                    # Binary clauses skip slot normalization in the
+                    # propagation fast path, so the asserting literal
+                    # may sit anywhere in its reason: skip it by value.
+                    continue
                 v = q >> 1
-                if not seen[v] and self._level[v] > 0:
+                if not seen[v] and levels[v] > 0:
                     seen[v] = 1
                     to_clear.append(v)
-                    self._bump_var(v)
-                    if self._level[v] >= self._decision_level():
+                    act[v] += var_inc   # bump inline; heap fixed below
+                    if levels[v] >= dl:
                         counter += 1
                     else:
                         learnt.append(q)
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index]
+            p = trail[index]
             v = p >> 1
             index -= 1
             seen[v] = 0
             counter -= 1
             if counter == 0:
                 break
-            clause = self._reason[v]
+            c = reason[v]
         learnt[0] = p ^ 1
         self._minimize(learnt)
         # Compute backtrack level: the second-highest level in the clause.
@@ -351,13 +511,22 @@ class Solver:
         else:
             max_index = 1
             for i in range(2, len(learnt)):
-                if self._level[learnt[i] >> 1] > \
-                        self._level[learnt[max_index] >> 1]:
+                if levels[learnt[i] >> 1] > levels[learnt[max_index] >> 1]:
                     max_index = i
             learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
-            bt_level = self._level[learnt[1] >> 1]
+            bt_level = levels[learnt[1] >> 1]
+        hpos = self._hpos
+        rescale = False
         for v in to_clear:
             seen[v] = 0
+            if act[v] > 1e100:
+                rescale = True
+            if hpos[v] >= 0:    # deferred decrease-key for inline bumps
+                self._sift_up(hpos[v])
+        if rescale:
+            for u in range(1, self._nvars + 1):
+                act[u] *= 1e-100
+            self._var_inc *= 1e-100
         return learnt, bt_level
 
     def _minimize(self, learnt: list[int]) -> None:
@@ -366,17 +535,22 @@ class Solver:
         A literal can be removed if its reason's literals are all already in
         the clause (marked seen).  This is MiniSat's 'basic' minimization.
         """
+        ca = self._ca
         seen = self._seen
+        levels = self._level
+        reason = self._reason
         kept = [learnt[0]]
         for lit in learnt[1:]:
-            reason = self._reason[lit >> 1]
-            if reason is None:
+            r = reason[lit >> 1]
+            if r < 0:
                 kept.append(lit)
                 continue
             removable = True
-            for q in reason.lits:
+            base = r + 2
+            for k in range(base, base + ca[r]):
+                q = ca[k]
                 v = q >> 1
-                if q != (lit ^ 1) and not seen[v] and self._level[v] > 0:
+                if q != lit ^ 1 and not seen[v] and levels[v] > 0:
                     removable = False
                     break
             if not removable:
@@ -387,141 +561,319 @@ class Solver:
         self.stats.learned += 1
         self.stats.learned_literals += len(learnt)
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(learnt[0], -1)
             return
-        clause = _Clause(list(learnt), learnt=True)
-        clause.lbd = self._compute_lbd(learnt)
-        self._bump_clause(clause)
-        self._attach(clause)
-        self._learnts.append(clause)
-        self._enqueue(learnt[0], clause)
-
-    def _compute_lbd(self, lits: list[int]) -> int:
-        return len({self._level[lit >> 1] for lit in lits})
+        levels = self._level
+        lbd = len({levels[lit >> 1] for lit in learnt})
+        cref = self._alloc(learnt, lbd=max(lbd, 1))
+        self._bump_clause(cref)
+        self._attach(cref)
+        self._learnts.append(cref)
+        self._enqueue(learnt[0], cref)
 
     def _reduce_db(self) -> None:
-        """Remove the worse half of learnt clauses (high LBD, low activity)."""
+        """Remove the worse half of learnt clauses (high LBD, low activity).
+
+        Deletion is O(1) per clause — the arena size slot flips negative
+        and propagation sweeps drop dead watch entries lazily; no watch
+        list is ever scanned here.  The arena is compacted once a third
+        of it is dead.
+        """
         self.stats.db_reductions += 1
         self._max_learnts *= self._learnt_growth
-        locked = {id(self._reason[v]) for v in range(1, self._nvars + 1)
-                  if self._reason[v] is not None}
-        self._learnts.sort(key=lambda c: (-c.lbd, c.activity))
-        keep_from = len(self._learnts) // 2
-        removed: list[_Clause] = []
-        kept: list[_Clause] = []
-        for i, clause in enumerate(self._learnts):
-            protect = (id(clause) in locked or len(clause.lits) == 2
-                       or clause.lbd <= 2 or i >= keep_from)
-            (kept if protect else removed).append(clause)
-        for clause in removed:
-            self._detach(clause)
+        ca = self._ca
+        cact = self._cact
+        reason = self._reason
+        locked = {r for r in (reason[v] for v in range(1, self._nvars + 1))
+                  if r >= 0}
+        learnts = self._learnts
+        learnts.sort(key=lambda c: (-ca[c + 1], cact.get(c, 0.0)))
+        keep_from = len(learnts) // 2
+        kept: list[int] = []
+        for i, c in enumerate(learnts):
+            if c in locked or ca[c] == 2 or ca[c + 1] <= 2 or i >= keep_from:
+                kept.append(c)
+            else:
+                self._delete(c)
         self._learnts = kept
+        if self._wasted * 3 > len(ca):
+            self._collect_garbage()
+
+    # ------------------------------------------------------------------
+    # Clause arena
+    # ------------------------------------------------------------------
+
+    def _alloc(self, lits: list[int], lbd: int) -> int:
+        ca = self._ca
+        cref = len(ca)
+        ca.append(len(lits))
+        ca.append(lbd)
+        ca.extend(lits)
+        return cref
+
+    def _attach(self, cref: int) -> None:
+        ca = self._ca
+        l0, l1 = ca[cref + 2], ca[cref + 3]
+        watches = self._bwatches if ca[cref] == 2 else self._watches
+        watches[l0 ^ 1].extend((cref, l1))
+        watches[l1 ^ 1].extend((cref, l0))
+
+    def _detach(self, cref: int) -> None:
+        """Eagerly remove ``cref`` from its two watch lists and delete it.
+
+        A detach that cannot find its watch entry means the watch lists
+        no longer reflect the clause database — corruption that would
+        otherwise surface as silently wrong verdicts — so it raises
+        :class:`SatError` instead of passing.  (The reduction path never
+        calls this: it marks clauses dead in O(1) and lets propagation
+        sweeps drop the entries.)
+        """
+        ca = self._ca
+        if ca[cref] < 0:
+            raise SatError(
+                f"detach of already-deleted clause at {cref}: "
+                "watch-list corruption")
+        watches = self._bwatches if ca[cref] == 2 else self._watches
+        for which in (0, 1):
+            lit = ca[cref + 2 + which]
+            wl = watches[lit ^ 1]
+            for i in range(0, len(wl), 2):
+                if wl[i] == cref:
+                    wl[i] = wl[-2]
+                    wl[i + 1] = wl[-1]
+                    del wl[-2:]
+                    break
+            else:
+                raise SatError(
+                    f"clause at {cref} missing from the watch list of "
+                    f"literal {lit ^ 1}: watch-list corruption")
+        self._delete(cref)
+
+    def _delete(self, cref: int) -> None:
+        """O(1) deletion: negate the size slot; sweeps drop the watches."""
+        ca = self._ca
+        size = ca[cref]
+        ca[cref] = -size
+        self._wasted += size + 2
+        self._cact.pop(cref, None)
+
+    def _collect_garbage(self) -> None:
+        """Compact the arena: copy live clauses, remap crefs, rebuild
+        watches.  Watched literals are preserved verbatim (slots 0/1),
+        so the two-watched invariant survives mid-search compaction."""
+        old = self._ca
+        new: list[int] = []
+        mapping: dict[int, int] = {}
+
+        def move(refs: list[int]) -> list[int]:
+            out = []
+            for c in refs:
+                nc = len(new)
+                mapping[c] = nc
+                out.append(nc)
+                new.extend(old[c:c + 2 + old[c]])
+            return out
+
+        self._clauses = move(self._clauses)
+        self._learnts = move(self._learnts)
+        self._cact = {mapping[c]: a for c, a in self._cact.items()}
+        reason = self._reason
+        for v in range(1, self._nvars + 1):
+            r = reason[v]
+            if r >= 0:
+                reason[v] = mapping[r]
+        self._ca = new
+        watches = self._watches
+        bwatches = self._bwatches
+        for wl in watches:
+            del wl[:]
+        for wl in bwatches:
+            del wl[:]
+        for c in self._clauses + self._learnts:
+            target = bwatches if new[c] == 2 else watches
+            target[new[c + 2] ^ 1].extend((c, new[c + 3]))
+            target[new[c + 3] ^ 1].extend((c, new[c + 2]))
+        self._wasted = 0
 
     # ------------------------------------------------------------------
     # Assignment bookkeeping
     # ------------------------------------------------------------------
 
-    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
-        value = self._value(lit)
-        if value != _UNDEF:
-            return value == 1
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        lv = self._lv
+        a = lv[lit]
+        if a:
+            return a > 0
+        lv[lit] = 1
+        lv[lit ^ 1] = -1
         v = lit >> 1
-        self._assigns[v] = 1 - (lit & 1)
-        self._phase[v] = self._assigns[v]
-        self._level[v] = self._decision_level()
+        self._phase[v] = (lit & 1) ^ 1
+        self._level[v] = len(self._trail_lim)
         self._reason[v] = reason
         self._trail.append(lit)
         return True
 
     def _cancel_until(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         bound = self._trail_lim[level]
-        for lit in reversed(self._trail[bound:]):
+        lv = self._lv
+        reason = self._reason
+        hpos = self._hpos
+        heap = self._heap
+        act = self._activity
+        trail = self._trail
+        for idx in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[idx]
+            lv[lit] = 0
+            lv[lit ^ 1] = 0
             v = lit >> 1
-            self._assigns[v] = _UNDEF
-            self._reason[v] = None
-            self._heap_push(v)
-        del self._trail[bound:]
+            reason[v] = -1
+            if hpos[v] < 0:      # re-insert, sift-up inlined (hot path)
+                i = len(heap)
+                heap.append(v)
+                a = act[v]
+                while i > 0:
+                    parent = (i - 1) >> 1
+                    pv = heap[parent]
+                    if act[pv] >= a:
+                        break
+                    heap[i] = pv
+                    hpos[pv] = i
+                    i = parent
+                heap[i] = v
+                hpos[v] = i
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = len(trail)
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
     def _value(self, lit: int) -> int:
-        a = self._assigns[lit >> 1]
-        if a == _UNDEF:
+        a = self._lv[lit]
+        if a == 0:
             return _UNDEF
-        return a ^ (lit & 1)
+        return 1 if a > 0 else 0
 
     # ------------------------------------------------------------------
-    # Branching heuristics
+    # Branching heuristics (indexed VSIDS heap)
     # ------------------------------------------------------------------
 
     def _pick_branch(self) -> int | None:
-        while self._order:
-            neg_activity, v = heapq.heappop(self._order)
-            if self._assigns[v] == _UNDEF and \
-                    -neg_activity == self._activity[v]:
-                return _lit(v, negative=self._phase[v] == 0)
-        # Heap exhausted by staleness; rebuild from scratch.
-        for v in range(1, self._nvars + 1):
-            if self._assigns[v] == _UNDEF:
-                self._rebuild_heap()
-                return self._pick_branch_from_rebuilt()
+        lv = self._lv
+        heap = self._heap
+        pos = self._hpos
+        act = self._activity
+        while heap:
+            # _heap_pop inlined: most pops discard assigned vars, so
+            # the call overhead multiplies.
+            top = heap[0]
+            pos[top] = -1
+            last = heap.pop()
+            n = len(heap)
+            if n:
+                a = act[last]
+                i = 0
+                while True:
+                    child = 2 * i + 1
+                    if child >= n:
+                        break
+                    cv = heap[child]
+                    right = child + 1
+                    if right < n and act[heap[right]] > act[cv]:
+                        child = right
+                        cv = heap[child]
+                    if act[cv] <= a:
+                        break
+                    heap[i] = cv
+                    pos[cv] = i
+                    i = child
+                heap[i] = last
+                pos[last] = i
+            if not lv[top << 1]:
+                return top << 1 | (self._phase[top] ^ 1)
         return None
 
-    def _pick_branch_from_rebuilt(self) -> int | None:
-        while self._order:
-            neg_activity, v = heapq.heappop(self._order)
-            if self._assigns[v] == _UNDEF:
-                return _lit(v, negative=self._phase[v] == 0)
-        return None
+    def _heap_insert(self, v: int) -> None:
+        pos = self._hpos
+        if pos[v] >= 0:
+            return
+        heap = self._heap
+        heap.append(v)
+        self._sift_up(len(heap) - 1)
 
-    def _rebuild_heap(self) -> None:
-        self._order = [(-self._activity[v], v)
-                       for v in range(1, self._nvars + 1)
-                       if self._assigns[v] == _UNDEF]
-        heapq.heapify(self._order)
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        pos = self._hpos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
 
-    def _heap_push(self, v: int) -> None:
-        heapq.heappush(self._order, (-self._activity[v], v))
+    def _sift_up(self, i: int) -> None:
+        heap, pos, act = self._heap, self._hpos, self._activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, act = self._heap, self._hpos, self._activity
+        n = len(heap)
+        v = heap[i]
+        a = act[v]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            cv = heap[child]
+            right = child + 1
+            if right < n and act[heap[right]] > act[cv]:
+                child = right
+                cv = heap[child]
+            if act[cv] <= a:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
 
     def _bump_var(self, v: int) -> None:
-        self._activity[v] += self._var_inc
-        if self._activity[v] > 1e100:
+        act = self._activity
+        act[v] += self._var_inc
+        if act[v] > 1e100:
             for u in range(1, self._nvars + 1):
-                self._activity[u] *= 1e-100
+                act[u] *= 1e-100
             self._var_inc *= 1e-100
-        if self._assigns[v] == _UNDEF:
-            self._heap_push(v)
+        if self._hpos[v] >= 0:
+            self._sift_up(self._hpos[v])
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for c in self._learnts:
-                c.activity *= 1e-20
+    def _bump_clause(self, cref: int) -> None:
+        cact = self._cact
+        a = cact.get(cref, 0.0) + self._cla_inc
+        cact[cref] = a
+        if a > 1e20:
+            for c in cact:
+                cact[c] *= 1e-20
             self._cla_inc *= 1e-20
 
-    def _decay_activities(self) -> None:
-        self._var_inc /= self._var_decay
-        self._cla_inc /= self._cla_decay
-
     # ------------------------------------------------------------------
-    # Watches / restarts
+    # Restarts / input mapping
     # ------------------------------------------------------------------
-
-    def _attach(self, clause: _Clause) -> None:
-        self._watches[clause.lits[0] ^ 1].append(clause)
-        self._watches[clause.lits[1] ^ 1].append(clause)
-
-    def _detach(self, clause: _Clause) -> None:
-        for lit in clause.lits[:2]:
-            try:
-                self._watches[lit ^ 1].remove(clause)
-            except ValueError:
-                pass
 
     def _luby_limit(self) -> int:
         return self._restart_base * _luby(self.stats.restarts + 1)

@@ -467,3 +467,83 @@ class TestDirectApi:
         result = pdr(scoped, prop, PdrOptions(max_frames=5),
                      lemmas=[(lemma, 0)])
         assert result.status is Status.PROVEN
+
+
+class TestLiftingAndSubsumption:
+    """Ternary-simulation cube lifting and the frame-ledger subsumption
+    sweep: both are pure accelerators, so verdicts must be invariant
+    under the ``lift_cubes`` switch and the ledger must only ever shed
+    redundant members."""
+
+    @pytest.mark.parametrize("design_name,prop_name", [
+        ("traffic_onehot", "mutual_exclusion"),
+        ("lfsr16", "never_zero"),
+        ("updown_counter", "never_top"),
+    ])
+    def test_lift_on_off_verdict_parity(self, design_name, prop_name):
+        on = _run_pdr(design_name, prop_name, lift_cubes=True, **FAST)
+        off = _run_pdr(design_name, prop_name, lift_cubes=False, **FAST)
+        assert on.status is Status.PROVEN
+        assert off.status is Status.PROVEN
+
+    def test_lift_on_off_parity_on_violation(self):
+        on = _run_pdr("sync_counters_bug", "counters_equal",
+                      lift_cubes=True, **FAST)
+        off = _run_pdr("sync_counters_bug", "counters_equal",
+                       lift_cubes=False, **FAST)
+        assert on.status is Status.VIOLATED
+        assert off.status is Status.VIOLATED
+        assert on.cex is not None and off.cex is not None
+        assert len(on.cex.steps) == len(off.cex.steps)
+
+    def test_lifter_drops_bits_on_wide_predecessors(self):
+        """On the lock-step counters most state bits are irrelevant to
+        any single blocked cube, so lifting must shed some."""
+        from repro.hdl import elaborate
+        from repro.mc.pdr.engine import _PdrRun
+        design = get_design("sync_counters")
+        system = elaborate(design.rtl, params={"W": 4},
+                           top="sync_counters")
+        ctx = MonitorContext(system)
+        spec = design.property_spec("equal_count")
+        prop = ctx.add(spec.sva, name=spec.name)
+        run = _PdrRun(ctx.system, prop, PdrOptions(**FAST), [])
+        run.execute()
+        assert run.lifter is not None
+        assert run.lifter.lifts > 0
+        assert run.lifter.dropped_bits > 0
+
+    def test_subsumption_ledger(self, counter_system):
+        """The ledger keeps only the strongest clause per region: a new
+        subset clause evicts weaker ones below it, and a new superset
+        clause covered by an equal-or-wider member is skipped."""
+        from repro.mc.pdr.frames import (FrameMember, FrameTrapezoid,
+                                         PdrContext)
+        ctx = PdrContext(counter_system)
+        frames = FrameTrapezoid(ctx)
+        frames.add_frame()  # levels 0..2
+        wide = FrameMember(clause=(("count", 0, 0), ("count", 1, 0)))
+        narrow = FrameMember(clause=(("count", 0, 0),))
+        frames.add_member(wide, 1)
+        assert wide in frames.levels[1]
+        # The strictly stronger clause evicts the weaker one at <= level.
+        frames.add_member(narrow, 1)
+        assert wide not in frames.levels[1]
+        assert narrow in frames.levels[1]
+        # A clause subsumed by an equal-or-wider-level member is skipped.
+        frames.add_member(wide, 1)
+        assert wide not in frames.levels[1]
+        # Same clause again: subsumed by itself, not duplicated.
+        frames.add_member(narrow, 1)
+        assert frames.levels[1].count(narrow) == 1
+        # Subsumption looks upward too: a member living at level 2
+        # blocks weaker additions at level 1.
+        other = FrameMember(clause=(("count", 2, 0),))
+        wide_other = FrameMember(clause=(("count", 2, 0), ("count", 3, 0)))
+        frames.add_member(other, 2)
+        frames.add_member(wide_other, 1)
+        assert wide_other not in frames.levels[1]
+        # But a stronger clause at a *lower* level never evicts the
+        # wider-coverage copy above it.
+        frames.add_member(FrameMember(clause=(("count", 3, 0),)), 1)
+        assert other in frames.levels[2]

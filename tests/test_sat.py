@@ -320,6 +320,32 @@ class TestFuzzAgainstBruteForce:
         got = solver.solve() if ok else False
         assert got == brute_force_sat(num_vars, clauses)
 
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_wide_cnf_up_to_12_vars(self, data):
+        """Wider clauses and more variables than the 3-SAT fuzzer —
+        exercises the blocker fast path (satisfied-clause skips) and
+        long-clause watch relocation, with the model checked on SAT."""
+        num_vars = data.draw(st.integers(8, 12))
+        num_clauses = data.draw(st.integers(5, 60))
+        clauses = []
+        for _ in range(num_clauses):
+            size = data.draw(st.integers(1, 5))
+            clause = [data.draw(st.integers(1, num_vars)) *
+                      (1 if data.draw(st.booleans()) else -1)
+                      for _ in range(size)]
+            clauses.append(clause)
+        solver = Solver(restart_base=8)
+        for _ in range(num_vars):
+            solver.add_var()
+        ok = all(solver.add_clause(list(c)) for c in clauses)
+        got = solver.solve() if ok else False
+        assert got == brute_force_sat(num_vars, clauses)
+        if got:
+            model = solver.model()
+            for clause in clauses:
+                assert any(model[abs(lit) - 1] == lit for lit in clause)
+
     def test_seeded_batch_with_model_validation(self):
         rng = random.Random(2024)
         for _ in range(150):
@@ -339,6 +365,113 @@ class TestFuzzAgainstBruteForce:
                 for clause in clauses:
                     assert any(model[abs(lit) - 1] == lit
                                for lit in clause)
+
+
+class TestExactBudgetAccounting:
+    """``solve_limited``'s budget contract is *exact*: an indeterminate
+    solve with budget N counts exactly N conflicts — the property the
+    PDR generalization probes rely on for reproducible effort limits."""
+
+    @pytest.mark.parametrize("budget", [1, 2, 5, 17])
+    def test_indeterminate_solve_counts_exactly_n(self, budget):
+        s = Solver()
+        _php_clauses(s, 7, 6)
+        before = s.stats.conflicts
+        assert s.solve_limited(conflict_budget=budget) is None
+        assert s.stats.conflicts - before == budget
+
+    def test_conclusive_solve_stays_within_budget(self):
+        s = Solver()
+        _php_clauses(s, 4, 3)  # small enough to finish inside 10_000
+        before = s.stats.conflicts
+        assert s.solve_limited(conflict_budget=10_000) is False
+        assert s.stats.conflicts - before <= 10_000
+
+    def test_zero_budget_allows_conflict_free_solves(self):
+        s = Solver()
+        a, b = s.add_var(), s.add_var()
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        before = s.stats.conflicts
+        assert s.solve_limited(conflict_budget=0) is True
+        assert s.stats.conflicts == before
+
+    def test_budgets_are_per_call_not_cumulative(self):
+        s = Solver()
+        _php_clauses(s, 7, 6)
+        before = s.stats.conflicts
+        assert s.solve_limited(conflict_budget=3) is None
+        assert s.solve_limited(conflict_budget=3) is None
+        assert s.stats.conflicts - before == 6
+
+    def test_solve_seconds_accumulates(self):
+        s = Solver()
+        _php_clauses(s, 6, 5)
+        assert s.stats.solve_seconds == 0.0
+        assert s.solve() is False
+        first = s.stats.solve_seconds
+        assert first > 0
+        assert s.solve([]) is False
+        assert s.stats.solve_seconds >= first
+
+
+class TestWatchIntegrity:
+    """``_detach`` treats a missing watch entry as corruption and fails
+    loudly instead of leaving the clause half-attached (which would
+    surface later as silently wrong verdicts)."""
+
+    @pytest.mark.parametrize("size", [2, 3])
+    def test_double_detach_raises(self, size):
+        s = Solver()
+        xs = [s.add_var() for _ in range(size)]
+        s.add_clause(xs)
+        cref = s._clauses[-1]
+        s._detach(cref)
+        with pytest.raises(SatError, match="corruption"):
+            s._detach(cref)
+
+    def test_tampered_watch_list_raises(self):
+        s = Solver()
+        xs = [s.add_var() for _ in range(3)]
+        s.add_clause(xs)
+        cref = s._clauses[-1]
+        # Simulate corruption: drop the clause from one watch list.
+        watched = s._ca[cref + 2] ^ 1
+        s._watches[watched] = [entry for i, entry
+                               in enumerate(s._watches[watched])
+                               if not (i % 2 == 0 and entry == cref)]
+        with pytest.raises(SatError, match="corruption"):
+            s._detach(cref)
+
+
+class TestIncrementalSequences:
+    def test_long_interleaved_sequence_vs_brute_force(self):
+        """Clauses trickle in between solves under varying assumptions;
+        every verdict must match a from-scratch brute-force decision of
+        the clauses (plus assumptions) accumulated so far."""
+        rng = random.Random(7)
+        num_vars = 9
+        s = Solver(restart_base=16)
+        for _ in range(num_vars):
+            s.add_var()
+        clauses: list[list[int]] = []
+        ok = True
+        for _round in range(40):
+            for _ in range(rng.randint(1, 3)):
+                clause = [(v if rng.random() < 0.5 else -v)
+                          for v in (rng.randint(1, num_vars)
+                                    for _ in range(rng.randint(1, 3)))]
+                clauses.append(clause)
+                ok = s.add_clause(list(clause)) and ok
+            assumptions = [(v if rng.random() < 0.5 else -v)
+                           for v in rng.sample(range(1, num_vars + 1),
+                                               rng.randint(0, 3))]
+            got = s.solve_limited(assumptions) if ok else False
+            want = brute_force_sat(
+                num_vars, clauses + [[a] for a in assumptions])
+            assert got == want
+            if not ok:
+                break
 
 
 class TestLuby:
@@ -367,3 +500,20 @@ class TestDimacs:
     def test_bad_header_rejected(self):
         with pytest.raises(SatError):
             parse_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_random_cnf_roundtrip_preserves_verdict(self):
+        """write -> parse -> solve agrees with solving the original:
+        the bridge the external-solver strategy rides on."""
+        rng = random.Random(99)
+        for _ in range(25):
+            num_vars = rng.randint(3, 10)
+            clauses = [[(v if rng.random() < 0.5 else -v)
+                        for v in (rng.randint(1, num_vars)
+                                  for _ in range(rng.randint(1, 4)))]
+                       for _ in range(rng.randint(2, 30))]
+            text = to_dimacs(num_vars, clauses)
+            parsed_vars, parsed_clauses = parse_dimacs(text)
+            assert parsed_vars == num_vars
+            assert parsed_clauses == clauses
+            assert solver_from_dimacs(text).solve() == \
+                brute_force_sat(num_vars, clauses)
