@@ -28,9 +28,11 @@ def test_e10_solver(benchmark):
                        int(conflicts), int(props), int(pps), int(cps))
 
     # Every workload shape ran, plus the aggregate row the regression
-    # gate keys on.
+    # gate keys on and the paired instrumentation-overhead probes the
+    # obs gate keys on.
     assert set(rows) == {"e1_bmc_w8", "e1_bmc_w16", "e1_bmc_w32",
-                         "e7_portfolio_mix", "e9_pdr_unseeded", "TOTAL"}
+                         "e7_portfolio_mix", "e9_pdr_unseeded", "TOTAL",
+                         "obs_metrics_on", "obs_metrics_off"}
 
     # Verdict sanity: BMC holds at the bound everywhere, the portfolio
     # mix closes its induction target, PDR proves at least one case.
@@ -57,6 +59,16 @@ def test_e10_solver(benchmark):
     assert rows["e7_portfolio_mix"][3] > 0
     assert rows["e9_pdr_unseeded"][3] > 0
 
-    # The TOTAL row is the exact sum of the workload rows.
+    # The TOTAL row is the exact sum of the workload rows (the obs
+    # overhead probes sit below the aggregate and stay out of it).
     assert rows["TOTAL"][4] == sum(
-        r[4] for label, r in rows.items() if label != "TOTAL")
+        r[4] for label, r in rows.items()
+        if label not in ("TOTAL", "obs_metrics_on", "obs_metrics_off"))
+
+    # The overhead probes re-ran the same portfolio mix: identical
+    # deterministic work either way, so the propagation counts match
+    # the timed e7 row exactly and the rates are sane.
+    assert rows["obs_metrics_on"][4] == rows["obs_metrics_off"][4] == \
+        rows["e7_portfolio_mix"][4]
+    assert rows["obs_metrics_on"][5] > 0
+    assert rows["obs_metrics_off"][5] > 0

@@ -18,7 +18,12 @@ silent where it would be noise:
   an error (a silently dropped benchmark is itself a regression);
   workloads new in the fresh run are reported but not gated (no
   baseline to compare against — commit a refreshed baseline to start
-  gating them).
+  gating them);
+* when the fresh run carries the paired ``obs_metrics_on`` /
+  ``obs_metrics_off`` rows, their props/sec ratio is gated *within the
+  fresh run* (no baseline involved): instrumentation overhead above
+  ``--obs-threshold`` (default 5%) fails the gate.  This is the
+  enforcement of the overhead contract in ``docs/observability.md``.
 
 Faster-than-baseline results never fail; refresh the committed baseline
 when the improvement is meant to become the new floor::
@@ -85,6 +90,10 @@ def main() -> int:
     parser.add_argument("--min-solver-seconds", type=float, default=0.05,
                         help="gate per-workload rows only above this "
                              "baseline in-solver time (default: 0.05)")
+    parser.add_argument("--obs-threshold", type=float, default=0.05,
+                        help="maximum tolerated fractional props/sec "
+                             "overhead of metrics-on vs metrics-off "
+                             "(default: 0.05)")
     args = parser.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -119,6 +128,22 @@ def main() -> int:
             print(f"{label:<22} {'-':>12} "
                   f"{float(fresh[label][RATE_COLUMN]):>12,.0f} "
                   f"{'-':>7}  new (not gated)")
+
+    # Instrumentation-overhead gate: paired rows within the fresh run.
+    if "obs_metrics_on" in fresh and "obs_metrics_off" in fresh:
+        on = float(fresh["obs_metrics_on"][RATE_COLUMN])
+        off = float(fresh["obs_metrics_off"][RATE_COLUMN])
+        ratio = on / off if off else float("inf")
+        obs_floor = 1.0 - args.obs_threshold
+        verdict = "ok" if ratio >= obs_floor else "FAIL"
+        if verdict == "FAIL":
+            failures.append(
+                f"obs overhead: metrics-on props/sec is {ratio:.2f}x "
+                f"metrics-off (floor {obs_floor:.2f}x) — "
+                f"instrumentation costs more than "
+                f"{args.obs_threshold:.0%}")
+        print(f"{'obs on/off':<22} {off:>12,.0f} {on:>12,.0f} "
+              f"{ratio:>6.2f}x  {verdict} (overhead gate)")
 
     if failures:
         print("\nFAIL: solver performance regressed")

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Render a campaign trace directory into a time breakdown.
+
+A traced run (``repro-verify campaign --trace DIR`` or
+``run_campaign(trace_dir=...)``) leaves one
+``trace-<host>-<pid>.jsonl`` file per participating process in DIR.
+This script stitches them back into one span tree and reports:
+
+* the tree itself (``--tree``), indented, with durations;
+* per-phase totals (the campaign root's direct children: compile,
+  dispatch, record);
+* per-strategy totals over the "check" spans, and per-worker totals
+  over the "job" spans — "which engine/worker did this campaign's time
+  go to";
+* orphan spans (a parent id that matches no recorded span): a healthy
+  trace has exactly one root and zero orphans, which ``--strict``
+  turns into the exit status (used by CI's obs-smoke job).
+
+Usage::
+
+    python scripts/trace_report.py TRACE_DIR [--tree] [--strict]
+    python scripts/trace_report.py trace-host-123.jsonl   # single file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_spans(path: Path) -> list[dict]:
+    """Every span event under ``path`` (a trace dir or one JSONL file)."""
+    files = sorted(path.glob("trace-*.jsonl")) if path.is_dir() \
+        else [path]
+    spans = []
+    for file in files:
+        for line in file.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn tail line from a killed process
+            if "span_id" in event and "name" in event:
+                spans.append(event)
+    return spans
+
+
+def build_tree(spans: list[dict]) -> tuple[list[dict], list[dict],
+                                           dict[str, list[dict]]]:
+    """(roots, orphans, children-by-parent) over one span list."""
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[str, list[dict]] = defaultdict(list)
+    roots, orphans = [], []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None:
+            roots.append(span)
+        elif parent in by_id:
+            children[parent].append(span)
+        else:
+            orphans.append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("start", 0.0))
+    return roots, orphans, children
+
+
+def _label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    for key in ("strategy", "design", "property", "job_id"):
+        if key in attrs:
+            detail = attrs.get("property") or attrs.get(key)
+            strategy = attrs.get("strategy")
+            parts = [p for p in (attrs.get("design"), detail) if p]
+            tail = f" [{strategy}]" if strategy else ""
+            return f"{span['name']} {'.'.join(dict.fromkeys(parts))}" \
+                   f"{tail}"
+    return span["name"]
+
+
+def render_tree(roots: list[dict], children: dict[str, list[dict]],
+                max_depth: int) -> list[str]:
+    lines = []
+
+    def visit(span: dict, depth: int) -> None:
+        if depth > max_depth:
+            return
+        proc = f"{span.get('host', '?')}:{span.get('pid', '?')}"
+        lines.append(f"{'  ' * depth}{_label(span)}  "
+                     f"{span.get('dur', 0.0):.3f}s  ({proc})")
+        for child in children.get(span["span_id"], ()):
+            visit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("start", 0.0)):
+        visit(root, 0)
+    return lines
+
+
+def aggregate(spans: list[dict], name: str, attr: str | None = None
+              ) -> dict[str, tuple[int, float]]:
+    """``{group: (count, total seconds)}`` over spans named ``name``."""
+    totals: dict[str, tuple[int, float]] = {}
+    for span in spans:
+        if span["name"] != name:
+            continue
+        group = span.get("attrs", {}).get(attr, "?") if attr \
+            else span["name"]
+        count, seconds = totals.get(group, (0, 0.0))
+        totals[group] = (count + 1, seconds + span.get("dur", 0.0))
+    return dict(sorted(totals.items(), key=lambda kv: -kv[1][1]))
+
+
+def _print_section(title: str,
+                   totals: dict[str, tuple[int, float]]) -> None:
+    if not totals:
+        return
+    print(f"\n{title}")
+    for group, (count, seconds) in totals.items():
+        print(f"  {group:<28} {count:>5} spans  {seconds:>9.3f}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="stitch a trace directory into one span tree and "
+                    "report where the time went")
+    parser.add_argument("trace", type=Path,
+                        help="trace directory (or one trace-*.jsonl)")
+    parser.add_argument("--tree", action="store_true",
+                        help="print the full indented span tree")
+    parser.add_argument("--max-depth", type=int, default=3,
+                        help="tree depth limit (default: 3)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 unless exactly one root and zero "
+                             "orphans (CI mode)")
+    args = parser.parse_args()
+
+    if not args.trace.exists():
+        raise SystemExit(f"no such trace: {args.trace}")
+    spans = load_spans(args.trace)
+    if not spans:
+        raise SystemExit(f"{args.trace} holds no span events")
+
+    traces = sorted({s.get("trace_id", "?") for s in spans})
+    roots, orphans, children = build_tree(spans)
+    processes = sorted({(s.get("host", "?"), s.get("pid", 0))
+                        for s in spans})
+
+    print(f"{len(spans)} spans, {len(traces)} trace(s) "
+          f"{traces}, {len(processes)} process(es), "
+          f"{len(roots)} root(s), {len(orphans)} orphan(s)")
+    for host, pid in processes:
+        count = sum(1 for s in spans
+                    if (s.get("host"), s.get("pid")) == (host, pid))
+        print(f"  process {host}:{pid}: {count} spans")
+
+    # Per-phase: the campaign root's direct children.
+    for root in roots:
+        phases = {c["name"]: c.get("dur", 0.0)
+                  for c in children.get(root["span_id"], ())}
+        if phases:
+            print(f"\nphases under {root['name']} "
+                  f"({root.get('dur', 0.0):.3f}s total)")
+            for name, seconds in phases.items():
+                print(f"  {name:<28} {seconds:>9.3f}s")
+
+    _print_section("jobs by worker",
+                   aggregate(spans, "job", "worker"))
+    _print_section("checks by strategy",
+                   aggregate(spans, "check", "strategy"))
+
+    if orphans:
+        print("\norphan spans (parent not recorded):")
+        for span in orphans[:10]:
+            print(f"  {_label(span)} parent={span.get('parent_id')}")
+    if args.tree:
+        print()
+        print("\n".join(render_tree(roots, children, args.max_depth)))
+
+    if args.strict and (len(roots) != 1 or orphans):
+        print(f"\nSTRICT: expected 1 root / 0 orphans, got "
+              f"{len(roots)} / {len(orphans)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,13 @@ class CampaignReport:
     store_results: int = 0       # persistent store size after the run
     workers: int = 0             # worker processes (0 = in-process run)
     worker_stats: list[WorkerStat] = field(default_factory=list)
+    #: Wall clock per campaign phase (compile / dispatch / solve /
+    #: store), measured by the scheduler via the obs layer.  "solve" is
+    #: in-job solver+engine time and overlaps "dispatch", which is the
+    #: end-to-end dispatcher call (queueing, workers, supervision).
+    phase_seconds: dict = field(default_factory=dict)
+    #: Trace id when the run was traced (``campaign --trace DIR``).
+    trace_id: str = ""
 
     # ------------------------------------------------------------------
 
@@ -137,6 +144,8 @@ class CampaignReport:
             "full_portfolio_jobs": self.full_portfolio_jobs,
             "fallback_reruns": self.fallback_reruns,
             "store_results": self.store_results,
+            "phases": dict(self.phase_seconds),
+            "trace_id": self.trace_id,
             "effort": self.effort_totals,
             "workers": self.workers,
             "worker_stats": [
@@ -214,6 +223,10 @@ class CampaignReport:
             "  " + self.cache.one_line() +
             f", {self.store_results} results on disk",
         ]
+        if self.phase_seconds:
+            lines.insert(3, "  phases: " + ", ".join(
+                f"{name} {seconds:.3f}s"
+                for name, seconds in self.phase_seconds.items()))
         for stat in self.worker_stats:
             lines.append("  worker " + stat.one_line())
         return lines

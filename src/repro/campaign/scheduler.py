@@ -45,7 +45,13 @@ from repro.ir.system import TransitionSystem
 from repro.mc.property import SafetyProperty
 from repro.mc.result import Status
 from repro.mc.strategy import resolve_strategy
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.sva.compile import MonitorContext
+
+_M_PHASE_SECONDS = _metrics.histogram(
+    "repro_campaign_phase_seconds", "campaign wall clock by phase",
+    labels=("phase",))
 
 _SPEC_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
 
@@ -314,40 +320,64 @@ class CampaignScheduler:
 
     def run(self) -> CampaignReport:
         start = time.perf_counter()
-        pool = self.build_jobs()
-        full_total = sum(len(j.full_specs) for j in pool)
+        with _tracing.span("campaign",
+                           designs=[d.name for d in self.designs]) as root:
+            with _tracing.span("compile"):
+                pool = self.build_jobs()
+            compiled = time.perf_counter()
+            full_total = sum(len(j.full_specs) for j in pool)
 
-        # The dispatcher executes the pool (in-process or across worker
-        # processes) and owns the pruned-race fallback contract; the
-        # campaign only records and reports what came back.
-        result = self.dispatcher.dispatch(pool)
+            # The dispatcher executes the pool (in-process or across
+            # worker processes) and owns the pruned-race fallback
+            # contract; the campaign only records and reports what came
+            # back.
+            with _tracing.span("dispatch", jobs=len(pool)):
+                result = self.dispatcher.dispatch(pool)
+            dispatched = time.perf_counter()
 
-        rows = []
-        for job in sorted(pool, key=lambda j: j.order):
-            outcome = result.outcomes[job.identity]
-            # History is recorded here, once per final verdict, whichever
-            # dispatcher ran the job — distributed workers deliberately
-            # do not write history, so no outcome is double-counted.
-            self.store.record(
-                design=job.design.name, family=job.design.family,
-                property_name=job.prop.name,
-                strategy=base_strategy_name(outcome.strategy),
-                status=outcome.status,
-                wall_seconds=outcome.wall_seconds,
-                from_cache=outcome.from_cache)
-            rows.append(CampaignRow(
-                design=job.design.name, family=job.design.family,
-                property_name=job.prop.name,
-                status=outcome.status,
-                expect=job.spec.expect,
-                strategy=outcome.strategy,
-                wall_seconds=outcome.wall_seconds,
-                k=outcome.k,
-                from_cache=outcome.from_cache,
-                adaptive_fallback=outcome.fallback,
-                worker=outcome.worker_id,
-                effort=dict(outcome.effort)))
+            rows = []
+            with _tracing.span("record"):
+                for job in sorted(pool, key=lambda j: j.order):
+                    outcome = result.outcomes[job.identity]
+                    # History is recorded here, once per final verdict,
+                    # whichever dispatcher ran the job — distributed
+                    # workers deliberately do not write history, so no
+                    # outcome is double-counted.
+                    self.store.record(
+                        design=job.design.name, family=job.design.family,
+                        property_name=job.prop.name,
+                        strategy=base_strategy_name(outcome.strategy),
+                        status=outcome.status,
+                        wall_seconds=outcome.wall_seconds,
+                        from_cache=outcome.from_cache)
+                    rows.append(CampaignRow(
+                        design=job.design.name, family=job.design.family,
+                        property_name=job.prop.name,
+                        status=outcome.status,
+                        expect=job.spec.expect,
+                        strategy=outcome.strategy,
+                        wall_seconds=outcome.wall_seconds,
+                        k=outcome.k,
+                        from_cache=outcome.from_cache,
+                        adaptive_fallback=outcome.fallback,
+                        worker=outcome.worker_id,
+                        effort=dict(outcome.effort)))
+            recorded = time.perf_counter()
 
+        # Phase wall clock: "solve" is the in-job portion of "dispatch"
+        # (sum of non-cached job wall times — across workers it can
+        # exceed the dispatch wall when jobs ran in parallel).
+        phases = {
+            "compile": round(compiled - start, 6),
+            "dispatch": round(dispatched - compiled, 6),
+            "solve": round(sum(r.wall_seconds for r in rows
+                               if not r.from_cache), 6),
+            "store": round(recorded - dispatched, 6),
+        }
+        for name, seconds in phases.items():
+            _M_PHASE_SECONDS.labels(name).observe(seconds)
+
+        tracer = _tracing.active()
         return CampaignReport(
             designs=[d.name for d in self.designs],
             rows=rows,
@@ -360,4 +390,7 @@ class CampaignScheduler:
             cache=result.cache,
             store_results=len(self.store),
             workers=result.workers,
-            worker_stats=result.worker_stats)
+            worker_stats=result.worker_stats,
+            phase_seconds=phases,
+            trace_id=tracer.trace_id if tracer is not None and
+            root is not None else "")

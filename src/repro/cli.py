@@ -12,6 +12,9 @@ Subcommands::
                         [--worker-jobs N]     # ... each with a local pool
                         [--backend sqlite:DIR | http://HOST:PORT]
                         [--cache-dir DIR] [--no-adaptive] [--json PATH]
+                        [--trace DIR]         # span trace of the whole run
+    repro-verify status --backend SPEC        # live backend snapshot
+                        [--metrics]           # + Prometheus metrics text
     repro-verify serve  [--cache-dir DIR]     # host the queue + proof store
                         [--host H] [--port P] # over HTTP for other machines
     repro-verify worker --backend SPEC        # standalone campaign worker
@@ -132,8 +135,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         adaptive=not args.no_adaptive, min_samples=args.min_samples,
         max_k=args.max_k, bmc_bound=args.bound, workers=args.workers,
         lease_seconds=args.lease, wall_timeout=args.wall_timeout,
-        backend=args.backend, worker_jobs=args.worker_jobs)
+        backend=args.backend, worker_jobs=args.worker_jobs,
+        trace_dir=args.trace)
     print(report.to_text())
+    if args.trace:
+        print(f"  trace {report.trace_id} written to {args.trace} "
+              f"(render with scripts/trace_report.py)")
     if args.json_path:
         rendered = report.to_json()
         if args.json_path == "-":
@@ -163,6 +170,87 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                     jobs=args.jobs)
     done = worker.run()
     print(f"worker {worker.worker_id}: completed {done} jobs")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    backend = args.backend if args.backend is not None else args.cache_dir
+    if backend is None:
+        raise ValueError(
+            "status needs a target: pass --backend sqlite:DIR, "
+            "--backend http://HOST:PORT, or --cache-dir DIR")
+    from repro.dist.backend import parse_backend
+    resolved = parse_backend(backend)
+    if resolved.is_remote:
+        return _remote_status(resolved.location, args)
+    return _local_status(resolved, args)
+
+
+def _remote_status(base_url: str, args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    base = base_url.rstrip("/")
+    try:
+        with urllib.request.urlopen(base + "/health",
+                                    timeout=10) as resp:
+            health = json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode(errors="replace")
+        print(f"backend {base}: HTTP {exc.code} — {body.strip()}")
+        return 1
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: backend {base} unreachable: {exc}",
+              file=sys.stderr)
+        return 1
+    counts = health.get("queue", {}).get("counts", {})
+    unavailable = health.get("unavailable_503", {})
+    print(f"backend {base}: {health.get('status', '?')}, "
+          f"up {health.get('uptime_seconds', 0.0):.1f}s")
+    print(f"  cache dir: {health.get('cache_dir', '?')}")
+    print(f"  queue: state={health.get('queue', {}).get('state', '?')}, "
+          f"pending={counts.get('pending', 0)}, "
+          f"leased={counts.get('leased', 0)}, "
+          f"done={counts.get('done', 0)}")
+    print(f"  store: {health.get('store', {}).get('results', 0)} "
+          f"results, {health.get('store', {}).get('history', 0)} "
+          f"history rows")
+    print(f"  503s served: shutdown={unavailable.get('shutdown', 0)}, "
+          f"lock_contention={unavailable.get('lock_contention', 0)}")
+    if args.metrics:
+        try:
+            with urllib.request.urlopen(base + "/metrics",
+                                        timeout=10) as resp:
+                print(resp.read().decode(errors="replace"), end="")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: /metrics unreachable: {exc}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _local_status(resolved, args: argparse.Namespace) -> int:
+    from repro.dist.backend import open_queue, open_store
+    queue = open_queue(resolved)
+    store = open_store(resolved)
+    try:
+        counts = queue.counts()
+        print(f"backend {resolved.spec()}")
+        print(f"  queue: state={queue.state()}, "
+              f"pending={counts.get('pending', 0)}, "
+              f"leased={counts.get('leased', 0)}, "
+              f"done={counts.get('done', 0)}")
+        print(f"  store: {len(store)} results, "
+              f"{store.history_size()} history rows")
+        for stat in queue.worker_stats():
+            print("  worker " + stat.one_line())
+        if args.metrics:
+            from repro.obs import metrics
+            print(metrics.get_registry().render(), end="")
+    finally:
+        queue.close()
+        store.close()
     return 0
 
 
@@ -309,9 +397,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="BMC bound for portfolio refuters")
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the JSON report here ('-' for stdout)")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="capture a span trace of the run into DIR "
+                        "(JSONL per process; render with "
+                        "scripts/trace_report.py)")
     _add_cache_dir(p)
     _add_backend(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "status",
+        help="live snapshot of a backend: queue depth, store size, "
+             "worker throughput, 503 breakdown (and --metrics for the "
+             "full Prometheus dump)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared directory holding the work queue and "
+                        "proof store (same as --backend sqlite:DIR)")
+    _add_backend(p)
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the Prometheus metrics text "
+                        "(GET /metrics on http backends)")
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser(
         "worker",

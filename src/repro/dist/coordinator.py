@@ -51,6 +51,7 @@ from repro.dist.queue import STATE_CLOSED
 from repro.dist.worker import Worker
 from repro.errors import ReproError
 from repro.mc.cache import CacheStats
+from repro.obs import tracing as _tracing
 
 #: Suffix distinguishing full-portfolio rerun jobs from first-pass jobs.
 FALLBACK_SUFFIX = "::full"
@@ -85,7 +86,10 @@ def spec_from_job(job: CampaignJob, fallback: bool = False) -> JobSpec:
         tier=job.choice.tier,
         priority=job.expected_wall,
         order=job.order,
-        fallback=fallback)
+        fallback=fallback,
+        # Stamped at enqueue time: workers parent their "job" span on
+        # the span current here (the campaign's dispatch span).
+        trace=_tracing.current_context())
 
 
 class Coordinator:
@@ -151,6 +155,9 @@ class Coordinator:
         package_parent = str(Path(repro.__file__).resolve().parent.parent)
         env["PYTHONPATH"] = package_parent + os.pathsep + \
             env.get("PYTHONPATH", "")
+        tracer = _tracing.active()
+        if tracer is not None:
+            env.update(tracer.env())
         try:
             self._procs[worker_id] = subprocess.Popen(
                 self._worker_command(worker_id), env=env,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.campaign.scheduler import DispatchOutcome
 from repro.mc.cache import CacheStats
+from repro.obs.tracing import TraceContext
 
 #: Job lifecycle states inside the work queue.
 JOB_PENDING = "pending"
@@ -47,6 +48,10 @@ class JobSpec:
     priority: float = 0.0
     order: int = 0                  # report position (registry order)
     fallback: bool = False          # this IS the full-portfolio rerun
+    #: Trace pointer of the dispatching span: workers parent their
+    #: "job" span under it so a distributed campaign reconstructs as
+    #: one tree.  None whenever tracing is off.
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)

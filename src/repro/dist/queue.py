@@ -49,6 +49,7 @@ from repro.campaign.scheduler import DispatchOutcome
 from repro.campaign.store import BUSY_TIMEOUT_MS, _with_lock_retry
 from repro.dist.protocol import (JOB_DONE, JOB_LEASED, JOB_PENDING,
                                  Heartbeat, JobResult, JobSpec, Lease)
+from repro.obs import metrics as _metrics
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -96,8 +97,30 @@ class WorkQueue:
     FILENAME = "queue.sqlite"
     DEFAULT_MAX_ATTEMPTS = 3
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path,
+                 registry: _metrics.MetricsRegistry | None = None):
         self.path = Path(path)
+        registry = registry or _metrics.get_registry()
+        self._m_enqueued = registry.counter(
+            "repro_queue_enqueued_total", "jobs added to the queue")
+        self._m_claims = registry.counter(
+            "repro_queue_claims_total", "claim attempts by outcome",
+            labels=("result",))
+        self._m_requeued = registry.counter(
+            "repro_queue_requeued_total",
+            "expired leases returned to pending (lease churn)")
+        self._m_poisoned = registry.counter(
+            "repro_queue_poisoned_total",
+            "jobs force-completed as UNKNOWN after exhausting attempts")
+        self._m_completions = registry.counter(
+            "repro_queue_completions_total",
+            "job completions by outcome (discarded = stale lease)",
+            labels=("result",))
+        self._m_heartbeats = registry.counter(
+            "repro_queue_heartbeats_total", "worker heartbeats recorded")
+        self._m_depth = registry.gauge(
+            "repro_queue_jobs", "jobs currently in the queue by status",
+            labels=("status",))
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(str(self.path),
                                      check_same_thread=False,
@@ -108,11 +131,13 @@ class WorkQueue:
             _with_lock_retry(lambda: self._conn.executescript(_SCHEMA))
 
     @classmethod
-    def open(cls, cache_dir: str | Path) -> "WorkQueue":
+    def open(cls, cache_dir: str | Path,
+             registry: _metrics.MetricsRegistry | None = None
+             ) -> "WorkQueue":
         """The queue inside ``cache_dir`` (created if missing)."""
         directory = Path(cache_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        return cls(directory / cls.FILENAME)
+        return cls(directory / cls.FILENAME, registry=registry)
 
     def close(self) -> None:
         with self._lock:
@@ -248,7 +273,9 @@ class WorkQueue:
                 return cur.rowcount
 
         with self._lock:
-            return _with_lock_retry(insert)
+            added = _with_lock_retry(insert)
+        self._m_enqueued.inc(added)
+        return added
 
     def set_state(self, state: str) -> None:
         def write() -> None:
@@ -277,8 +304,9 @@ class WorkQueue:
         """
         deadline = now if now is not None else time.time()
 
-        def reap() -> list[tuple[str, str]]:
+        def reap() -> tuple[list[tuple[str, str]], int]:
             reclaimed: list[tuple[str, str]] = []
+            poisoned = 0
             with self._txn():
                 rows = self._conn.execute(
                     "SELECT job_id, worker_id, attempts, max_attempts, "
@@ -288,6 +316,7 @@ class WorkQueue:
                     if attempts >= max_attempts:
                         self._poison(job_id, blob,
                                      f"lease expired {attempts} times")
+                        poisoned += 1
                     else:
                         self._conn.execute(
                             "UPDATE jobs SET status = ?, worker_id = NULL, "
@@ -295,10 +324,13 @@ class WorkQueue:
                             "WHERE job_id = ?",
                             (JOB_PENDING, deadline, job_id))
                     reclaimed.append((job_id, worker_id or ""))
-            return reclaimed
+            return reclaimed, poisoned
 
         with self._lock:
-            return _with_lock_retry(reap)
+            reclaimed, poisoned = _with_lock_retry(reap)
+        self._m_requeued.inc(len(reclaimed) - poisoned)
+        self._m_poisoned.inc(poisoned)
+        return reclaimed
 
     def _poison(self, job_id: str, spec_blob: bytes, error: str) -> None:
         """Mark an unrunnable job done with an UNKNOWN verdict (caller
@@ -362,7 +394,10 @@ class WorkQueue:
                              attempt=attempts + 1)
 
         with self._lock:
-            return _with_lock_retry(txn)
+            lease = _with_lock_retry(txn)
+        self._m_claims.labels(
+            "claimed" if lease is not None else "empty").inc()
+        return lease
 
     def heartbeat(self, beat: Heartbeat, lease_seconds: float) -> None:
         """Record liveness and extend the lease of the job being beaten.
@@ -407,6 +442,7 @@ class WorkQueue:
 
         with self._lock:
             _with_lock_retry(write)
+        self._m_heartbeats.inc()
 
     def complete(self, result: JobResult, worker_id: str) -> bool:
         """Record a finished job; ``False`` if this worker's lease was
@@ -437,30 +473,38 @@ class WorkQueue:
                 return True
 
         with self._lock:
-            return _with_lock_retry(txn)
+            accepted = _with_lock_retry(txn)
+        self._m_completions.labels(
+            "accepted" if accepted else "discarded").inc()
+        return accepted
 
     def fail(self, job_id: str, worker_id: str, error: str) -> None:
         """A worker could not run its job: requeue or poison it."""
-        def txn() -> None:
+        def txn() -> str:
             with self._txn():
                 row = self._conn.execute(
                     "SELECT attempts, max_attempts, spec FROM jobs "
                     "WHERE job_id = ? AND worker_id = ? AND status = ?",
                     (job_id, worker_id, JOB_LEASED)).fetchone()
                 if row is None:
-                    return  # lease already reclaimed; nothing to do
+                    return ""  # lease already reclaimed; nothing to do
                 attempts, max_attempts, blob = row
                 if attempts >= max_attempts:
                     self._poison(job_id, blob, error)
-                else:
-                    self._conn.execute(
-                        "UPDATE jobs SET status = ?, worker_id = NULL, "
-                        "lease_expiry = NULL, updated = ? "
-                        "WHERE job_id = ?",
-                        (JOB_PENDING, time.time(), job_id))
+                    return "poisoned"
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, worker_id = NULL, "
+                    "lease_expiry = NULL, updated = ? "
+                    "WHERE job_id = ?",
+                    (JOB_PENDING, time.time(), job_id))
+                return "requeued"
 
         with self._lock:
-            _with_lock_retry(txn)
+            fate = _with_lock_retry(txn)
+        if fate == "poisoned":
+            self._m_poisoned.inc()
+        elif fate == "requeued":
+            self._m_requeued.inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -471,7 +515,13 @@ class WorkQueue:
             rows = _with_lock_retry(lambda: self._conn.execute(
                 "SELECT status, COUNT(*) FROM jobs "
                 "GROUP BY status").fetchall())
-        return dict(rows)
+        counts = dict(rows)
+        # Depth gauges piggyback on every counts() call — the service's
+        # /metrics handler and the coordinator's drain loop both poll
+        # here, so scrapes see fresh levels without a separate query.
+        for status in (JOB_PENDING, JOB_LEASED, JOB_DONE):
+            self._m_depth.labels(status).set(counts.get(status, 0))
+        return counts
 
     def unfinished(self) -> int:
         """Jobs not yet done (pending + leased)."""

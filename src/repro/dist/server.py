@@ -47,6 +47,7 @@ from pathlib import Path
 
 from repro.campaign.store import ProofStore, _is_lock_error
 from repro.dist.queue import WorkQueue
+from repro.obs import metrics as _metrics
 
 DEFAULT_PORT = 7333
 
@@ -70,6 +71,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     """Dispatches wire calls onto the owning :class:`ProofService`."""
 
     protocol_version = "HTTP/1.1"
+    _status = 0     # last status this handler replied with (0 = none)
 
     # The service is headless infrastructure; per-request access logs
     # would swamp a campaign's output.  Errors still surface as HTTP
@@ -83,6 +85,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, body: bytes,
                content_type: str = "application/octet-stream") -> None:
+        self._status = status          # read by the request metrics
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -90,41 +93,67 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        started = time.perf_counter()
         path = self.path.partition("?")[0]    # probes add cache-busters
-        if path.rstrip("/") not in ("", "/health"):
+        endpoint = path.rstrip("/") or "/health"
+        if endpoint not in ("/health", "/metrics"):
             self._reply(404, b"{}", content_type="application/json")
+            self.service.observe_request(
+                "invalid", 404, time.perf_counter() - started)
             return
-        # Health checks go through the same in-flight accounting as
-        # wire calls: a poller racing close() gets a JSON 503, never a
+        # Probes go through the same in-flight accounting as wire
+        # calls: a poller racing close() gets a JSON 503, never a
         # closed-handle traceback.
         if not self.service.checkin():
-            self._reply(503, b'{"status": "closing"}',
+            self.service.note_unavailable("shutdown")
+            self._reply(503, b'{"status": "closing", '
+                             b'"reason": "shutdown"}',
                         content_type="application/json")
+            self.service.observe_request(
+                endpoint, 503, time.perf_counter() - started)
             return
         try:
-            snapshot = self.service.health()
+            if endpoint == "/metrics":
+                self._reply(
+                    200, self.service.render_metrics().encode(),
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+            else:
+                self._reply(200,
+                            json.dumps(self.service.health()).encode(),
+                            content_type="application/json")
         except Exception as exc:
             self._reply(500, json.dumps(
                 {"status": "error",
                  "error": f"{type(exc).__name__}: {exc}"}).encode(),
                 content_type="application/json")
-            return
         finally:
             self.service.checkout()
-        self._reply(200, json.dumps(snapshot).encode(),
-                    content_type="application/json")
+            self.service.observe_request(
+                endpoint, self._status, time.perf_counter() - started)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        started = time.perf_counter()
+        scope, _, method = self.path.strip("/").partition("/")
+        endpoint = f"{scope}.{method}" if method else (scope or "invalid")
         if not self.service.checkin():
             # Shutting down: answer 503 (clients treat it as transient
             # unreachability) rather than racing the closing handles.
+            # Tagged "shutdown" — distinct from the lock-contention 503
+            # _dispatch emits — so operators can tell a deliberate
+            # drain from a database under pressure.
+            self.service.note_unavailable("shutdown")
             self._reply(503, pickle.dumps(
                 {"ok": False, "error": "service shutting down"}))
+            self.service.observe_request(
+                endpoint, 503, time.perf_counter() - started)
             return
         try:
             self._dispatch()
         finally:
             self.service.checkout()
+            self.service.observe_request(
+                endpoint, self._status, time.perf_counter() - started)
 
     def _dispatch(self) -> None:
         scope, _, method = self.path.strip("/").partition("/")
@@ -150,6 +179,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             # to treat it like unreachability (retry / lease expiry),
             # exactly as the same error behaves on the sqlite backend.
             status = 503 if _is_lock_error(exc) else 500
+            if status == 503:
+                self.service.note_unavailable("lock_contention")
             self._reply(status, pickle.dumps(
                 {"ok": False,
                  "error": f"{type(exc).__name__}: {exc}"}))
@@ -176,13 +207,35 @@ class ProofService:
 
     def __init__(self, cache_dir: str | Path | None = None,
                  host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT):
+                 port: int = DEFAULT_PORT,
+                 registry: _metrics.MetricsRegistry | None = None):
         if cache_dir is None:
             cache_dir = tempfile.mkdtemp(prefix="repro-serve-")
         self.cache_dir = Path(cache_dir)
-        self.queue = WorkQueue.open(self.cache_dir)
+        # A per-service registry (not the process default): /metrics
+        # must describe THIS service's lifetime, even when tests run
+        # several services in one process.
+        self.metrics = registry or _metrics.MetricsRegistry()
+        self.queue = WorkQueue.open(self.cache_dir,
+                                    registry=self.metrics)
         self.store = ProofStore.open(self.cache_dir)
         self.started = time.time()
+        self._m_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "wire requests served, by endpoint and status",
+            labels=("endpoint", "status"))
+        self._m_latency = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "wire request latency by endpoint", labels=("endpoint",))
+        self._m_unavailable = self.metrics.counter(
+            "repro_http_unavailable_total",
+            "503 responses by reason (shutdown vs lock_contention)",
+            labels=("reason",))
+        self._m_uptime = self.metrics.gauge(
+            "repro_service_uptime_seconds",
+            "seconds since this service started")
+        self._m_store_results = self.metrics.gauge(
+            "repro_store_results", "results in the served proof store")
         self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -238,6 +291,27 @@ class ProofService:
             return getattr(self.store, method)
         return None
 
+    def observe_request(self, endpoint: str, status: int,
+                        seconds: float) -> None:
+        self._m_requests.labels(endpoint, str(status)).inc()
+        self._m_latency.labels(endpoint).observe(seconds)
+
+    def note_unavailable(self, reason: str) -> None:
+        self._m_unavailable.labels(reason).inc()
+
+    def unavailable_counts(self) -> dict[str, int]:
+        """503s served so far, split by cause — the distinction that
+        tells a deliberate shutdown drain from SQLite lock pressure."""
+        return {reason: int(self._m_unavailable.labels(reason).value)
+                for reason in ("shutdown", "lock_contention")}
+
+    def render_metrics(self) -> str:
+        """The /metrics payload: refresh level gauges, then render."""
+        self._m_uptime.set(round(time.time() - self.started, 3))
+        self.queue.counts()    # publishes the queue-depth gauges
+        self._m_store_results.set(len(self.store))
+        return self.metrics.render()
+
     def health(self) -> dict:
         return {
             "status": "ok",
@@ -248,6 +322,7 @@ class ProofService:
                       "counts": self.queue.counts()},
             "store": {"results": len(self.store),
                       "history": self.store.history_size()},
+            "unavailable_503": self.unavailable_counts(),
         }
 
     # ------------------------------------------------------------------

@@ -48,6 +48,18 @@ from repro.dist.protocol import Heartbeat, JobResult, JobSpec, Lease
 from repro.dist.queue import STATE_CLOSED
 from repro.mc.cache import ResultCache
 from repro.mc.portfolio import PortfolioScheduler, VerifyTask
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+_M_CLAIM_SECONDS = _metrics.histogram(
+    "repro_worker_claim_seconds", "claim round-trip latency",
+    buckets=(0.001, 0.005, 0.025, 0.1, 0.5, 2.0))
+_M_IDLE_SECONDS = _metrics.counter(
+    "repro_worker_idle_seconds_total",
+    "seconds spent polling with no claimable work")
+_M_JOBS = _metrics.counter(
+    "repro_worker_jobs_total", "jobs processed by outcome",
+    labels=("result",))
 
 
 class Worker:
@@ -88,6 +100,11 @@ class Worker:
         # taken over by a second campaign.
         self.campaign_owner = campaign_owner
         self.campaign_lease = campaign_lease
+        # Coordinator-spawned workers inherit the campaign trace via
+        # REPRO_TRACE_DIR/REPRO_TRACE_ID; join it before first claim so
+        # even spans for early jobs stitch under the campaign root.
+        if _tracing.active() is None:
+            _tracing.configure_from_env()
         self.queue = open_queue(self.backend)
         self.store = open_store(self.backend)
         self.cache = ResultCache(backing=self.store)
@@ -116,8 +133,11 @@ class Worker:
             while self.max_jobs is None or done < self.max_jobs:
                 lease = None
                 try:
+                    claim_started = time.perf_counter()
                     lease = self.queue.claim(self.worker_id,
                                              self.lease_seconds)
+                    _M_CLAIM_SECONDS.observe(
+                        time.perf_counter() - claim_started)
                     if lease is None and \
                             self.queue.state() == STATE_CLOSED:
                         break
@@ -136,6 +156,7 @@ class Worker:
                             now - idle_since >= self.idle_timeout:
                         break
                     time.sleep(self.poll_interval)
+                    _M_IDLE_SECONDS.inc(self.poll_interval)
                     continue
                 idle_since = None
                 if self._process(lease):
@@ -164,11 +185,30 @@ class Worker:
 
     def _process(self, lease: Lease) -> bool:
         spec = lease.spec
+        # Join the campaign's trace (stamped onto the spec by the
+        # coordinator) so this job's spans stitch under the dispatch
+        # span even though we are a different process — possibly on a
+        # different machine sharing only the trace directory.
+        parent = None
+        if spec.trace is not None and _tracing.adopt(spec.trace):
+            parent = spec.trace.span_id
+        with _tracing.span("job", parent_id=parent, job_id=spec.job_id,
+                           design=spec.design,
+                           property=spec.property_name,
+                           worker=self.worker_id,
+                           attempt=lease.attempt) as sp:
+            accepted = self._process_inner(spec)
+            if sp is not None:
+                sp.attrs["accepted"] = accepted
+        return accepted
+
+    def _process_inner(self, spec: JobSpec) -> bool:
         self._current_job = spec.job_id
         started = time.perf_counter()
         try:
             result = self._execute(spec)
         except Exception as exc:
+            _M_JOBS.labels("failed").inc()
             try:
                 self.queue.fail(spec.job_id, self.worker_id,
                                 f"{type(exc).__name__}: {exc}")
@@ -187,7 +227,10 @@ class Worker:
         # and discarded as 'late' mid-report.  (A beat after
         # completion matches no leased row and is harmless.)
         try:
-            return self.queue.complete(result, self.worker_id)
+            accepted = self.queue.complete(result, self.worker_id)
+            _M_JOBS.labels(
+                "completed" if accepted else "discarded").inc()
+            return accepted
         except TRANSIENT_BACKEND_ERRORS as exc:
             if not is_transient_error(exc):
                 raise  # corrupt/full queue: fail loudly
@@ -195,6 +238,7 @@ class Worker:
             # verdict already sits in the shared store (when reachable),
             # the lease will expire, and the requeued attempt answers
             # from that store — nothing is lost, nothing re-proven.
+            _M_JOBS.labels("unreported").inc()
             return False
         finally:
             self._current_job = None

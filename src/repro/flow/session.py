@@ -236,7 +236,8 @@ def run_campaign(designs: list[str] | None = None,
                  lease_seconds: float = 15.0,
                  wall_timeout: float | None = None,
                  backend: str | None = None,
-                 worker_jobs: int = 1) -> CampaignReport:
+                 worker_jobs: int = 1,
+                 trace_dir: str | Path | None = None) -> CampaignReport:
     """Verify many designs in one cross-design campaign.
 
     ``designs`` are registry names (default: the whole registry).  With
@@ -268,6 +269,12 @@ def run_campaign(designs: list[str] | None = None,
     ``cache_dir`` (or a file-backed ``store``) a temporary directory is
     used and discarded afterwards — matching the single-process
     in-memory default.
+
+    ``trace_dir`` captures a span trace of the run: every process the
+    campaign touches (coordinator, spawned workers, pool processes)
+    appends JSONL span events there, stitched into one tree by
+    ``scripts/trace_report.py``.  The report's ``trace_id`` names the
+    run's trace.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0 (0 = run in-process)")
@@ -304,6 +311,11 @@ def run_campaign(designs: list[str] | None = None,
             resolved if remote else cache_dir, workers=workers,
             lease_seconds=lease_seconds, wall_timeout=wall_timeout,
             worker_jobs=worker_jobs)
+    configured_tracing = False
+    if trace_dir is not None:
+        from repro.obs import tracing
+        tracing.configure(trace_dir)
+        configured_tracing = True
     try:
         scheduler = CampaignScheduler(
             select_designs(designs), store, jobs=jobs,
@@ -312,6 +324,9 @@ def run_campaign(designs: list[str] | None = None,
             dispatcher=dispatcher)
         return scheduler.run()
     finally:
+        if configured_tracing:
+            from repro.obs import tracing
+            tracing.shutdown()
         if scratch_dir is not None:
             store.close()
             shutil.rmtree(scratch_dir, ignore_errors=True)

@@ -29,6 +29,14 @@ from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+# Every check funnels through run_cached, so one counter here covers
+# the engine, Houdini, and the sequential scheduler path alike.
+_M_CHECKS = _metrics.counter(
+    "repro_checks_total", "model-checking queries by strategy/origin",
+    labels=("strategy", "origin"))
 
 
 def expr_fingerprint(root: E.Expr) -> str:
@@ -263,9 +271,15 @@ def run_cached(strategy_spec: str, system: TransitionSystem,
                         canonical_options(strategy, resolved), lemmas)
         hit = cache.get(key)
         if hit is not None:
+            _M_CHECKS.labels(strategy.name, "cache").inc()
             return hit
-    result = strategy.run(system, prop, lemmas=list(lemmas or []),
-                          **resolved)
+    with _tracing.span("check", strategy=strategy.name,
+                       property=prop.name) as sp:
+        result = strategy.run(system, prop, lemmas=list(lemmas or []),
+                              **resolved)
+        if sp is not None:
+            sp.attrs["status"] = result.status.value
+    _M_CHECKS.labels(strategy.name, "solver").inc()
     if cache is not None and key is not None:
         cache.put(key, result)
     return result

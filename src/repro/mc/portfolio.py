@@ -41,6 +41,7 @@ from repro.mc.result import CheckResult, Status
 from repro.mc.strategy import (CheckTask, canonical_options,
                                resolve_strategy, run_check_task,
                                strategy_option_names)
+from repro.obs import tracing as _tracing
 
 #: Complementary default race: k-induction proves, BMC refutes.
 DEFAULT_PORTFOLIO: tuple[str, ...] = ("k_induction", "bmc")
@@ -267,7 +268,8 @@ class PortfolioScheduler:
                 to_submit.append(CheckTask(
                     key=(group.index, slot), system=group.task.system,
                     prop=group.task.prop, strategy=spec, options=options,
-                    lemmas=group.task.lemmas))
+                    lemmas=group.task.lemmas,
+                    trace=_tracing.current_context()))
 
         for group in groups:
             if group.decided or group.exhausted:

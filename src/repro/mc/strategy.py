@@ -30,6 +30,7 @@ from repro.mc.bmc import bmc, bmc_probe
 from repro.mc.kinduction import KInductionOptions, k_induction
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult, ProofStats, Status
+from repro.obs import tracing as _tracing
 
 
 class StrategyError(ReproError):
@@ -306,6 +307,9 @@ class CheckTask:
     strategy: str                       # spec string, e.g. "bmc(bound=12)"
     options: dict = field(default_factory=dict)   # overrides on the spec
     lemmas: Lemmas = field(default_factory=list)
+    #: Trace pointer of the dispatching span, so pool workers parent
+    #: their "check" spans under it (None when tracing is off).
+    trace: _tracing.TraceContext | None = None
 
 
 @_lru_cache(maxsize=None)
@@ -344,5 +348,13 @@ def run_check_task(task: CheckTask) -> CheckResult:
     """Execute one task (in-process or inside a pool worker)."""
     strategy, options = resolve_strategy(task.strategy)
     options.update(task.options)
-    return strategy.run(task.system, task.prop, lemmas=task.lemmas,
-                        **options)
+    parent = None
+    if task.trace is not None and _tracing.adopt(task.trace):
+        parent = task.trace.span_id
+    with _tracing.span("check", parent_id=parent, strategy=strategy.name,
+                       property=task.prop.name) as sp:
+        result = strategy.run(task.system, task.prop, lemmas=task.lemmas,
+                              **options)
+        if sp is not None:
+            sp.attrs["status"] = result.status.value
+    return result

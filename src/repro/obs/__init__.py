@@ -1,0 +1,29 @@
+"""Zero-dependency observability: metrics registry + span tracing.
+
+``repro.obs.metrics`` holds a process-local Prometheus-style registry
+(counters, gauges, histograms) that every layer — solver, engines,
+campaign scheduler, work queue, HTTP service — records into.
+``repro.obs.tracing`` emits JSONL span events with trace/span/parent
+ids so one campaign reconstructs as a single tree across worker
+processes and the network boundary.
+
+Both modules are stdlib-only and import nothing from the rest of
+``repro``, so any layer may import them without cycles.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_metrics_enabled,
+)
+from repro.obs.tracing import TraceContext, span
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceContext",
+    "get_registry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "span",
+]

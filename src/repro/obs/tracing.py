@@ -1,0 +1,245 @@
+"""Span-based structured tracing over plain JSONL files.
+
+A trace is one campaign (or any other top-level operation): a tree of
+spans identified by ``trace_id``/``span_id``/``parent_id``. Each
+process participating in the trace appends finished-span events to its
+own file, ``trace-<host>-<pid>.jsonl``, inside a shared trace
+directory — no cross-process locking, no server, and
+``scripts/trace_report.py`` stitches the files back into one tree.
+
+Propagation uses the seams the distributed stack already has:
+
+* same process / same thread — a :mod:`contextvars` variable carries
+  the current span, so nested :func:`span` calls parent automatically
+  (and correctly across the coordinator's worker threads);
+* spawned worker processes — :meth:`Tracer.env` exports
+  ``REPRO_TRACE_DIR`` / ``REPRO_TRACE_ID`` and the worker calls
+  :func:`configure_from_env` at startup;
+* individual jobs — a :class:`TraceContext` rides on ``JobSpec`` /
+  ``CheckTask`` records (it pickles; the receiving side calls
+  :func:`adopt` and parents its span on ``ctx.span_id``).
+
+Everything is fail-soft: when no tracer is configured :func:`span`
+yields ``None`` and costs one attribute load; I/O errors silently
+disable the tracer rather than fail verification.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "TRACE_ID_ENV",
+    "TraceContext",
+    "Tracer",
+    "active",
+    "adopt",
+    "configure",
+    "configure_from_env",
+    "current_context",
+    "shutdown",
+    "span",
+]
+
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+TRACE_ID_ENV = "REPRO_TRACE_ID"
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A picklable pointer into a live trace.
+
+    Stamped onto dist-protocol records (``JobSpec``, ``CheckTask``) so
+    the process that executes the work can join the trace and parent
+    its spans under the span that dispatched it.
+    """
+
+    trace_id: str
+    span_id: str
+    trace_dir: str
+
+
+class Tracer:
+    """Appends span events for one trace to a per-process JSONL file."""
+
+    def __init__(self, trace_dir: str | os.PathLike,
+                 trace_id: str | None = None):
+        self.trace_dir = Path(trace_dir)
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self.trace_id = trace_id or _new_id()
+        self.host = socket.gethostname()
+        self._lock = threading.Lock()
+        self._fh = None
+        self._pid: int | None = None
+        self._broken = False
+
+    def _handle(self):
+        # Reopened on pid change so forked pool workers never share a
+        # file offset with their parent.
+        pid = os.getpid()
+        if self._fh is None or self._pid != pid:
+            path = self.trace_dir / f"trace-{self.host}-{pid}.jsonl"
+            self._fh = open(path, "a", encoding="utf-8")
+            self._pid = pid
+        return self._fh
+
+    def emit(self, event: dict) -> None:
+        if self._broken:
+            return
+        try:
+            line = json.dumps(event, separators=(",", ":"), default=str)
+            with self._lock:
+                fh = self._handle()
+                fh.write(line + "\n")
+                fh.flush()
+        except (OSError, ValueError, TypeError):
+            self._broken = True
+
+    def env(self) -> dict[str, str]:
+        """Env vars that let a child process join this trace."""
+        return {TRACE_DIR_ENV: str(self.trace_dir),
+                TRACE_ID_ENV: self.trace_id}
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._pid == os.getpid():
+                with contextlib.suppress(OSError):
+                    self._fh.close()
+            self._fh = None
+            self._pid = None
+
+
+_tracer: Tracer | None = None
+_current_span: contextvars.ContextVar[str | None] = \
+    contextvars.ContextVar("repro_current_span", default=None)
+
+
+def configure(trace_dir: str | os.PathLike,
+              trace_id: str | None = None) -> Tracer:
+    """Install a process-wide tracer (replacing any previous one)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+    _tracer = Tracer(trace_dir, trace_id)
+    return _tracer
+
+
+def configure_from_env(environ=os.environ) -> Tracer | None:
+    """Join the trace advertised by the parent process, if any."""
+    trace_dir = environ.get(TRACE_DIR_ENV)
+    if not trace_dir:
+        return None
+    try:
+        return configure(trace_dir, environ.get(TRACE_ID_ENV))
+    except OSError:
+        return None
+
+
+def active() -> Tracer | None:
+    return _tracer
+
+
+def shutdown() -> None:
+    """Close and uninstall the tracer (flushes are per-event already)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+    _tracer = None
+
+
+def current_context() -> TraceContext | None:
+    """The (trace, current span) pointer, for stamping onto records."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    span_id = _current_span.get()
+    if span_id is None:
+        return None
+    return TraceContext(trace_id=tracer.trace_id, span_id=span_id,
+                        trace_dir=str(tracer.trace_dir))
+
+
+def adopt(ctx: TraceContext) -> bool:
+    """Ensure this process records into ``ctx``'s trace.
+
+    Idempotent when already joined; fail-soft (returns False) when the
+    trace directory is unreachable from this process.
+    """
+    tracer = _tracer
+    if tracer is not None and tracer.trace_id == ctx.trace_id:
+        return True
+    try:
+        configure(ctx.trace_dir, ctx.trace_id)
+        return True
+    except OSError:
+        return False
+
+
+class SpanHandle:
+    """Yielded by :func:`span`; lets the body attach result attrs."""
+
+    __slots__ = ("span_id", "attrs")
+
+    def __init__(self, span_id: str, attrs: dict):
+        self.span_id = span_id
+        self.attrs = attrs
+
+
+@contextlib.contextmanager
+def span(name: str, parent_id: str | None = None,
+         **attrs) -> Iterator[SpanHandle | None]:
+    """Record one span; yields ``None`` when tracing is off.
+
+    The span becomes the current span for the duration of the body, so
+    nested calls parent onto it. ``parent_id`` overrides the ambient
+    parent — used when the logical parent lives in another process and
+    arrived via a :class:`TraceContext`.
+    """
+    tracer = _tracer
+    if tracer is None:
+        yield None
+        return
+    span_id = _new_id()
+    parent = parent_id if parent_id is not None else _current_span.get()
+    handle = SpanHandle(span_id, dict(attrs))
+    token = _current_span.set(span_id)
+    start_wall = time.time()
+    start = time.perf_counter()
+    error: str | None = None
+    try:
+        yield handle
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        _current_span.reset(token)
+        event = {
+            "trace_id": tracer.trace_id,
+            "span_id": span_id,
+            "parent_id": parent,
+            "name": name,
+            "start": round(start_wall, 6),
+            "dur": round(time.perf_counter() - start, 6),
+            "host": tracer.host,
+            "pid": os.getpid(),
+        }
+        if error is not None:
+            handle.attrs["error"] = error
+        if handle.attrs:
+            event["attrs"] = handle.attrs
+        tracer.emit(event)

@@ -56,8 +56,27 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import SatError
+from repro.obs import metrics as _metrics
 
 _UNDEF = 2
+
+# Solver-effort metrics, batched at solve_limited boundaries: the inner
+# propagation loop never sees an instrument.  Each solver keeps a
+# last-published snapshot of its cumulative SatStats and pushes the
+# delta (which also picks up level-0 BCP done by add_clause between
+# solves) into these process-wide counters — one guard branch and a
+# handful of adds per solve call, which is what keeps the E10
+# obs_metrics_on/off overhead inside the <5% contract.
+_M_SOLVES = _metrics.counter(
+    "repro_solver_solves_total", "solve_limited calls")
+_M_PROPAGATIONS = _metrics.counter(
+    "repro_solver_propagations_total", "unit propagations executed")
+_M_CONFLICTS = _metrics.counter(
+    "repro_solver_conflicts_total", "conflicts analyzed")
+_M_DECISIONS = _metrics.counter(
+    "repro_solver_decisions_total", "decisions made")
+_M_SOLVE_SECONDS = _metrics.counter(
+    "repro_solver_solve_seconds_total", "wall seconds inside the solver")
 
 
 @dataclass
@@ -130,6 +149,9 @@ class Solver:
         self._seen: list[int] = [0]
         self._conflict_limit: int | None = None
         self.stats = SatStats()
+        # (propagations, conflicts, decisions, solve_seconds) already
+        # published to the process-wide metrics counters.
+        self._published = (0, 0, 0, 0.0)
         self._model: list[int] = []
 
     # ------------------------------------------------------------------
@@ -241,6 +263,16 @@ class Solver:
         started = time.perf_counter()
         result = self._search(assumed)
         self.stats.solve_seconds += time.perf_counter() - started
+        if _metrics.metrics_enabled():
+            st = self.stats
+            last = self._published
+            _M_SOLVES.inc()
+            _M_PROPAGATIONS.inc(st.propagations - last[0])
+            _M_CONFLICTS.inc(st.conflicts - last[1])
+            _M_DECISIONS.inc(st.decisions - last[2])
+            _M_SOLVE_SECONDS.inc(st.solve_seconds - last[3])
+            self._published = (st.propagations, st.conflicts,
+                               st.decisions, st.solve_seconds)
         self._conflict_limit = None
         self._cancel_until(0)
         if result is not True:

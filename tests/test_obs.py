@@ -1,0 +1,480 @@
+"""Observability: metrics registry, span tracing, service /metrics."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.dist import ProofService, RemoteWorkQueue, WorkQueue, Worker
+from repro.flow import run_campaign
+from repro.obs import (MetricsRegistry, get_registry, metrics_enabled,
+                       set_metrics_enabled, span)
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+from scripts.trace_report import aggregate, build_tree, load_spans
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_globals():
+    """Tests must not leak a tracer or a disabled-metrics flag."""
+    enabled = metrics_enabled()
+    yield
+    tracing.shutdown()
+    set_metrics_enabled(enabled)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ProofService(cache_dir=tmp_path / "served", port=0).start()
+    yield svc
+    svc.close()
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_basics(self):
+        reg = MetricsRegistry()
+        hits = reg.counter("hits_total", "hits")
+        hits.inc()
+        hits.inc(2.5)
+        assert hits.value == 3.5
+        with pytest.raises(ValueError):
+            hits.inc(-1)
+        depth = reg.gauge("depth", "queue depth")
+        depth.set(7)
+        depth.inc(3)
+        depth.dec()
+        assert depth.value == 9
+
+    def test_registration_is_idempotent_but_typed(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x_total", "help", labels=("a",))
+        assert reg.counter("x_total", labels=("a",)) is first
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")                    # kind mismatch
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labels=("b",))   # labels mismatch
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("has space")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", labels=("bad-label",))
+
+    def test_labels_create_independent_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("req_total", labels=("endpoint", "status"))
+        fam.labels("/health", "200").inc()
+        fam.labels("/health", "200").inc()
+        fam.labels("/metrics", "404").inc()
+        assert fam.labels("/health", "200").value == 2
+        assert fam.labels("/metrics", "404").value == 1
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_histogram_buckets_are_cumulative_in_render(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "latency",
+                             buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = reg.render()
+        assert 'lat_seconds_bucket{le="0.1"} 2' in text
+        assert 'lat_seconds_bucket{le="1"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 5.6" in text
+
+    def test_observation_on_boundary_lands_in_that_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(0.1,))
+        hist.observe(0.1)   # le="0.1" is inclusive, per Prometheus
+        assert 'h_bucket{le="0.1"} 1' in reg.render()
+
+    def test_render_format_and_label_escaping(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("odd_total", "weird labels", labels=("v",))
+        fam.labels('say "hi"\n').inc()
+        text = reg.render()
+        assert "# HELP odd_total weird labels" in text
+        assert "# TYPE odd_total counter" in text
+        assert r'odd_total{v="say \"hi\"\n"} 1' in text
+        assert text.endswith("\n")
+
+    def test_snapshot_and_delta(self):
+        reg = MetricsRegistry()
+        reqs = reg.counter("req_total", labels=("ep",))
+        depth = reg.gauge("depth")
+        lat = reg.histogram("lat_seconds", buckets=(1.0,))
+        reqs.labels("/a").inc(2)
+        depth.set(5)
+        lat.observe(0.5)
+        before = reg.snapshot()
+        assert before["req_total"]["samples"] == {'{ep="/a"}': 2}
+        assert before["lat_seconds"]["samples"] == \
+            {"_sum": 0.5, "_count": 1}   # buckets stay out of snapshots
+
+        reqs.labels("/a").inc()
+        reqs.labels("/b").inc(3)
+        depth.set(1)
+        grown = obs_metrics.delta(before, reg.snapshot())
+        assert grown["req_total"]["samples"] == \
+            {'{ep="/a"}': 1, '{ep="/b"}': 3}
+        assert grown["depth"]["samples"] == {"": 1}  # gauges: level
+        assert "lat_seconds" not in grown            # zero growth
+
+    def test_enabled_flag_round_trip(self):
+        set_metrics_enabled(False)
+        assert metrics_enabled() is False
+        set_metrics_enabled(True)
+        assert metrics_enabled() is True
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
+        fam = obs_metrics.counter("test_shared_total")
+        assert get_registry().counter("test_shared_total") is fam
+
+
+class TestSolverMetrics:
+    @staticmethod
+    def _check_once():
+        from repro.ir import expr as E
+        from repro.ir.system import TransitionSystem
+        from repro.mc.cache import run_cached
+        from repro.mc.property import SafetyProperty
+
+        system = TransitionSystem("tiny")
+        count = system.add_state("count", 8, init=E.const(0, 8))
+        system.set_next("count", E.add(count, E.const(1, 8)))
+        prop = SafetyProperty.from_invariant(
+            "small", E.ult(count, E.const(200, 8)))
+        run_cached("bmc(bound=5)", system, prop, {}, cache=None)
+
+    def test_solver_publishes_effort_when_enabled(self):
+        props = obs_metrics.counter("repro_solver_propagations_total")
+        solves = obs_metrics.counter("repro_solver_solves_total")
+        set_metrics_enabled(True)
+        before = (props.value, solves.value)
+        self._check_once()
+        assert solves.value > before[1]
+        assert props.value > before[0]
+
+    def test_solver_is_silent_when_disabled(self):
+        solves = obs_metrics.counter("repro_solver_solves_total")
+        set_metrics_enabled(False)
+        before = solves.value
+        self._check_once()
+        assert solves.value == before
+
+
+class TestTracing:
+    def test_span_is_noop_without_tracer(self):
+        assert tracing.active() is None
+        with span("anything") as handle:
+            assert handle is None
+        assert tracing.current_context() is None
+
+    def test_nested_spans_parent_automatically(self, tmp_path):
+        tracer = tracing.configure(tmp_path, trace_id="t1")
+        with span("outer") as outer:
+            with span("inner", detail="x"):
+                pass
+        tracing.shutdown()
+        spans = {s["name"]: s for s in load_spans(tmp_path)}
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["parent_id"] == outer.span_id
+        assert spans["inner"]["attrs"] == {"detail": "x"}
+        assert spans["inner"]["trace_id"] == tracer.trace_id == "t1"
+        assert spans["inner"]["dur"] >= 0
+
+    def test_explicit_parent_overrides_ambient(self, tmp_path):
+        tracing.configure(tmp_path)
+        with span("ambient"):
+            with span("child", parent_id="remote-parent"):
+                pass
+        tracing.shutdown()
+        spans = {s["name"]: s for s in load_spans(tmp_path)}
+        assert spans["child"]["parent_id"] == "remote-parent"
+
+    def test_exception_is_recorded_and_reraised(self, tmp_path):
+        tracing.configure(tmp_path)
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        tracing.shutdown()
+        (event,) = load_spans(tmp_path)
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_env_round_trip_joins_the_trace(self, tmp_path):
+        tracer = tracing.configure(tmp_path, trace_id="abc")
+        env = tracer.env()
+        assert env == {"REPRO_TRACE_DIR": str(tmp_path),
+                       "REPRO_TRACE_ID": "abc"}
+        tracing.shutdown()
+        joined = tracing.configure_from_env(env)
+        assert joined is not None and joined.trace_id == "abc"
+        assert tracing.configure_from_env({}) is None
+
+    def test_adopt_is_idempotent(self, tmp_path):
+        tracing.configure(tmp_path, trace_id="abc")
+        with span("s"):
+            ctx = tracing.current_context()
+        assert ctx.trace_id == "abc"
+        first = tracing.active()
+        assert tracing.adopt(ctx) is True
+        assert tracing.active() is first       # no churn when joined
+        tracing.shutdown()
+        assert tracing.adopt(ctx) is True      # re-joins from scratch
+        assert tracing.active().trace_id == "abc"
+
+    def test_broken_sink_goes_silent_not_fatal(self, tmp_path):
+        tracer = tracing.configure(tmp_path)
+        cycle: dict = {}
+        cycle["self"] = cycle
+        tracer.emit({"bad": cycle})        # unserialisable → broken
+        with span("after-breakage"):
+            pass
+        assert load_spans(tmp_path) == []
+
+
+class TestTraceReport:
+    def _event(self, span_id, parent, name, **extra):
+        return {"trace_id": "t", "span_id": span_id,
+                "parent_id": parent, "name": name, "start": 0.0,
+                "dur": 1.0, "host": "h", "pid": 1, **extra}
+
+    def test_tree_and_orphan_detection(self):
+        spans = [self._event("a", None, "campaign"),
+                 self._event("b", "a", "dispatch"),
+                 self._event("c", "b", "job"),
+                 self._event("x", "missing", "check")]
+        roots, orphans, children = build_tree(spans)
+        assert [r["span_id"] for r in roots] == ["a"]
+        assert [o["span_id"] for o in orphans] == ["x"]
+        assert [c["span_id"] for c in children["a"]] == ["b"]
+
+    def test_aggregate_groups_by_attr(self):
+        spans = [self._event("a", None, "job",
+                             attrs={"worker": "w1"}),
+                 self._event("b", None, "job",
+                             attrs={"worker": "w1"}),
+                 self._event("c", None, "job",
+                             attrs={"worker": "w2"})]
+        totals = aggregate(spans, "job", "worker")
+        assert totals["w1"] == (2, 2.0)
+        assert totals["w2"] == (1, 1.0)
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "trace-h-1.jsonl"
+        good = json.dumps(self._event("a", None, "s"))
+        path.write_text(good + "\n" + '{"torn": \n', encoding="utf-8")
+        assert len(load_spans(tmp_path)) == 1
+
+    def test_strict_cli_exit_codes(self, tmp_path, capsys):
+        from scripts import trace_report
+        path = tmp_path / "trace-h-1.jsonl"
+        path.write_text(
+            json.dumps(self._event("a", None, "campaign")) + "\n" +
+            json.dumps(self._event("x", "gone", "check")) + "\n",
+            encoding="utf-8")
+        import sys
+        argv = sys.argv
+        try:
+            sys.argv = ["trace_report.py", str(tmp_path), "--strict"]
+            assert trace_report.main() == 1
+            sys.argv = ["trace_report.py", str(tmp_path)]
+            assert trace_report.main() == 0
+        finally:
+            sys.argv = argv
+        assert "orphan" in capsys.readouterr().out
+
+
+class TestDistributedTraceStitching:
+    def test_two_worker_http_campaign_yields_one_tree(self, service,
+                                                      tmp_path):
+        """The acceptance bar: a distributed campaign over the HTTP
+        backend, traced, reconstructs as ONE tree — a single campaign
+        root, zero orphan spans, with spans contributed by the
+        coordinator process and both worker processes."""
+        trace_dir = tmp_path / "trace"
+        report = run_campaign(
+            designs=["updown_counter", "sync_counters_bug"],
+            backend=service.address, workers=2, lease_seconds=10,
+            max_k=3, trace_dir=trace_dir)
+        assert report.mismatches == 0
+        assert report.trace_id
+
+        spans = load_spans(trace_dir)
+        assert {s["trace_id"] for s in spans} == {report.trace_id}
+        roots, orphans, children = build_tree(spans)
+        assert [r["name"] for r in roots] == ["campaign"]
+        assert orphans == []
+
+        # Every span is reachable from the single root.
+        reachable = set()
+        stack = [roots[0]["span_id"]]
+        while stack:
+            node = stack.pop()
+            reachable.add(node)
+            stack.extend(c["span_id"] for c in children.get(node, ()))
+        assert reachable == {s["span_id"] for s in spans}
+
+        # The tree genuinely crosses processes: the coordinator plus
+        # at least one spawned worker contributed spans, and every
+        # dispatched job produced a "job" span under "dispatch".
+        pids = {s["pid"] for s in spans}
+        assert len(pids) >= 2
+        job_spans = [s for s in spans if s["name"] == "job"]
+        assert job_spans and all(s["pid"] != roots[0]["pid"]
+                                 for s in job_spans)
+        assert {s["name"] for s in children[roots[0]["span_id"]]} == \
+            {"compile", "dispatch", "record"}
+        checks = [s for s in spans if s["name"] == "check"]
+        assert checks, "solver checks must appear in the trace"
+        # Tracing leaves no global behind once the campaign returns.
+        assert tracing.active() is None
+
+    def test_untraced_campaign_emits_nothing(self, tmp_path):
+        report = run_campaign(designs=["updown_counter"], max_k=3,
+                              cache_dir=tmp_path / "cache")
+        assert report.trace_id == ""
+        assert report.phase_seconds   # phases are measured regardless
+        assert "phases:" in "\n".join(report.summary_lines())
+
+
+class TestServiceObservability:
+    def test_metrics_endpoint_serves_prometheus_text(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([])   # one POST so a latency sample exists
+        with urllib.request.urlopen(f"{service.address}/metrics",
+                                    timeout=5) as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            text = response.read().decode()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'endpoint="queue.enqueue"' in text
+        assert "repro_http_request_seconds_bucket" in text
+        assert 'repro_queue_jobs{status="pending"} 0' in text
+        assert "repro_service_uptime_seconds" in text
+        # The /metrics GET itself shows up on the next scrape.
+        with urllib.request.urlopen(f"{service.address}/metrics",
+                                    timeout=5) as response:
+            text = response.read().decode()
+        assert 'endpoint="/metrics"' in text
+
+    def test_queue_metrics_track_lease_churn(self, service, tmp_path):
+        registry = service.metrics
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue([_spec("a"), _spec("b")])
+        queue.claim("w1", lease_seconds=0.01)
+        import time
+        time.sleep(0.02)
+        assert queue.requeue_expired() == [("a", "w1")]
+        queue.counts()   # depth gauges publish on every counts() poll
+        snap = registry.snapshot()
+        assert snap["repro_queue_enqueued_total"]["samples"][""] == 2
+        assert snap["repro_queue_requeued_total"]["samples"][""] == 1
+        claims = snap["repro_queue_claims_total"]["samples"]
+        assert claims['{result="claimed"}'] == 1
+        assert snap["repro_queue_jobs"]["samples"]['{status="pending"}'] \
+            == 2
+
+    def test_poisoned_jobs_count_separately(self, tmp_path):
+        registry = MetricsRegistry()
+        queue = WorkQueue.open(tmp_path, registry=registry)
+        queue.enqueue([_spec("a")], max_attempts=1)
+        import time
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.02)
+        assert queue.requeue_expired() == [("a", "w1")]
+        snap = registry.snapshot()
+        assert snap["repro_queue_poisoned_total"]["samples"][""] == 1
+        assert snap["repro_queue_requeued_total"]["samples"][""] == 0
+        queue.close()
+
+    def test_503_reasons_are_tagged_distinctly(self, service):
+        service.note_unavailable("lock_contention")
+        service.note_unavailable("lock_contention")
+        service.note_unavailable("shutdown")
+        assert service.unavailable_counts() == \
+            {"shutdown": 1, "lock_contention": 2}
+        with urllib.request.urlopen(f"{service.address}/health",
+                                    timeout=5) as response:
+            payload = json.loads(response.read())
+        assert payload["unavailable_503"] == \
+            {"shutdown": 1, "lock_contention": 2}
+        text = service.render_metrics()
+        assert 'repro_http_unavailable_total{reason="lock_contention"}' \
+            " 2" in text
+        assert 'repro_http_unavailable_total{reason="shutdown"} 1' \
+            in text
+
+    def test_worker_metrics_cover_claims_and_jobs(self, service):
+        queue = RemoteWorkQueue(service.address)
+        queue.enqueue(_design_specs("updown_counter"))
+        queue.set_state("closed")
+        jobs = obs_metrics.counter("repro_worker_jobs_total",
+                                   labels=("result",))
+        claims = obs_metrics.histogram("repro_worker_claim_seconds")
+        before = (jobs.labels("completed").value,
+                  claims._default.count)
+        done = Worker(service.address, worker_id="w1",
+                      lease_seconds=10, poll_interval=0.02).run()
+        assert done == 2
+        assert jobs.labels("completed").value == before[0] + 2
+        assert claims._default.count > before[1]
+
+
+class TestStatusCli:
+    def test_remote_status(self, service, capsys):
+        assert main(["status", "--backend", service.address,
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert f"backend {service.address}" in out
+        assert "queue: state=open" in out
+        assert "503s served: shutdown=0, lock_contention=0" in out
+        assert "# TYPE repro_http_requests_total counter" in out
+
+    def test_local_status(self, tmp_path, capsys):
+        run_campaign(designs=["updown_counter"], max_k=3,
+                     cache_dir=tmp_path)
+        assert main(["status", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "queue: state=" in out
+        assert "store:" in out
+
+    def test_status_requires_a_target(self, capsys):
+        assert main(["status"]) != 0
+        assert "needs a target" in capsys.readouterr().err
+
+    def test_unreachable_backend_fails_cleanly(self, capsys):
+        assert main(["status", "--backend", "http://127.0.0.1:9"]) == 1
+        assert capsys.readouterr().err != ""
+
+    def test_campaign_trace_flag_prints_pointer(self, tmp_path, capsys):
+        assert main(["campaign", "updown_counter", "--max-k", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace", str(tmp_path / "trace")]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "trace_report.py" in out
+        assert load_spans(tmp_path / "trace")
+
+
+def _spec(job_id: str):
+    from repro.dist import JobSpec
+    return JobSpec(job_id=job_id, design="d", property_name="p",
+                   specs=("bmc",), full_specs=("bmc",), priority=0.0)
+
+
+def _design_specs(design_name: str):
+    from repro.designs import get_design
+    from repro.dist import JobSpec
+
+    design = get_design(design_name)
+    race = ("k_induction(max_k=3)", "bmc")
+    return [JobSpec(job_id=f"{design_name}::{spec.name}",
+                    design=design_name, property_name=spec.name,
+                    specs=race, full_specs=race, priority=float(-i),
+                    order=i)
+            for i, spec in enumerate(design.properties)]
