@@ -608,6 +608,88 @@ def run_e10() -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E11 — corpus campaign throughput: file import + cold vs warm store
+# ---------------------------------------------------------------------------
+
+E11_BMC_BOUND = 5     # keep the refuter shallow: throughput, not depth
+E11_JOBS = 2
+
+
+def run_e11() -> Table:
+    """Designs/sec over the checked-in interchange corpus.
+
+    Three phases: loading every ``corpus/`` file through the format
+    readers, a cold campaign against an empty proof store, and a warm
+    rerun against the store the cold pass filled (which should be
+    answered almost entirely from cache).
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro.designs import load_corpus
+    from repro.designs.registry import CORPUS_ENV
+    from repro.flow import run_campaign
+
+    corpus_dir = Path(__file__).resolve().parent.parent / "corpus"
+    table = Table(["phase", "status", "wall (s)", "solver (s)",
+                   "designs", "properties", "designs/sec"],
+                  title="E11: corpus campaign throughput "
+                        "(interchange import, cold vs warm store)")
+    totals = {"wall": 0.0, "solver": 0.0, "designs": 0}
+
+    t0 = time.perf_counter()
+    designs = load_corpus(corpus_dir)
+    load_wall = time.perf_counter() - t0
+    n_designs = len(designs)
+    n_props = sum(len(d.properties) for d in designs)
+    table.add_row("load", "ok", load_wall, 0.0, n_designs, n_props,
+                  n_designs / max(load_wall, 1e-9))
+    totals["wall"] += load_wall
+    totals["designs"] += n_designs
+
+    saved = os.environ.get(CORPUS_ENV)
+    os.environ[CORPUS_ENV] = str(corpus_dir)
+    try:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            for phase in ("campaign_cold", "campaign_warm"):
+                t0 = time.perf_counter()
+                report = run_campaign(
+                    designs=[d.name for d in designs],
+                    cache_dir=cache_dir, jobs=E11_JOBS,
+                    bmc_bound=E11_BMC_BOUND)
+                wall = time.perf_counter() - t0
+                solver_s = report.phase_seconds.get("solve", 0.0)
+                # A shallow BMC bound may legitimately miss a deep
+                # expect=violated CEX; a *spurious* violation is a
+                # correctness bug and taints the row status.
+                spurious = sum(
+                    1 for row in report.rows
+                    if row.status == "violated"
+                    and row.expect not in ("violated", "unknown"))
+                status = "ok" if spurious == 0 \
+                    else f"spurious={spurious}"
+                if phase == "campaign_warm" and report.cache.hits == 0:
+                    status = "cache_cold"   # warm rerun missed the store
+                table.add_row(phase, status, wall, solver_s, n_designs,
+                              len(report.rows),
+                              n_designs / max(wall, 1e-9))
+                totals["wall"] += wall
+                totals["solver"] += solver_s
+                totals["designs"] += n_designs
+    finally:
+        if saved is None:
+            os.environ.pop(CORPUS_ENV, None)
+        else:
+            os.environ[CORPUS_ENV] = saved
+
+    table.add_row("TOTAL", "-", totals["wall"], totals["solver"],
+                  totals["designs"], 3 * n_props,
+                  totals["designs"] / max(totals["wall"], 1e-9))
+    return table
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -619,6 +701,7 @@ ALL_EXPERIMENTS = {
     "E8": run_e8,
     "E9": run_e9,
     "E10": run_e10,
+    "E11": run_e11,
     "A1": run_a1,
     "A2": run_a2,
 }

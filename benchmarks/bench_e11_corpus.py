@@ -1,0 +1,44 @@
+"""E11 — corpus campaign throughput (interchange-format gate).
+
+Times the full file-based pipeline the formats PR added: parsing every
+checked-in ``corpus/`` AIGER/BTOR2 file into a Design, a cold campaign
+over all of them, and a warm rerun against the proof store the cold
+pass filled.  Structural assertions pin the semantics (no expectation
+mismatches, warm pass answered from cache); the throughput numbers are
+gated separately by ``scripts/check_bench_regression.py --experiment
+E11`` against ``benchmarks/baselines/bench_e11.json``.
+"""
+
+from _experiments import run_e11
+
+
+def test_e11_corpus(benchmark):
+    table = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {}
+    for phase, status, wall, solver_s, designs, props, dps in table.rows:
+        rows[phase] = (status, float(wall), float(solver_s),
+                       int(designs), int(props), float(dps))
+
+    assert set(rows) == {"load", "campaign_cold", "campaign_warm",
+                         "TOTAL"}
+
+    # The corpus floor the CI gate also enforces: >= 15 designs, and
+    # every phase actually processed them.
+    for phase in ("load", "campaign_cold", "campaign_warm"):
+        assert rows[phase][3] >= 15, phase
+        assert rows[phase][5] > 0, phase
+
+    # Campaign semantics: no spurious violations in either pass (a
+    # shallow BMC bound may miss deep CEXes, never invent them), and
+    # the warm pass was answered from the proof store.
+    assert rows["campaign_cold"][0] == "ok"
+    assert rows["campaign_warm"][0] == "ok"
+
+    # The warm rerun must beat the cold pass — that's the proof-store
+    # contract this bench exists to watch.
+    assert rows["campaign_warm"][1] < rows["campaign_cold"][1]
+
+    # Loading files is pure parsing: far faster than campaigning.
+    assert rows["load"][1] < rows["campaign_cold"][1]

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: fresh E10 numbers vs the committed baseline.
+"""Perf-regression gate: fresh benchmark numbers vs committed baselines.
 
-Compares a fresh ``run_experiments.py --json`` dump against
-``benchmarks/baselines/bench_e10.json`` and fails (exit 1) when any
-gated workload's propagations/sec figure regressed more than the
-threshold (default 30%).
+Compares a fresh ``run_experiments.py --json`` dump against the
+committed baseline for the selected experiment (``--experiment``,
+default E10 → ``benchmarks/baselines/bench_e10.json``) and fails
+(exit 1) when any gated row's rate figure regressed more than the
+threshold (default 30%).  E11 gates the corpus campaign's designs/sec
+the same way against ``bench_e11.json``.
 
 Gating rules, chosen so the gate is strict where the signal is real and
 silent where it would be noise:
@@ -45,45 +47,56 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_e10.json"
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
-EXPERIMENT = "E10"
-KEY_COLUMN = "workload"
-RATE_COLUMN = "props/sec"
-SOLVER_COLUMN = "solver (s)"
+#: Per-experiment gate configuration: which column keys the rows, which
+#: column is the gated rate, and which carries the in-solver time used
+#: for the per-row noise cutoff.
+EXPERIMENTS = {
+    "E10": {"key": "workload", "rate": "props/sec",
+            "solver": "solver (s)", "baseline": "bench_e10.json"},
+    "E11": {"key": "phase", "rate": "designs/sec",
+            "solver": "solver (s)", "baseline": "bench_e11.json"},
+}
 
 
-def load_rows(path: Path) -> dict[str, dict[str, str]]:
-    """The E10 rows of one JSON dump, keyed by workload label."""
+def load_rows(path: Path, experiment: str,
+              config: dict) -> dict[str, dict[str, str]]:
+    """One experiment's rows from a JSON dump, keyed by row label."""
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
         raise SystemExit(f"missing benchmark dump: {path}")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"unparseable benchmark dump {path}: {exc}")
-    section = payload.get(EXPERIMENT)
+    section = payload.get(experiment)
     if section is None:
-        raise SystemExit(f"{path} has no {EXPERIMENT} section "
+        raise SystemExit(f"{path} has no {experiment} section "
                          f"(found: {sorted(payload)})")
     rows = {}
     for row in section["rows"]:
-        rows[row[KEY_COLUMN]] = row
+        rows[row[config["key"]]] = row
     if "TOTAL" not in rows:
-        raise SystemExit(f"{path}: {EXPERIMENT} rows lack the TOTAL "
+        raise SystemExit(f"{path}: {experiment} rows lack the TOTAL "
                          f"aggregate the gate keys on")
     return rows
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(
-        description="fail when E10 propagations/sec regressed vs the "
+        description="fail when a gated benchmark rate regressed vs the "
                     "committed baseline")
     parser.add_argument("fresh", type=Path,
                         help="JSON dump from the current run "
-                             "(run_experiments.py --json PATH E10)")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help=f"committed baseline (default: "
-                             f"{DEFAULT_BASELINE.relative_to(REPO_ROOT)})")
+                             "(run_experiments.py --json PATH <EXP>)")
+    parser.add_argument("--experiment", default="E10",
+                        choices=sorted(EXPERIMENTS),
+                        help="which experiment's rows to gate "
+                             "(default: E10)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline (default: the "
+                             "experiment's file under "
+                             "benchmarks/baselines/)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="maximum tolerated fractional drop in "
                              "props/sec (default: 0.30)")
@@ -96,43 +109,48 @@ def main() -> int:
                              "(default: 0.05)")
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    config = EXPERIMENTS[args.experiment]
+    rate_column = config["rate"]
+    solver_column = config["solver"]
+    baseline_path = args.baseline or BASELINE_DIR / config["baseline"]
+
+    baseline = load_rows(baseline_path, args.experiment, config)
+    fresh = load_rows(args.fresh, args.experiment, config)
 
     failures = []
     floor = 1.0 - args.threshold
-    print(f"{'workload':<22} {'baseline':>12} {'fresh':>12} "
+    print(f"{config['key']:<22} {'baseline':>12} {'fresh':>12} "
           f"{'ratio':>7}  gate")
     for label, base_row in baseline.items():
         if label not in fresh:
-            failures.append(f"workload {label!r} missing from fresh run")
+            failures.append(f"row {label!r} missing from fresh run")
             continue
-        base_rate = float(base_row[RATE_COLUMN])
-        fresh_rate = float(fresh[label][RATE_COLUMN])
+        base_rate = float(base_row[rate_column])
+        fresh_rate = float(fresh[label][rate_column])
         ratio = fresh_rate / base_rate if base_rate else float("inf")
         gated = label == "TOTAL" or \
-            float(base_row[SOLVER_COLUMN]) >= args.min_solver_seconds
+            float(base_row[solver_column]) >= args.min_solver_seconds
         verdict = "ok"
         if gated and ratio < floor:
             verdict = "FAIL"
             failures.append(
-                f"{label}: props/sec {base_rate:,.0f} -> "
+                f"{label}: {rate_column} {base_rate:,.0f} -> "
                 f"{fresh_rate:,.0f} ({ratio:.2f}x, floor {floor:.2f}x)")
         elif not gated:
             verdict = "skip (baseline solver time "\
-                      f"{float(base_row[SOLVER_COLUMN]):.3f}s)"
+                      f"{float(base_row[solver_column]):.3f}s)"
         print(f"{label:<22} {base_rate:>12,.0f} {fresh_rate:>12,.0f} "
               f"{ratio:>6.2f}x  {verdict}")
     for label in fresh:
         if label not in baseline:
             print(f"{label:<22} {'-':>12} "
-                  f"{float(fresh[label][RATE_COLUMN]):>12,.0f} "
+                  f"{float(fresh[label][rate_column]):>12,.0f} "
                   f"{'-':>7}  new (not gated)")
 
     # Instrumentation-overhead gate: paired rows within the fresh run.
     if "obs_metrics_on" in fresh and "obs_metrics_off" in fresh:
-        on = float(fresh["obs_metrics_on"][RATE_COLUMN])
-        off = float(fresh["obs_metrics_off"][RATE_COLUMN])
+        on = float(fresh["obs_metrics_on"][rate_column])
+        off = float(fresh["obs_metrics_off"][rate_column])
         ratio = on / off if off else float("inf")
         obs_floor = 1.0 - args.obs_threshold
         verdict = "ok" if ratio >= obs_floor else "FAIL"

@@ -56,7 +56,13 @@ class CampaignRow:
 
     @property
     def mismatch(self) -> bool:
-        """A VIOLATED verdict where proof was expected, or vice versa."""
+        """A VIOLATED verdict where proof was expected, or vice versa.
+
+        Corpus properties imported without a ground truth carry
+        ``expect == "unknown"`` and never mismatch.
+        """
+        if self.expect == "unknown":
+            return False
         return (self.status == "violated") != (self.expect == "violated")
 
 

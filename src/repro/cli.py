@@ -13,6 +13,11 @@ Subcommands::
                         [--backend sqlite:DIR | http://HOST:PORT]
                         [--cache-dir DIR] [--no-adaptive] [--json PATH]
                         [--trace DIR]         # span trace of the whole run
+                        [--corpus DIR]        # + every AIGER/BTOR2 file
+                                              #   under DIR as a design
+    repro-verify export DESIGN                # serialize a design (with
+                        [--format aiger|btor2|blif]   # compiled monitors)
+                        [--binary] [-o FILE]  # as an interchange file
     repro-verify status --backend SPEC        # live backend snapshot
                         [--metrics]           # + Prometheus metrics text
     repro-verify serve  [--cache-dir DIR]     # host the queue + proof store
@@ -103,6 +108,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     failures = 0
     for outcome in result.outcomes:
         expect = design.property_spec(outcome.property_name).expect
+        if expect == "unknown":      # corpus file without ground truth
+            continue
         violated = outcome.status is Status.VIOLATED
         if violated != (expect == "violated"):
             failures += 1
@@ -128,9 +135,40 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
     return 0 if result.status is not Status.VIOLATED else 1
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.formats import export_design
+
+    design = get_design(args.design)
+    payload = export_design(design, args.format, binary=args.binary)
+    data = payload if isinstance(payload, bytes) else payload.encode()
+    if args.output and args.output != "-":
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"wrote {len(data)} bytes of {args.format} "
+              f"({len(design.properties)} properties) to {args.output}")
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    designs = list(args.designs)
+    if args.corpus:
+        import os
+
+        from repro.designs import load_corpus
+        from repro.designs.registry import CORPUS_ENV
+
+        designs += [d.name for d in load_corpus(args.corpus)]
+        # Publish the corpus root so spawned workers (which resolve
+        # designs by name in their own process) find the files too.
+        roots = [args.corpus] + [
+            r for r in os.environ.get(CORPUS_ENV, "").split(os.pathsep)
+            if r]
+        os.environ[CORPUS_ENV] = os.pathsep.join(dict.fromkeys(roots))
     report = run_campaign(
-        designs=args.designs or None, cache_dir=args.cache_dir,
+        designs=designs or None, cache_dir=args.cache_dir,
         jobs=args.jobs, strategies=_split_strategies(args.strategy),
         adaptive=not args.no_adaptive, min_samples=args.min_samples,
         max_k=args.max_k, bmc_bound=args.bound, workers=args.workers,
@@ -401,9 +439,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture a span trace of the run into DIR "
                         "(JSONL per process; render with "
                         "scripts/trace_report.py)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="also campaign over every AIGER/BTOR2 file "
+                        "under DIR (loaded via the corpus importer; "
+                        "designs are named by relative path)")
     _add_cache_dir(p)
     _add_backend(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "export",
+        help="serialize a design plus its compiled property monitors "
+             "as AIGER (.aag/.aig), BTOR2, or BLIF")
+    p.add_argument("design")
+    p.add_argument("--format", default="aiger",
+                   choices=["aiger", "btor2", "blif"],
+                   help="interchange format (default: aiger)")
+    p.add_argument("--binary", action="store_true",
+                   help="binary AIGER (.aig) instead of ascii (.aag); "
+                        "aiger format only")
+    p.add_argument("-o", "--output", default=None,
+                   help="output file (default: stdout)")
+    p.set_defaults(func=_cmd_export)
 
     p = sub.add_parser(
         "status",

@@ -12,7 +12,8 @@ tests to validate flow output quality.
 from repro.designs.base import Design, PropertySpec
 from repro.designs.registry import (all_designs, design_names,
                                     designs_by_family, get_design,
-                                    select_designs)
+                                    load_corpus, select_designs)
 
 __all__ = ["Design", "PropertySpec", "all_designs", "design_names",
-           "designs_by_family", "get_design", "select_designs"]
+           "designs_by_family", "get_design", "load_corpus",
+           "select_designs"]

@@ -31,10 +31,11 @@ def _assumption_expr(system: TransitionSystem, text: str) -> "E.Expr":
 class PropertySpec:
     """One target property of a design.
 
-    ``expect`` is the ground-truth verdict ("proven" or "violated");
-    ``needs_helper`` marks properties whose plain k-induction fails
-    without a strengthening lemma — the paper's subject matter.
-    ``max_k`` bounds the induction depth used in tests/benchmarks.
+    ``expect`` is the ground-truth verdict ("proven" or "violated", or
+    "unknown" for corpus designs imported without one); ``needs_helper``
+    marks properties whose plain k-induction fails without a
+    strengthening lemma — the paper's subject matter.  ``max_k`` bounds
+    the induction depth used in tests/benchmarks.
     """
 
     name: str
@@ -44,7 +45,7 @@ class PropertySpec:
     max_k: int = 5
 
     def __post_init__(self) -> None:
-        if self.expect not in ("proven", "violated"):
+        if self.expect not in ("proven", "violated", "unknown"):
             raise DesignError(f"bad expectation {self.expect!r}")
 
 

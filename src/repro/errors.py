@@ -76,3 +76,8 @@ class FlowError(ReproError):
 
 class DesignError(ReproError):
     """Unknown design name or inconsistent design bundle."""
+
+
+class FormatError(ReproError):
+    """Malformed or unsupported interchange-format input/output
+    (AIGER, BTOR2, BLIF)."""

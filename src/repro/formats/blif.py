@@ -1,0 +1,169 @@
+"""BLIF netlist export from an AIGER model.
+
+Every AND gate becomes a two-input ``.names`` cover table whose input
+polarities encode the AIGER edge inversions; every latch becomes a
+``.latch`` line with its reset value (``2`` for uninitialized, BLIF's
+don't-care initial state).  Literals consumed in negated form at a
+netlist boundary (outputs, latch data inputs) go through an explicit
+inverter table, so the emitted file is plain single-output SOP BLIF any
+logic-synthesis tool can ingest.
+
+Bad-state and constraint literals are exported as ordinary outputs
+(named after their symbols) — BLIF has no property semantics.  A small
+structural reader (:func:`read_blif`) backs the round-trip tests; it
+parses the netlist shape, not logic-synthesis extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FormatError
+from repro.formats.aiger import AigerModel
+
+
+def _wire(lit: int, names: dict[int, str]) -> str:
+    return names[lit & ~1]
+
+
+def write_blif(model: AigerModel, name: str = "aig") -> str:
+    """Serialize an AIGER model as a BLIF netlist (returns text)."""
+    model.validate()
+    names: dict[int, str] = {0: "const0"}
+    for i in range(model.num_inputs):
+        names[model.input_lit(i)] = \
+            model.symbols.get(f"i{i}", f"pi{i}").replace(" ", "_")
+    for i, latch in enumerate(model.latches):
+        names[latch.lit] = \
+            model.symbols.get(f"l{i}", f"lat{i}").replace(" ", "_")
+    for idx, (lhs, _r0, _r1) in enumerate(model.ands):
+        names[lhs] = f"n{lhs >> 1}"
+
+    lines = [f".model {name.replace(' ', '_')}"]
+    inputs = [_wire(model.input_lit(i), names)
+              for i in range(model.num_inputs)]
+    lines.append(".inputs " + " ".join(inputs) if inputs else ".inputs")
+
+    # Outputs: AIGER outputs, then bads, then constraints, uniquely
+    # named; negated output literals route through inverters below.
+    inverters: dict[int, str] = {}
+
+    def feed(lit: int) -> str:
+        """Wire name carrying the *signed* value of ``lit``."""
+        if lit == 0:
+            return "const0"
+        if lit == 1:
+            return "const1"
+        if not lit & 1:
+            return _wire(lit, names)
+        if lit not in inverters:
+            inverters[lit] = f"{_wire(lit, names)}_bar"
+        return inverters[lit]
+
+    out_wires: list[tuple[str, int]] = []
+    used: set[str] = set(names.values()) | {"const0", "const1"}
+    for section, lits in (("o", model.outputs), ("b", model.bads),
+                          ("c", model.constraints)):
+        for idx, lit in enumerate(lits):
+            base = model.symbols.get(f"{section}{idx}",
+                                     f"{section}{idx}_out")
+            base = base.replace(" ", "_")
+            candidate, n = base, 1
+            while candidate in used:
+                candidate = f"{base}_{n}"
+                n += 1
+            used.add(candidate)
+            out_wires.append((candidate, lit))
+    lines.append(".outputs " + " ".join(w for w, _ in out_wires)
+                 if out_wires else ".outputs")
+
+    for i, latch in enumerate(model.latches):
+        reset = {0: "0", 1: "1"}.get(latch.reset, "2")
+        lines.append(f".latch {feed(latch.next)} "
+                     f"{_wire(latch.lit, names)} {reset}")
+
+    # Constant sources (emitted unconditionally: cheap, and keeps
+    # `feed` total).
+    lines.append(".names const0")        # empty cover == constant 0
+    lines.append(".names const1")
+    lines.append("1")
+
+    for lhs, rhs0, rhs1 in model.ands:
+        a, b = _wire(rhs0, names), _wire(rhs1, names)
+        pa = "0" if rhs0 & 1 else "1"
+        pb = "0" if rhs1 & 1 else "1"
+        lines.append(f".names {a} {b} {names[lhs]}")
+        lines.append(f"{pa}{pb} 1")
+
+    for lit, wire in inverters.items():
+        lines.append(f".names {_wire(lit, names)} {wire}")
+        lines.append("0 1")
+
+    for wire, lit in out_wires:
+        lines.append(f".names {feed(lit)} {wire}")
+        lines.append("1 1")
+
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class BlifNetlist:
+    """Structural view of a parsed BLIF file (round-trip testing)."""
+
+    model: str = ""
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    latches: list[tuple[str, str, str]] = field(default_factory=list)
+    names: dict[str, tuple[list[str], list[str]]] = \
+        field(default_factory=dict)   # output -> (inputs, cover rows)
+
+
+def read_blif(text: str) -> BlifNetlist:
+    """Parse the structural subset :func:`write_blif` emits."""
+    net = BlifNetlist()
+    current: tuple[str, list[str], list[str]] | None = None
+
+    def close() -> None:
+        nonlocal current
+        if current is not None:
+            out, ins, rows = current
+            net.names[out] = (ins, rows)
+            current = None
+
+    lines = text.replace("\\\n", " ").splitlines()
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            close()
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model":
+                net.model = parts[1] if len(parts) > 1 else ""
+            elif directive == ".inputs":
+                net.inputs += parts[1:]
+            elif directive == ".outputs":
+                net.outputs += parts[1:]
+            elif directive == ".latch":
+                if len(parts) < 3:
+                    raise FormatError(f"malformed .latch line {raw!r}")
+                reset = parts[3] if len(parts) > 3 else "3"
+                net.latches.append((parts[1], parts[2], reset))
+            elif directive == ".names":
+                if len(parts) < 2:
+                    raise FormatError(f"malformed .names line {raw!r}")
+                current = (parts[-1], parts[1:-1], [])
+            elif directive == ".end":
+                close()
+            else:
+                raise FormatError(
+                    f"unsupported BLIF directive {directive!r}")
+        else:
+            if current is None:
+                raise FormatError(
+                    f"cover row outside a .names table: {raw!r}")
+            current[2].append(line)
+    close()
+    return net

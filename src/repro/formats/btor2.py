@@ -1,0 +1,434 @@
+"""BTOR2 reader and writer over the bit-vector subset the IR speaks.
+
+The writer serializes a :class:`~repro.ir.system.TransitionSystem`
+word-level — no bit blasting — so widths, arithmetic, and comparisons
+survive the trip intact.  Covered node kinds: ``sort bitvec``,
+``input``, ``state``, ``init``, ``next``, ``constraint``, ``bad``,
+constants (``const``/``constd``/``consth``/``zero``/``one``/``ones``),
+and the operator set mapping onto the IR primitives (bitwise,
+arithmetic, shifts, comparisons, ``ite``, ``concat``, ``slice``,
+reductions, extensions).  Array sorts, ``output``, and liveness
+(``justice``/``fair``) nodes are out of scope; the reader skips
+``output`` and rejects the rest with :class:`FormatError`.
+
+Negative node references (BTOR2 shorthand for bitwise complement) are
+accepted on read.  ``; repro-prop`` comment lines carry the same
+property metadata as the AIGER bridge.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import FormatError
+from repro.formats.bridge import parse_prop_metadata, sanitize_identifier
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+
+# IR primitive -> BTOR2 operator (same-arity, same-width cases).
+_BINARY_OPS = {
+    "and": "and", "or": "or", "xor": "xor",
+    "add": "add", "sub": "sub", "mul": "mul",
+    "eq": "eq", "ne": "neq",
+    "ult": "ult", "ule": "ulte", "slt": "slt", "sle": "slte",
+}
+_UNARY_OPS = {"not": "not", "neg": "neg", "redand": "redand",
+              "redor": "redor", "redxor": "redxor"}
+_SHIFT_OPS = {"shl": "sll", "lshr": "srl", "ashr": "sra"}
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._next_id = 1
+        self._sorts: dict[int, int] = {}
+        self._nodes: dict[int, int] = {}   # id(Expr) -> node id
+        self._vars: dict[str, int] = {}    # signal name -> node id
+
+    def emit(self, text: str) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        self.lines.append(f"{nid} {text}")
+        return nid
+
+    def sort(self, width: int) -> int:
+        if width not in self._sorts:
+            self._sorts[width] = self.emit(f"sort bitvec {width}")
+        return self._sorts[width]
+
+    def declare(self, kind: str, name: str, width: int) -> int:
+        nid = self.emit(f"{kind} {self.sort(width)} {name}")
+        self._vars[name] = nid
+        return nid
+
+    def node(self, root: E.Expr) -> int:
+        """Emit ``root``'s DAG (memoized) and return its node id."""
+        for e in E.iter_dag([root]):
+            if id(e) in self._nodes:
+                continue
+            self._nodes[id(e)] = self._lower(e)
+        return self._nodes[id(root)]
+
+    def _lower(self, e: E.Expr) -> int:
+        s = self.sort(e.width)
+        op = e.op
+        if op == "const":
+            return self.emit(f"constd {s} {e.value}")
+        if op == "var":
+            nid = self._vars.get(e.name)
+            if nid is None:
+                raise FormatError(
+                    f"expression references undeclared signal {e.name!r}")
+            return nid
+        args = [self._nodes[id(a)] for a in e.args]
+        if op in _UNARY_OPS:
+            return self.emit(f"{_UNARY_OPS[op]} {s} {args[0]}")
+        if op in _BINARY_OPS:
+            return self.emit(f"{_BINARY_OPS[op]} {s} {args[0]} {args[1]}")
+        if op in _SHIFT_OPS:
+            return self._lower_shift(e, args)
+        if op == "ite":
+            return self.emit(f"ite {s} {args[0]} {args[1]} {args[2]}")
+        if op == "concat":
+            return self.emit(f"concat {s} {args[0]} {args[1]}")
+        if op == "extract":
+            hi, lo = e.params
+            return self.emit(f"slice {s} {args[0]} {hi} {lo}")
+        raise FormatError(f"cannot serialize IR op {op!r} to BTOR2")
+
+    def _lower_shift(self, e: E.Expr, args: list[int]) -> int:
+        """Shifts with width-mismatched amounts (legal in the IR, not in
+        BTOR2): widen both operands to a common width, shift, slice."""
+        a, amount = e.args
+        op = _SHIFT_OPS[e.op]
+        if a.width == amount.width:
+            return self.emit(f"{op} {self.sort(e.width)} "
+                             f"{args[0]} {args[1]}")
+        w = max(a.width, amount.width)
+        s = self.sort(w)
+        ext = "sext" if e.op == "ashr" else "uext"
+        wide_a = args[0] if a.width == w else \
+            self.emit(f"{ext} {s} {args[0]} {w - a.width}")
+        wide_n = args[1] if amount.width == w else \
+            self.emit(f"uext {s} {args[1]} {w - amount.width}")
+        shifted = self.emit(f"{op} {s} {wide_a} {wide_n}")
+        if w == e.width:
+            return shifted
+        return self.emit(
+            f"slice {self.sort(e.width)} {shifted} {e.width - 1} 0")
+
+
+def write_btor2(system: TransitionSystem,
+                properties: list[tuple[str, E.Expr, int]],
+                metadata: list[str] | None = None) -> str:
+    """Serialize a transition system plus ``(name, bad_expr,
+    valid_from)`` properties to BTOR2 text."""
+    system.validate()
+    w = _Writer()
+    for line in metadata or []:
+        w.lines.append(f"; {line}")
+    for name, v in system.inputs.items():
+        w.declare("input", name, v.width)
+    state_ids = {name: w.declare("state", name, v.width)
+                 for name, v in system.states.items()}
+
+    max_valid_from = max([vf for _n, _b, vf in properties], default=0)
+    flag_ids: list[int] = []
+    if max_valid_from > 0:
+        # Delay-chain flag states: flag k is 1 iff cycle >= k+1.
+        s1 = w.sort(1)
+        zero = w.emit(f"constd {s1} 0")
+        one = w.emit(f"constd {s1} 1")
+        for k in range(max_valid_from):
+            fid = w.emit(f"state {s1} __repro_at_least_{k + 1}")
+            w.emit(f"init {s1} {fid} {zero}")
+            w.emit(f"next {s1} {fid} "
+                   f"{one if k == 0 else flag_ids[k - 1]}")
+            flag_ids.append(fid)
+
+    for name, v in system.states.items():
+        s = w.sort(v.width)
+        init = system.init.get(name)
+        if init is not None:
+            nid = w.node(system.resolve_defines(init))
+            w.emit(f"init {s} {state_ids[name]} {nid}")
+        nid = w.node(system.resolve_defines(system.next[name]))
+        w.emit(f"next {s} {state_ids[name]} {nid}")
+    for cond in system.constraints:
+        nid = w.node(system.resolve_defines(cond))
+        w.emit(f"constraint {nid}")
+    for name, bad, valid_from in properties:
+        if bad.width != 1:
+            raise FormatError(
+                f"property bad expression must be width 1, got "
+                f"{bad.width}")
+        nid = w.node(system.resolve_defines(bad))
+        if valid_from > 0:
+            nid = w.emit(f"and {w.sort(1)} {nid} "
+                         f"{flag_ids[valid_from - 1]}")
+        w.emit(f"bad {nid} {name}")
+    return "\n".join(w.lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def read_btor2(text: str, name: str = "btor2"
+               ) -> tuple[TransitionSystem, list[dict]]:
+    """Parse BTOR2 text into ``(system, props)``.
+
+    Props follow the same shape as
+    :func:`repro.formats.bridge.aiger_to_system`: dicts with ``name``,
+    ``sva``, ``expect``, ``max_k``, backed by synthesized ``bad_*``
+    defines.
+    """
+    parser = _Parser(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            parser.comments.append(line[1:].strip())
+            continue
+        try:
+            parser.feed(line)
+        except FormatError:
+            raise
+        except (ValueError, IndexError, KeyError) as exc:
+            raise FormatError(
+                f"malformed BTOR2 line {lineno}: {raw!r} ({exc})")
+    return parser.finish()
+
+
+def read_btor2_file(path: str | Path) -> tuple[TransitionSystem,
+                                               list[dict]]:
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise FormatError(f"cannot read BTOR2 file {path}: {exc}")
+    return read_btor2(text, name=path.stem)
+
+
+class _Parser:
+    _REJECTED = frozenset(
+        ["justice", "fair", "read", "write", "array"])
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sorts: dict[int, int] = {}        # node id -> width
+        self.exprs: dict[int, E.Expr] = {}     # node id -> expression
+        self.states: dict[int, str] = {}       # state node id -> name
+        self.inits: dict[int, E.Expr] = {}
+        self.nexts: dict[int, E.Expr] = {}
+        self.constraints: list[E.Expr] = []
+        self.bads: list[tuple[E.Expr, str | None]] = []
+        self.comments: list[str] = []
+        self.taken: set[str] = set()
+        self._counters = {"input": 0, "state": 0}
+
+    def ref(self, token: str) -> E.Expr:
+        nid = int(token)
+        expr = self.exprs[abs(nid)]
+        return E.not_(expr) if nid < 0 else expr
+
+    def width_of_sort(self, token: str) -> int:
+        sid = int(token)
+        if sid not in self.sorts:
+            raise FormatError(f"unknown sort id {sid}")
+        return self.sorts[sid]
+
+    def feed(self, line: str) -> None:
+        parts = line.split()
+        nid = int(parts[0])
+        kind = parts[1]
+        if kind in self._REJECTED:
+            raise FormatError(
+                f"unsupported BTOR2 node kind {kind!r} (bit-vector "
+                f"safety subset only)")
+        handler = getattr(self, f"_do_{kind}", None)
+        if handler is None:
+            raise FormatError(f"unknown BTOR2 node kind {kind!r}")
+        handler(nid, parts[2:])
+
+    # -- declarations ---------------------------------------------------
+
+    def _do_sort(self, nid: int, args: list[str]) -> None:
+        if args[0] != "bitvec":
+            raise FormatError(
+                f"unsupported sort {args[0]!r} (bitvec only)")
+        width = int(args[1])
+        if width <= 0:
+            raise FormatError(f"bad bitvec width {width}")
+        self.sorts[nid] = width
+
+    def _declare(self, nid: int, kind: str, args: list[str]) -> None:
+        width = self.width_of_sort(args[0])
+        base = args[1] if len(args) > 1 else \
+            f"{'in' if kind == 'input' else 'st'}{self._counters[kind]}"
+        self._counters[kind] += 1
+        name = sanitize_identifier(base, self.taken, f"{kind}{nid}")
+        self.exprs[nid] = E.var(name, width)
+        if kind == "state":
+            self.states[nid] = name
+
+    def _do_input(self, nid: int, args: list[str]) -> None:
+        self._declare(nid, "input", args)
+
+    def _do_state(self, nid: int, args: list[str]) -> None:
+        self._declare(nid, "state", args)
+
+    def _do_init(self, nid: int, args: list[str]) -> None:
+        state = int(args[1])
+        if state not in self.states:
+            raise FormatError(f"init of non-state node {state}")
+        self.inits[state] = self.ref(args[2])
+
+    def _do_next(self, nid: int, args: list[str]) -> None:
+        state = int(args[1])
+        if state not in self.states:
+            raise FormatError(f"next of non-state node {state}")
+        self.nexts[state] = self.ref(args[2])
+
+    def _do_constraint(self, nid: int, args: list[str]) -> None:
+        self.constraints.append(self.ref(args[0]))
+
+    def _do_bad(self, nid: int, args: list[str]) -> None:
+        self.bads.append((self.ref(args[0]),
+                          args[1] if len(args) > 1 else None))
+
+    def _do_output(self, nid: int, args: list[str]) -> None:
+        pass  # outputs carry no verification semantics here
+
+    # -- constants ------------------------------------------------------
+
+    def _const(self, nid: int, sort: str, value: int) -> None:
+        width = self.width_of_sort(sort)
+        self.exprs[nid] = E.const(value % (1 << width), width)
+
+    def _do_constd(self, nid: int, args: list[str]) -> None:
+        self._const(nid, args[0], int(args[1]))
+
+    def _do_const(self, nid: int, args: list[str]) -> None:
+        self._const(nid, args[0], int(args[1], 2))
+
+    def _do_consth(self, nid: int, args: list[str]) -> None:
+        self._const(nid, args[0], int(args[1], 16))
+
+    def _do_zero(self, nid: int, args: list[str]) -> None:
+        self._const(nid, args[0], 0)
+
+    def _do_one(self, nid: int, args: list[str]) -> None:
+        self._const(nid, args[0], 1)
+
+    def _do_ones(self, nid: int, args: list[str]) -> None:
+        width = self.width_of_sort(args[0])
+        self._const(nid, args[0], (1 << width) - 1)
+
+    # -- operators ------------------------------------------------------
+
+    _BINARY = {
+        "and": E.and_, "or": E.or_, "xor": E.xor,
+        "nand": lambda a, b: E.not_(E.and_(a, b)),
+        "nor": lambda a, b: E.not_(E.or_(a, b)),
+        "xnor": lambda a, b: E.not_(E.xor(a, b)),
+        "add": E.add, "sub": E.sub, "mul": E.mul,
+        "eq": E.eq, "neq": E.ne,
+        "ult": E.ult, "ulte": E.ule, "ugt": E.ugt, "ugte": E.uge,
+        "slt": E.slt, "slte": E.sle, "sgt": E.sgt, "sgte": E.sge,
+        "sll": E.shl, "srl": E.lshr, "sra": E.ashr,
+        "implies": lambda a, b: E.or_(E.not_(a), b),
+        "iff": E.eq,
+        "concat": E.concat,
+    }
+    _UNARY = {
+        "not": E.not_, "neg": E.neg,
+        "redand": E.redand, "redor": E.redor, "redxor": E.redxor,
+        "inc": lambda a: E.add(a, E.const(1, a.width)),
+        "dec": lambda a: E.sub(a, E.const(1, a.width)),
+    }
+
+    def _op(self, nid: int, kind: str, args: list[str]) -> bool:
+        if kind in self._UNARY:
+            self.exprs[nid] = self._UNARY[kind](self.ref(args[1]))
+            return True
+        if kind in self._BINARY:
+            self.exprs[nid] = self._BINARY[kind](
+                self.ref(args[1]), self.ref(args[2]))
+            return True
+        return False
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("_do_"):
+            kind = attr[4:]
+            if kind in self._BINARY or kind in self._UNARY:
+                return lambda nid, args: self._op(nid, kind, args)
+            if kind in ("uext", "sext"):
+                def ext(nid: int, args: list[str]) -> None:
+                    width = self.width_of_sort(args[0])
+                    fn = E.zext if kind == "uext" else E.sext
+                    self.exprs[nid] = fn(self.ref(args[1]), width)
+                return ext
+            if kind == "slice":
+                def slice_(nid: int, args: list[str]) -> None:
+                    self.exprs[nid] = E.extract(
+                        self.ref(args[1]), int(args[2]), int(args[3]))
+                return slice_
+            if kind == "ite":
+                def ite(nid: int, args: list[str]) -> None:
+                    self.exprs[nid] = E.ite(
+                        self.ref(args[1]), self.ref(args[2]),
+                        self.ref(args[3]))
+                return ite
+        raise AttributeError(attr)
+
+    # -- assembly -------------------------------------------------------
+
+    def finish(self) -> tuple[TransitionSystem, list[dict]]:
+        system = TransitionSystem(self.name)
+        for nid, expr in self.exprs.items():
+            if expr.op != "var":
+                continue
+            if nid in self.states:
+                if nid not in self.nexts:
+                    # A next-less state is a fresh value every cycle:
+                    # exactly an input.
+                    system.add_input(expr.name, expr.width)
+                    continue
+                system.add_state(expr.name, expr.width,
+                                 init=self.inits.get(nid))
+            else:
+                system.add_input(expr.name, expr.width)
+        for nid, name in self.states.items():
+            if nid in self.nexts:
+                system.set_next(name, self.nexts[nid])
+        for cond in self.constraints:
+            if cond.width != 1:
+                raise FormatError("constraint node must be width 1")
+            system.add_constraint(cond)
+
+        meta = parse_prop_metadata(self.comments)
+        props: list[dict] = []
+        for idx, (bad, symbol) in enumerate(self.bads):
+            if bad.width != 1:
+                raise FormatError("bad node must be width 1")
+            info = meta.get(idx, {})
+            prop_name = info.get("name") or symbol or f"bad_{idx}"
+            define = sanitize_identifier(f"bad_{prop_name}", self.taken,
+                                         f"bad_{idx}")
+            system.add_define(define, bad)
+            props.append({
+                "name": prop_name,
+                "sva": f"!{define}",
+                "expect": info.get("expect", "unknown"),
+                "max_k": int(info.get("max_k", 5)),
+            })
+        system.validate()
+        return system, props

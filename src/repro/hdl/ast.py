@@ -203,6 +203,13 @@ class Instance:
     param_overrides: dict[str, HdlExpr]
     connections: dict[str, HdlExpr]
     line: int = 0
+    #: Positional connections (``child c (a, b)``); resolved against the
+    #: child's port order during elaboration, then merged into
+    #: ``connections``.  Mutually exclusive with named connections.
+    positional: list[HdlExpr] = field(default_factory=list)
+    #: ``.*`` appeared in the port list: every unconnected child port
+    #: binds to the same-named parent signal during elaboration.
+    wildcard: bool = False
 
 
 @dataclass

@@ -103,6 +103,8 @@ def elaborate(source: str | ast.Module | list[ast.Module],
     else:
         modules = list(source)
     by_name = {m.name: m for m in modules}
+    for module in modules:
+        _normalize_instances(module, by_name)
     if top is None:
         top_module = modules[-1]
     else:
@@ -118,6 +120,47 @@ def elaborate(source: str | ast.Module | list[ast.Module],
 
 
 # ---------------------------------------------------------------------------
+
+
+def _normalize_instances(module: ast.Module,
+                         by_name: dict[str, ast.Module]) -> None:
+    """Rewrite positional and ``.*`` instance connections as named ones.
+
+    Positional connections need the child's declared port order and
+    ``.*`` needs its port list, so this runs once up front (when every
+    module is known) and the rest of elaboration only ever sees
+    ``inst.connections``.
+    """
+    for inst in module.instances:
+        child = by_name.get(inst.module)
+        if child is None:
+            raise ElaborationError(
+                f"instance {inst.name!r} refers to unknown module "
+                f"{inst.module!r}", inst.line)
+        if inst.positional:
+            if len(inst.positional) > len(child.ports):
+                raise ElaborationError(
+                    f"instance {inst.name!r} has "
+                    f"{len(inst.positional)} positional connections "
+                    f"but module {child.name!r} declares only "
+                    f"{len(child.ports)} ports", inst.line)
+            for port, expr in zip(child.ports, inst.positional):
+                inst.connections[port.name] = expr
+            inst.positional = []
+        if inst.wildcard:
+            parent_signals = {p.name for p in module.ports}
+            parent_signals.update(n.name for n in module.nets)
+            for port in child.ports:
+                if port.name in inst.connections:
+                    continue
+                if port.name not in parent_signals:
+                    raise ElaborationError(
+                        f"instance {inst.name!r}: .* cannot connect "
+                        f"port {port.name!r} — no signal of that name "
+                        f"in module {module.name!r}", inst.line)
+                inst.connections[port.name] = ast.Ident(
+                    name=port.name, line=inst.line)
+            inst.wildcard = False
 
 
 class _ModuleElaborator:

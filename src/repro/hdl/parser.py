@@ -318,19 +318,39 @@ def _parse_instance(ts: TokenStream, module: ast.Module) -> None:
     inst_token = ts.expect("id")
     ts.expect("op", "(")
     connections: dict[str, ast.HdlExpr] = {}
+    positional: list[ast.HdlExpr] = []
+    wildcard = False
     while not ts.at_op(")"):
-        ts.expect("op", ".")
-        port_name = ts.expect("id").text
-        ts.expect("op", "(")
-        connections[port_name] = parse_expr(ts)
-        ts.expect("op", ")")
+        if ts.accept("op", "."):
+            if ts.accept("op", "*"):            # .* wildcard
+                wildcard = True
+            else:
+                port_name = ts.expect("id").text
+                if port_name in connections:
+                    raise ts.error(
+                        f"port {port_name!r} connected twice on "
+                        f"instance {inst_token.text!r}")
+                if ts.accept("op", "("):        # .port(expr)
+                    connections[port_name] = parse_expr(ts)
+                    ts.expect("op", ")")
+                else:                           # .port shorthand (.name)
+                    connections[port_name] = ast.Ident(
+                        name=port_name, line=inst_token.line)
+        else:                                   # positional connection
+            positional.append(parse_expr(ts))
         if not ts.accept("op", ","):
             break
     ts.expect("op", ")")
     ts.expect("op", ";")
+    if positional and (connections or wildcard):
+        raise ts.error(
+            f"instance {inst_token.text!r} mixes positional and named "
+            "(or .*) port connections")
     module.instances.append(ast.Instance(mod_name, inst_token.text,
                                          param_overrides, connections,
-                                         line=inst_token.line))
+                                         line=inst_token.line,
+                                         positional=positional,
+                                         wildcard=wildcard))
 
 
 # ---------------------------------------------------------------------------
