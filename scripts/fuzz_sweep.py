@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Multi-seed differential-fuzz sweep (the weekly deep-fuzz driver).
+
+Runs ``repro.qa.run_fuzz`` once per base seed, each with its own design
+count and wall-clock budget, collecting every repro bundle under one
+output directory.  Exits non-zero if any seed produced a disagreement —
+the bundles are the bug report.
+
+    python scripts/fuzz_sweep.py --seeds 0 1 2 3 --count 1500 \
+        --budget 600 --out /tmp/deep-fuzz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.qa import run_fuzz  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2, 3])
+    parser.add_argument("--count", type=int, default=1500,
+                        help="designs per seed")
+    parser.add_argument("--budget", type=float, default=600.0,
+                        help="wall-clock budget per seed, seconds")
+    parser.add_argument("--out", default="/tmp/deep-fuzz",
+                        help="bundle output root (one subdir per seed)")
+    args = parser.parse_args()
+
+    total_designs = 0
+    total_disagreements = 0
+    for seed in args.seeds:
+        out_dir = Path(args.out) / f"seed_{seed}"
+        report = run_fuzz(seed=seed, count=args.count, budget=args.budget,
+                          out_dir=out_dir)
+        total_designs += report.designs_checked
+        total_disagreements += report.disagreements
+        cut = " (budget exhausted)" if report.budget_exhausted else ""
+        print(f"seed {seed}: {report.designs_checked} designs in "
+              f"{report.elapsed_seconds:.1f}s "
+              f"({report.designs_per_second:.0f}/s), "
+              f"{report.disagreements} disagreements{cut}")
+        for record in report.records:
+            print(f"  {record.design_name}: " + "; ".join(
+                d.one_line() for d in record.disagreements))
+            if record.bundle_dir:
+                print(f"    bundle: {record.bundle_dir}")
+
+    print(f"sweep total: {total_designs} designs, "
+          f"{total_disagreements} disagreements")
+    return 1 if total_disagreements else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,8 +71,11 @@ def compile_design(design: Design) -> list[
     cache fingerprints for the same query.
     """
     ctx = MonitorContext(design.system())
+    # Justice (liveness) specs have no SVA monitor and no engine that
+    # could settle them; campaigns skip them rather than fabricating a
+    # verdict.  `verify_all` reports them as UNKNOWN explicitly.
     compiled = [(spec, ctx.add(spec.sva, name=spec.name))
-                for spec in design.properties]
+                for spec in design.properties if spec.kind != "justice"]
     engine = ProofEngine(ctx.system)
     return [(spec, prop, engine.scoped_system(prop))
             for spec, prop in compiled]

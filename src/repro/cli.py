@@ -15,6 +15,10 @@ Subcommands::
                         [--trace DIR]         # span trace of the whole run
                         [--corpus DIR]        # + every AIGER/BTOR2 file
                                               #   under DIR as a design
+    repro-verify fuzz   [--seed N] [--count N]  # differential fuzzing:
+                        [--budget SECONDS]    # race every engine on random
+                        [--out DIR]           # designs, shrink + bundle any
+                        [--replay DIR]        # disagreement; replay a bundle
     repro-verify export DESIGN                # serialize a design (with
                         [--format aiger|btor2|blif]   # compiled monitors)
                         [--binary] [-o FILE]  # as an interchange file
@@ -150,6 +154,52 @@ def _cmd_export(args: argparse.Namespace) -> int:
         sys.stdout.buffer.write(data)
         sys.stdout.buffer.flush()
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import DifferentialOracle, replay_bundle, run_fuzz
+
+    strategies = None
+    if args.strategy != "oracle":
+        strategies = _split_strategies(args.strategy)
+    oracle = DifferentialOracle(strategies)
+
+    if args.replay:
+        try:
+            report = replay_bundle(args.replay, oracle)
+        except FileNotFoundError as exc:
+            raise ReproError(str(exc)) from exc
+        for verdict in report.verdicts:
+            print(f"  {verdict.strategy}: {verdict.status}")
+        if report.ok:
+            print("bundle replay: no disagreement reproduced")
+            return 1
+        for d in report.disagreements:
+            print("  " + d.one_line())
+        print(f"bundle replay: {len(report.disagreements)} "
+              "disagreement(s) reproduced")
+        return 0
+
+    report = run_fuzz(seed=args.seed, count=args.count,
+                      budget=args.budget, out_dir=args.out,
+                      oracle=oracle, shrink=not args.no_shrink)
+    print(f"fuzzed {report.designs_checked} designs from seed "
+          f"{args.seed} in {report.elapsed_seconds:.1f}s "
+          f"({report.designs_per_second:.1f} designs/sec)")
+    print(f"  disagreements: {report.disagreements}  "
+          f"shrink steps: {report.shrink_steps}")
+    if report.budget_exhausted:
+        print(f"  budget of {args.budget:g}s exhausted early")
+    for record in report.records:
+        print(f"  {record.design_name} (seed {record.seed}):")
+        for d in record.disagreements:
+            print("    " + d.one_line())
+        if record.bundle_dir:
+            print(f"    repro bundle: {record.bundle_dir}")
+    if args.verbose:
+        for note in report.notes:
+            print("  note: " + note)
+    return 0 if report.disagreements == 0 else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -446,6 +496,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir(p)
     _add_backend(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generate random designs, race every "
+             "registered engine, cross-check traces and certificates, "
+             "shrink any disagreement to a replayable repro bundle")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; the whole campaign is deterministic "
+                        "in it (default: 0)")
+    p.add_argument("--count", type=int, default=100,
+                   help="designs to generate and oracle (default: 100)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock cap in seconds; stops early once "
+                        "exceeded")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write shrunk repro bundles (design.aag + "
+                        "repro.json per disagreement) under DIR")
+    p.add_argument("--replay", default=None, metavar="DIR",
+                   help="instead of fuzzing, replay the repro bundle in "
+                        "DIR; exit 0 iff the disagreement reproduces")
+    p.add_argument("--strategy", default="oracle",
+                   help="'oracle' (default: bmc, k_induction, pdr, "
+                        "pdr_seeded, external) or '+'-joined specs")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report disagreements without delta-debugging "
+                        "them")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print per-design oracle notes")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
         "export",

@@ -35,7 +35,11 @@ class PropertySpec:
     "unknown" for corpus designs imported without one); ``needs_helper``
     marks properties whose plain k-induction fails without a
     strengthening lemma — the paper's subject matter.  ``max_k`` bounds
-    the induction depth used in tests/benchmarks.
+    the induction depth used in tests/benchmarks.  ``kind`` is
+    ``"safety"`` for bad-state properties (the normal case) or
+    ``"justice"`` for liveness obligations imported from AIGER justice
+    sections — those carry no SVA body, and every engine must answer
+    UNKNOWN on them until a liveness engine exists.
     """
 
     name: str
@@ -43,10 +47,17 @@ class PropertySpec:
     expect: str = "proven"
     needs_helper: bool = False
     max_k: int = 5
+    kind: str = "safety"
 
     def __post_init__(self) -> None:
         if self.expect not in ("proven", "violated", "unknown"):
             raise DesignError(f"bad expectation {self.expect!r}")
+        if self.kind not in ("safety", "justice"):
+            raise DesignError(f"bad property kind {self.kind!r}")
+        if self.kind == "justice" and self.expect != "unknown":
+            raise DesignError(
+                "justice properties must expect 'unknown': no engine "
+                "can settle liveness yet")
 
 
 @dataclass

@@ -126,6 +126,13 @@ class VerificationSession:
             props.append(ctx.add(spec.sva, name=spec.name))
         return ctx, props
 
+    def _justice_unknown(self, property_name: str) -> CheckResult:
+        return CheckResult(
+            property_name, Status.UNKNOWN,
+            detail="justice (liveness) property: no liveness engine is "
+                   "registered, so the verdict is UNKNOWN by "
+                   "construction")
+
     def _engine(self, ctx: MonitorContext) -> ProofEngine:
         return ProofEngine(ctx.system, self.engine_config,
                            cache=self.cache)
@@ -134,12 +141,16 @@ class VerificationSession:
                      max_k: int | None = None) -> CheckResult:
         """Plain k-induction with no GenAI involvement (the baseline)."""
         spec = self.design.property_spec(property_name)
+        if spec.kind == "justice":
+            return self._justice_unknown(property_name)
         ctx, (prop,) = self._compile([property_name])
         return self._engine(ctx).prove(
             prop, max_k=max_k if max_k is not None else spec.max_k)
 
     def bmc(self, property_name: str, bound: int = 20) -> CheckResult:
         """Bounded counterexample search (bug hunting)."""
+        if self.design.property_spec(property_name).kind == "justice":
+            return self._justice_unknown(property_name)
         ctx, (prop,) = self._compile([property_name])
         return self._engine(ctx).check_bmc(prop, bound=bound)
 
@@ -156,6 +167,19 @@ class VerificationSession:
         """
         names = properties if properties is not None else \
             [p.name for p in self.design.properties]
+        # Justice (liveness) properties bypass the engines entirely:
+        # the answer is UNKNOWN by construction, never PROVEN/VIOLATED.
+        justice_names = [n for n in names
+                         if self.design.property_spec(n).kind == "justice"]
+        names = [n for n in names if n not in set(justice_names)]
+        justice_outcomes = [
+            PortfolioOutcome(n, self._justice_unknown(n), strategy="none")
+            for n in justice_names]
+        if not names:
+            return BatchVerifyResult(
+                design=self.design.name, outcomes=justice_outcomes,
+                wall_seconds=0.0,
+                jobs=jobs if jobs is not None else self.jobs)
         ctx, props = self._compile(names)
         engine = self._engine(ctx)
         jobs = jobs if jobs is not None else self.jobs
@@ -198,7 +222,7 @@ class VerificationSession:
                     wall_seconds=outcome.result.stats.wall_seconds,
                     from_cache=outcome.from_cache)
         return BatchVerifyResult(
-            design=self.design.name, outcomes=outcomes,
+            design=self.design.name, outcomes=outcomes + justice_outcomes,
             wall_seconds=wall, jobs=jobs,
             cache_stats=self.cache.stats.since(stats_before))
 

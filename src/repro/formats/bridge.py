@@ -164,6 +164,13 @@ def system_to_aiger(system: TransitionSystem,
             lit = aig.and_(lit, chain.at_least(valid_from))
         bad_lits.append(lit)
 
+    # Liveness payloads round-trip untouched: each justice set and
+    # fairness condition is blasted like any other width-1 expression.
+    justice_lits = [[blaster.blast_bool(system.resolve_defines(c))
+                     for c in conds] for conds in system.justice]
+    fairness_lits = [blaster.blast_bool(system.resolve_defines(c))
+                     for c in system.fairness]
+
     # Assemble the canonical model: classify AIG input nodes into
     # design inputs, state-bit latches, and delay-chain latches.
     input_nodes: list[tuple[int, str]] = []   # (node, symbol)
@@ -221,12 +228,17 @@ def system_to_aiger(system: TransitionSystem,
     model.bads = [relit(lit) for lit in bad_lits]
     model.constraints = [relit(lit) for lit in constraint_lits]
     model.constraints += [relit(lit) for lit in extra_constraints]
+    model.justice = [[relit(lit) for lit in conds]
+                     for conds in justice_lits]
+    model.fairness = [relit(lit) for lit in fairness_lits]
     for pos, (_node, sym) in enumerate(input_nodes):
         model.symbols[f"i{pos}"] = sym
     for pos, (_node, sym) in enumerate(latch_nodes):
         model.symbols[f"l{pos}"] = sym
     for idx, (name, _bad, _vf) in enumerate(properties):
         model.symbols[f"b{idx}"] = name
+    for idx in range(len(justice_lits)):
+        model.symbols.setdefault(f"j{idx}", f"justice_{idx}")
     model.comments = list(metadata or [])
     model.validate()
     return model
@@ -242,10 +254,12 @@ def aiger_to_system(model: AigerModel, name: str
     """Reconstruct a bit-level transition system from an AIGER model.
 
     Returns ``(system, props)`` where each prop dict carries ``name``
-    (the synthesized property name), ``sva`` (``!<define>``), ``expect``
-    and ``max_k`` (from ``repro-prop`` metadata when present, defaults
-    otherwise).  Justice/fairness sections are ignored: only safety
-    (bad-state) properties map onto the verification pipeline.
+    (the synthesized property name), ``sva`` (``!<define>``), ``expect``,
+    ``max_k``, and ``kind`` (from ``repro-prop`` metadata when present,
+    defaults otherwise).  Justice/fairness sections are preserved on the
+    system (``system.justice``/``system.fairness``) and surfaced as
+    ``kind="justice"`` props with ``expect="unknown"`` — no engine
+    consumes liveness yet, so checks on them must answer UNKNOWN.
     """
     model.validate()
     system = TransitionSystem(name)
@@ -303,7 +317,19 @@ def aiger_to_system(model: AigerModel, name: str
             "sva": f"!{define}",
             "expect": info.get("expect", "unknown"),
             "max_k": int(info.get("max_k", 5)),
+            "kind": "safety",
         })
+    for idx, conds in enumerate(model.justice):
+        system.add_justice([of_lit(lit) for lit in conds])
+        props.append({
+            "name": model.symbols.get(f"j{idx}") or f"justice_{idx}",
+            "sva": "",
+            "expect": "unknown",
+            "max_k": 5,
+            "kind": "justice",
+        })
+    for lit in model.fairness:
+        system.add_fairness(of_lit(lit))
     system.validate()
     return system, props
 

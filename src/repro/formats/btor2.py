@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.errors import FormatError
+from repro.errors import FormatError, IRError
 from repro.formats.bridge import parse_prop_metadata, sanitize_identifier
 from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
@@ -201,7 +201,7 @@ def read_btor2(text: str, name: str = "btor2"
             parser.feed(line)
         except FormatError:
             raise
-        except (ValueError, IndexError, KeyError) as exc:
+        except (ValueError, IndexError, KeyError, IRError) as exc:
             raise FormatError(
                 f"malformed BTOR2 line {lineno}: {raw!r} ({exc})")
     return parser.finish()
@@ -237,7 +237,15 @@ class _Parser:
     def ref(self, token: str) -> E.Expr:
         nid = int(token)
         expr = self.exprs[abs(nid)]
-        return E.not_(expr) if nid < 0 else expr
+        if nid < 0:
+            if expr.width != 1:
+                raise FormatError(
+                    f"negative reference {nid} to a width-{expr.width} "
+                    f"node: the BTOR2 negation shorthand is defined for "
+                    f"width-1 (boolean) nodes only — use an explicit "
+                    f"'not' node for wider bit-vectors")
+            return E.not_(expr)
+        return expr
 
     def width_of_sort(self, token: str) -> int:
         sid = int(token)
@@ -355,13 +363,35 @@ class _Parser:
         "dec": lambda a: E.sub(a, E.const(1, a.width)),
     }
 
+    #: Operators the BTOR2 spec defines on boolean (width-1) operands
+    #: only; applying them bitwise would silently change semantics.
+    _BOOLEAN_ONLY = frozenset(["implies", "iff"])
+
+    def _check_sort(self, nid: int, kind: str, sort: str,
+                    expr: E.Expr) -> E.Expr:
+        declared = self.width_of_sort(sort)
+        if expr.width != declared:
+            raise FormatError(
+                f"node {nid} ({kind}): declared sort is bitvec "
+                f"{declared} but the operands produce width "
+                f"{expr.width}")
+        return expr
+
     def _op(self, nid: int, kind: str, args: list[str]) -> bool:
         if kind in self._UNARY:
-            self.exprs[nid] = self._UNARY[kind](self.ref(args[1]))
+            self.exprs[nid] = self._check_sort(
+                nid, kind, args[0], self._UNARY[kind](self.ref(args[1])))
             return True
         if kind in self._BINARY:
-            self.exprs[nid] = self._BINARY[kind](
-                self.ref(args[1]), self.ref(args[2]))
+            a, b = self.ref(args[1]), self.ref(args[2])
+            if kind in self._BOOLEAN_ONLY and \
+                    (a.width != 1 or b.width != 1):
+                raise FormatError(
+                    f"node {nid}: {kind!r} is defined on boolean "
+                    f"(width-1) operands only, got widths "
+                    f"{a.width} and {b.width}")
+            self.exprs[nid] = self._check_sort(
+                nid, kind, args[0], self._BINARY[kind](a, b))
             return True
         return False
 
@@ -378,14 +408,17 @@ class _Parser:
                 return ext
             if kind == "slice":
                 def slice_(nid: int, args: list[str]) -> None:
-                    self.exprs[nid] = E.extract(
-                        self.ref(args[1]), int(args[2]), int(args[3]))
+                    self.exprs[nid] = self._check_sort(
+                        nid, kind, args[0],
+                        E.extract(self.ref(args[1]), int(args[2]),
+                                  int(args[3])))
                 return slice_
             if kind == "ite":
                 def ite(nid: int, args: list[str]) -> None:
-                    self.exprs[nid] = E.ite(
-                        self.ref(args[1]), self.ref(args[2]),
-                        self.ref(args[3]))
+                    self.exprs[nid] = self._check_sort(
+                        nid, kind, args[0],
+                        E.ite(self.ref(args[1]), self.ref(args[2]),
+                              self.ref(args[3])))
                 return ite
         raise AttributeError(attr)
 

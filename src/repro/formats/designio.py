@@ -45,11 +45,17 @@ def compile_for_export(design: Design) -> tuple[
     ctx = MonitorContext(design.system())
     props: list[tuple[str, object, int]] = []
     metadata: list[str] = []
-    for index, spec in enumerate(design.properties):
+    index = 0
+    for spec in design.properties:
+        if spec.kind == "justice":
+            # Justice obligations have no SVA monitor; they live on the
+            # system itself and the AIGER writer emits them directly.
+            continue
         compiled: SafetyProperty = ctx.add(spec.sva, name=spec.name)
         props.append((spec.name, compiled.bad, compiled.valid_from))
         metadata.append(prop_metadata_line(
             index, spec.name, spec.expect, spec.max_k))
+        index += 1
     return ctx.system, props, metadata
 
 
@@ -82,7 +88,8 @@ def _props_to_specs(props: list[dict],
             f"{source}: no bad-state properties to verify (file has "
             "neither bad sections nor outputs)")
     return [PropertySpec(name=p["name"], sva=p["sva"],
-                         expect=p["expect"], max_k=p["max_k"])
+                         expect=p["expect"], max_k=p["max_k"],
+                         kind=p.get("kind", "safety"))
             for p in props]
 
 

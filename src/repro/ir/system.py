@@ -57,6 +57,11 @@ class TransitionSystem:
         self.next: dict[str, E.Expr] = {}
         self.defines: dict[str, E.Expr] = {}
         self.constraints: list[E.Expr] = []
+        # Liveness payloads (AIGER 1.9 justice/fairness sections).  They
+        # ride along through import/export untouched; no engine consumes
+        # them yet, so checks on justice properties must answer UNKNOWN.
+        self.justice: list[list[E.Expr]] = []
+        self.fairness: list[E.Expr] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -120,6 +125,22 @@ class TransitionSystem:
             raise SystemError_("constraints must be 1-bit expressions")
         self.constraints.append(cond)
 
+    def add_justice(self, conds: list[E.Expr]) -> None:
+        """Record a justice (liveness) obligation: every ``cond`` in the
+        set must hold infinitely often on a witness run."""
+        for cond in conds:
+            if cond.width != 1:
+                raise SystemError_(
+                    "justice conditions must be 1-bit expressions")
+        self.justice.append(list(conds))
+
+    def add_fairness(self, cond: E.Expr) -> None:
+        """Record a fairness assumption (holds infinitely often)."""
+        if cond.width != 1:
+            raise SystemError_("fairness conditions must be 1-bit "
+                               "expressions")
+        self.fairness.append(cond)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -174,6 +195,12 @@ class TransitionSystem:
                 if free not in known:
                     raise SystemError_(
                         f"constraint references unknown signal {free!r}")
+        for cond in self.fairness + [c for js in self.justice for c in js]:
+            for free in E.support(cond):
+                if free not in known:
+                    raise SystemError_(
+                        f"justice/fairness condition references unknown "
+                        f"signal {free!r}")
 
     # ------------------------------------------------------------------
     # Copying / composition
@@ -188,6 +215,8 @@ class TransitionSystem:
         other.next = dict(self.next)
         other.defines = dict(self.defines)
         other.constraints = list(self.constraints)
+        other.justice = [list(conds) for conds in self.justice]
+        other.fairness = list(self.fairness)
         return other
 
     def resolve_defines(self, root: E.Expr) -> E.Expr:

@@ -9,6 +9,8 @@ from repro.mc.kinduction import KInductionOptions, k_induction
 from repro.mc.pdr import PdrOptions, pdr
 from repro.mc.cache import (CacheBacking, CacheStats, ResultCache,
                             run_cached, strategy_cacheable)
+from repro.mc.certcheck import (CertificateReport, ObligationFailure,
+                                check_certificate)
 from repro.mc.strategy import (CheckTask, Strategy, StrategyError,
                                get_strategy, register_strategy,
                                resolve_strategy, run_check_task,
@@ -20,8 +22,10 @@ from repro.mc.engine import EngineConfig, ProofEngine
 __all__ = [
     "CacheBacking",
     "CacheStats",
+    "CertificateReport",
     "CheckResult",
     "CheckTask",
+    "ObligationFailure",
     "DEFAULT_PORTFOLIO",
     "EngineConfig",
     "KInductionOptions",
@@ -37,6 +41,7 @@ __all__ = [
     "StrategyError",
     "VerifyTask",
     "bmc",
+    "check_certificate",
     "get_strategy",
     "k_induction",
     "pdr",

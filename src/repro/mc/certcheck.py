@@ -1,0 +1,275 @@
+"""Standalone certificate checking for PROVEN verdicts.
+
+An engine that answers PROVEN with an ``invariant`` payload (IC3/PDR)
+is claiming: the conjunction of those width-1 expressions is an
+inductive invariant of the system that implies the property.  This
+module re-checks that claim from first principles, deliberately
+reusing **no engine code** — no :class:`~repro.mc.frame.FrameSolver`,
+no :class:`~repro.mc.unroll.Unroller` — so a bug shared by the engines
+cannot vouch for itself.  The differential-fuzzing oracle
+(:mod:`repro.qa.oracle`) calls this on every PROVEN-with-certificate
+verdict it sees.
+
+Three obligations, over full cycle valuations (states *and* inputs,
+with the system constraints assumed exactly as the model-checking
+semantics assumes them every cycle):
+
+1. **Initiation** — every constrained initial valuation satisfies the
+   invariant;
+2. **Consecution** — from any constrained valuation satisfying the
+   invariant, every constrained successor valuation satisfies it;
+3. **Safety** — no constrained valuation satisfying the invariant
+   makes the property's ``bad`` expression true.
+
+Small state spaces are checked by **direct evaluation** (exhaustive
+enumeration through :func:`repro.ir.expr.evaluate`, the IR's reference
+semantics); larger ones fall back to a **SAT probe** built directly on
+the raw :class:`~repro.sat.solver.Solver` /
+:class:`~repro.aig.bitblast.BitBlaster` /
+:class:`~repro.aig.cnf.CnfBuilder` primitives.  Successor valuations
+are formed purely syntactically — states are substituted by their
+next-state expressions and inputs by fresh primed variables — so no
+unrolling machinery is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.aig.bitblast import BitBlaster
+from repro.aig.cnf import CnfBuilder
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+from repro.sat.solver import Solver
+
+#: Enumerate exhaustively when current bits + primed input bits fit here.
+DEFAULT_EXHAUSTIVE_BITS = 12
+
+
+@dataclass
+class ObligationFailure:
+    """One violated proof obligation, with a concrete witness."""
+
+    obligation: str          # "initiation" | "consecution" | "safety"
+    witness: dict[str, int]  # valuation (current-cycle signals) breaking it
+
+    def one_line(self) -> str:
+        shown = ", ".join(f"{k}={v}" for k, v in
+                          sorted(self.witness.items())[:8])
+        return f"{self.obligation} fails at {{{shown}}}"
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of re-checking one invariant certificate."""
+
+    property_name: str
+    method: str                       # "exhaustive" | "sat"
+    failures: list[ObligationFailure] = field(default_factory=list)
+    conjuncts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def one_line(self) -> str:
+        verdict = "certificate ok" if self.ok else \
+            "CERTIFICATE INVALID: " + \
+            "; ".join(f.one_line() for f in self.failures)
+        return (f"{self.property_name}: {verdict} "
+                f"({self.conjuncts} conjuncts, {self.method})")
+
+
+def check_certificate(system: TransitionSystem, prop: SafetyProperty,
+                      invariant: list[E.Expr],
+                      exhaustive_bits: int = DEFAULT_EXHAUSTIVE_BITS
+                      ) -> CertificateReport:
+    """Re-check an engine's inductive-invariant certificate.
+
+    ``invariant`` is the ``CheckResult.invariant`` payload: width-1
+    expressions (over the same system the check ran on) whose
+    conjunction must be inductive and imply ``prop``.  Collects every
+    violated obligation rather than stopping at the first, so a report
+    names the full extent of a bad certificate.
+    """
+    checker = _Checker(system, prop, invariant)
+    if checker.total_bits <= exhaustive_bits:
+        return checker.run_exhaustive()
+    return checker.run_sat()
+
+
+class _Checker:
+    def __init__(self, system: TransitionSystem, prop: SafetyProperty,
+                 invariant: list[E.Expr]):
+        system.validate()
+        if not invariant:
+            raise ValueError("empty certificate: nothing to check")
+        self.system = system
+        self.prop = prop
+        self.conjuncts = [system.resolve_defines(g) for g in invariant]
+        for g in self.conjuncts:
+            if g.width != 1:
+                raise ValueError(
+                    f"certificate conjunct must be width 1, got {g.width}")
+        self.inv = E.bool_and(*self.conjuncts) if len(self.conjuncts) > 1 \
+            else self.conjuncts[0]
+        self.bad = system.resolve_defines(prop.bad)
+        self.constraints = [system.resolve_defines(c)
+                            for c in system.constraints]
+        # Successor valuation, syntactically: states become their
+        # next-state expressions, inputs become fresh primed variables.
+        taken = {s.name for s in system.signals()}
+        self.primed_inputs: dict[str, E.Expr] = {}
+        for name, v in system.inputs.items():
+            fresh = f"{name}__prime"
+            while fresh in taken:
+                fresh += "_"
+            taken.add(fresh)
+            self.primed_inputs[name] = E.var(fresh, v.width)
+        step = {name: system.resolve_defines(system.next[name])
+                for name in system.states}
+        step.update(self.primed_inputs)
+        self.inv_next = E.substitute(self.inv, step)
+        self.constraints_next = [E.substitute(c, step)
+                                 for c in self.constraints]
+        self.bad_next = E.substitute(self.bad, step)
+
+    @property
+    def total_bits(self) -> int:
+        state_bits = sum(v.width for v in self.system.states.values())
+        input_bits = sum(v.width for v in self.system.inputs.values())
+        return state_bits + 2 * input_bits
+
+    # ------------------------------------------------------------------
+    # Direct evaluation (reference semantics, exhaustive)
+    # ------------------------------------------------------------------
+
+    def run_exhaustive(self) -> CertificateReport:
+        report = CertificateReport(self.prop.name, "exhaustive",
+                                   conjuncts=len(self.conjuncts))
+        sys_ = self.system
+        state_vars = [(n, v.width) for n, v in sys_.states.items()]
+        input_vars = [(n, v.width) for n, v in sys_.inputs.items()]
+        next_names = list(sys_.states)
+        next_exprs = [sys_.resolve_defines(sys_.next[n])
+                      for n in next_names]
+
+        def constrained(env: dict[str, int]) -> bool:
+            return all(E.evaluate(c, env) for c in self.constraints)
+
+        # Initiation: pin initialized states (init expressions may only
+        # reference earlier states, exactly as the simulator evaluates
+        # them), enumerate the uninitialized rest and the inputs.  An
+        # init shape evaluation cannot order is handed to the SAT probe.
+        resolved_init = {n: sys_.resolve_defines(sys_.init[n])
+                         for n in sys_.init}
+        evaluable = set(n for n, _ in state_vars if n not in sys_.init)
+        for name in sys_.states:
+            if name in resolved_init:
+                if E.support(resolved_init[name]) - evaluable:
+                    return self.run_sat()
+                evaluable.add(name)
+        free_states = [(n, w) for n, w in state_vars
+                       if n not in sys_.init]
+        done = False
+        for partial in _assignments(free_states):
+            env = dict(partial)
+            for name in sys_.states:
+                if name in resolved_init:
+                    env[name] = E.evaluate(resolved_init[name], env)
+            for inputs in _assignments(input_vars):
+                full = {**env, **inputs}
+                if not constrained(full):
+                    continue
+                if not E.evaluate(self.inv, full):
+                    report.failures.append(
+                        ObligationFailure("initiation", full))
+                    done = True
+                    break
+            if done:
+                break
+
+        # Consecution and safety share the outer sweep.
+        for current in _assignments(state_vars + input_vars):
+            if not constrained(current):
+                continue
+            if not E.evaluate(self.inv, current):
+                continue
+            if E.evaluate(self.bad, current):
+                report.failures.append(
+                    ObligationFailure("safety", current))
+                return report
+            succ_states = dict(zip(
+                next_names, E.evaluate_many(next_exprs, current)))
+            for next_inputs in _assignments(input_vars):
+                succ = {**succ_states, **next_inputs}
+                if not constrained(succ):
+                    continue
+                if not E.evaluate(self.inv, succ):
+                    report.failures.append(
+                        ObligationFailure("consecution", current))
+                    return report
+        return report
+
+    # ------------------------------------------------------------------
+    # SAT probe (raw solver primitives, no engine machinery)
+    # ------------------------------------------------------------------
+
+    def run_sat(self) -> CertificateReport:
+        report = CertificateReport(self.prop.name, "sat",
+                                   conjuncts=len(self.conjuncts))
+        init_eqs = []
+        for name, init in self.system.init.items():
+            init_eqs.append(E.eq(self.system.states[name],
+                                 self.system.resolve_defines(init)))
+        probes = [
+            ("initiation",
+             init_eqs + self.constraints + [E.not_(self.inv)]),
+            ("consecution",
+             [self.inv] + self.constraints + self.constraints_next +
+             [E.not_(self.inv_next)]),
+            ("safety",
+             [self.inv] + self.constraints + [self.bad]),
+        ]
+        for obligation, asserts in probes:
+            witness = self._sat_witness(asserts)
+            if witness is not None:
+                report.failures.append(
+                    ObligationFailure(obligation, witness))
+        return report
+
+    def _sat_witness(self, asserts: list[E.Expr]
+                     ) -> dict[str, int] | None:
+        """Satisfying current-cycle valuation of ``asserts``, or None."""
+        solver = Solver()
+        blaster = BitBlaster()
+        cnf = CnfBuilder(blaster.aig, solver)
+        for v in list(self.system.inputs.values()) + \
+                list(self.system.states.values()):
+            blaster.blast(v)
+        lits = [blaster.blast_bool(a) for a in asserts]
+        for lit in lits:
+            cnf.assert_lit(lit)
+        if not solver.solve():
+            return None
+        witness: dict[str, int] = {}
+        for name in list(self.system.inputs) + list(self.system.states):
+            bits = blaster.var_bits(name)
+            if bits is not None:
+                witness[name] = cnf.bits_value(bits)
+        return witness
+
+
+def _assignments(vars_: list[tuple[str, int]]
+                 ) -> Iterator[dict[str, int]]:
+    """Every valuation of ``(name, width)`` variables, lexicographic."""
+    total = sum(w for _, w in vars_)
+    for packed in range(1 << total):
+        env: dict[str, int] = {}
+        offset = 0
+        for name, width in vars_:
+            env[name] = (packed >> offset) & ((1 << width) - 1)
+            offset += width
+        yield env

@@ -1,0 +1,290 @@
+"""Seeded random design generation and mutation for differential fuzzing.
+
+:func:`random_design` grows a well-formed
+:class:`~repro.ir.system.TransitionSystem` plus one
+:class:`~repro.mc.property.SafetyProperty` from a seed: parameterized
+input/latch counts, bit widths, logic depth, init shapes (constant or
+uninitialized), and input-side environment constraints.  Every design it
+emits passes ``system.validate()`` and is small enough that the whole
+engine portfolio settles it in well under a second — the point is many
+adversarial designs per second, not big ones.
+
+:data:`MUTATIONS` are perturbation operators over an existing
+``(system, prop)`` pair — from the registry, a corpus file, or a prior
+fuzz round.  Each application records whether the operator is
+*verdict-preserving* (adding an unused input cannot flip PROVEN to
+VIOLATED; negating the bad expression certainly can), so a fuzz run can
+assert that preserving mutations keep verdicts while non-preserving
+ones explore new ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape parameters for :func:`random_design`."""
+
+    max_inputs: int = 2
+    max_states: int = 3
+    max_width: int = 5
+    max_depth: int = 3          # expression tree depth
+    p_uninit: float = 0.15      # chance a latch has no reset value
+    p_constraint: float = 0.4   # chance of an input-side constraint
+    p_input_in_bad: float = 0.3
+
+
+@dataclass
+class GeneratedDesign:
+    """One fuzz subject: the system, its property, and its provenance."""
+
+    system: TransitionSystem
+    prop: SafetyProperty
+    seed: int
+    mutations: list["Mutation"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.system.name
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One applied perturbation and its verdict contract."""
+
+    name: str
+    verdict_preserving: bool
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Random expression / design construction
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = (E.add, E.sub, E.xor, E.and_, E.or_)
+_CMP_OPS = (E.eq, E.ne, E.ult, E.ule, E.ugt, E.uge)
+
+
+def _random_expr(rng: random.Random, leaves: list[E.Expr],
+                 width: int, depth: int) -> E.Expr:
+    """A random expression of exactly ``width`` bits, depth-bounded."""
+    if depth <= 0 or rng.random() < 0.25:
+        if leaves and rng.random() < 0.75:
+            return E.resize(rng.choice(leaves), width)
+        return E.const(rng.randrange(1 << width), width)
+    pick = rng.random()
+    if pick < 0.55:
+        op = rng.choice(_BIN_OPS)
+        return op(_random_expr(rng, leaves, width, depth - 1),
+                  _random_expr(rng, leaves, width, depth - 1))
+    if pick < 0.7:
+        return E.not_(_random_expr(rng, leaves, width, depth - 1))
+    if pick < 0.85:
+        return E.ite(_random_bool(rng, leaves, depth - 1),
+                     _random_expr(rng, leaves, width, depth - 1),
+                     _random_expr(rng, leaves, width, depth - 1))
+    return E.add(_random_expr(rng, leaves, width, depth - 1),
+                 E.const(rng.randrange(1 << width) | 1, width))
+
+
+def _random_bool(rng: random.Random, leaves: list[E.Expr],
+                 depth: int) -> E.Expr:
+    """A random width-1 expression (comparison-shaped at the root)."""
+    if not leaves or depth <= 0:
+        return E.const(rng.randrange(2), 1)
+    a = rng.choice(leaves)
+    if rng.random() < 0.7:
+        op = rng.choice(_CMP_OPS)
+        if rng.random() < 0.5:
+            return op(a, E.const(rng.randrange(1 << a.width), a.width))
+        b = E.resize(rng.choice(leaves), a.width)
+        return op(a, b)
+    return E.redor(_random_expr(rng, leaves, a.width, depth - 1)) \
+        if rng.random() < 0.5 else E.bit(a, rng.randrange(a.width))
+
+
+def random_design(seed: int,
+                  config: GeneratorConfig | None = None
+                  ) -> GeneratedDesign:
+    """Generate one seeded random design + safety property."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    system = TransitionSystem(f"fuzz_{seed}")
+
+    inputs: list[E.Expr] = []
+    for i in range(rng.randint(0, config.max_inputs)):
+        inputs.append(system.add_input(
+            f"in{i}", rng.randint(1, config.max_width)))
+    states: list[E.Expr] = []
+    for i in range(rng.randint(1, config.max_states)):
+        width = rng.randint(1, config.max_width)
+        init = None if rng.random() < config.p_uninit \
+            else E.const(rng.randrange(1 << width), width)
+        states.append(system.add_state(f"st{i}", width, init=init))
+
+    leaves = inputs + states
+    for st in states:
+        system.set_next(
+            st.name, _random_expr(rng, leaves, st.width,
+                                  rng.randint(1, config.max_depth)))
+
+    # Constraints stay on the input side so the environment can always
+    # be satisfied cycle-to-cycle (a dead environment is legal but
+    # teaches the fuzzer nothing).
+    if inputs and rng.random() < config.p_constraint:
+        x = rng.choice(inputs)
+        system.add_constraint(
+            E.ne(x, E.const(rng.randrange(1 << x.width), x.width))
+            if x.width > 1 else E.eq(x, E.const(rng.randrange(2), 1)))
+
+    bad_leaves = list(states)
+    if inputs and rng.random() < config.p_input_in_bad:
+        bad_leaves.append(rng.choice(inputs))
+    bad = _random_bool(rng, bad_leaves, 2)
+    system.validate()
+    return GeneratedDesign(system, SafetyProperty("p0", bad), seed)
+
+
+# ---------------------------------------------------------------------------
+# Mutation operators
+# ---------------------------------------------------------------------------
+
+
+def _fresh(system: TransitionSystem, base: str) -> str:
+    name = base
+    suffix = 0
+    while system.has_signal(name):
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name
+
+
+def _mut_add_input(system: TransitionSystem, prop: SafetyProperty,
+                   rng: random.Random) -> tuple[TransitionSystem,
+                                                SafetyProperty, Mutation]:
+    clone = system.clone()
+    name = _fresh(clone, "fuzz_in")
+    clone.add_input(name, rng.randint(1, 4))
+    return clone, prop, Mutation("add_unused_input", True, name)
+
+
+def _mut_shadow_state(system: TransitionSystem, prop: SafetyProperty,
+                      rng: random.Random) -> tuple[TransitionSystem,
+                                                   SafetyProperty,
+                                                   Mutation]:
+    """A new latch mirroring an existing one; nothing reads it."""
+    clone = system.clone()
+    source = rng.choice(list(clone.states))
+    name = _fresh(clone, f"{source}_shadow")
+    clone.add_state(name, clone.states[source].width,
+                    init=clone.init.get(source),
+                    next_=clone.next[source])
+    return clone, prop, Mutation("add_shadow_state", True,
+                                 f"{name} mirrors {source}")
+
+
+def _mut_duplicate_constraint(system: TransitionSystem,
+                              prop: SafetyProperty, rng: random.Random
+                              ) -> tuple[TransitionSystem,
+                                         SafetyProperty, Mutation]:
+    clone = system.clone()
+    if clone.constraints:
+        clone.add_constraint(rng.choice(clone.constraints))
+        return clone, prop, Mutation("duplicate_constraint", True)
+    # Conjoining an always-true constraint is equally verdict-free.
+    clone.add_constraint(E.const(1, 1))
+    return clone, prop, Mutation("add_true_constraint", True)
+
+
+def _mut_tweak_init(system: TransitionSystem, prop: SafetyProperty,
+                    rng: random.Random) -> tuple[TransitionSystem,
+                                                 SafetyProperty, Mutation]:
+    clone = system.clone()
+    name = rng.choice(list(clone.states))
+    width = clone.states[name].width
+    clone.set_init(name, E.const(rng.randrange(1 << width), width))
+    return clone, prop, Mutation("tweak_init", False, name)
+
+
+def _mut_negate_bad(system: TransitionSystem, prop: SafetyProperty,
+                    rng: random.Random) -> tuple[TransitionSystem,
+                                                 SafetyProperty, Mutation]:
+    flipped = SafetyProperty(prop.name, E.not_(prop.bad),
+                             prop.valid_from, prop.source_text)
+    return system, flipped, Mutation("negate_bad", False)
+
+
+def _mut_perturb_next(system: TransitionSystem, prop: SafetyProperty,
+                      rng: random.Random) -> tuple[TransitionSystem,
+                                                   SafetyProperty,
+                                                   Mutation]:
+    """XOR a random constant into one latch's next-state function."""
+    clone = system.clone()
+    name = rng.choice(list(clone.states))
+    width = clone.states[name].width
+    delta = E.const(rng.randrange(1, 1 << width) if width > 0 else 1,
+                    width)
+    clone.set_next(name, E.xor(clone.next[name], delta))
+    return clone, prop, Mutation("perturb_next", False, name)
+
+
+def _mut_drop_constraint(system: TransitionSystem, prop: SafetyProperty,
+                         rng: random.Random) -> tuple[TransitionSystem,
+                                                      SafetyProperty,
+                                                      Mutation]:
+    clone = system.clone()
+    if clone.constraints:
+        clone.constraints.pop(rng.randrange(len(clone.constraints)))
+        return clone, prop, Mutation("drop_constraint", False)
+    return clone, prop, Mutation("drop_constraint_noop", True)
+
+
+#: All operators; the bool is the verdict-preserving contract the
+#: operator reports when applied.
+MUTATIONS = (
+    _mut_add_input,
+    _mut_shadow_state,
+    _mut_duplicate_constraint,
+    _mut_tweak_init,
+    _mut_negate_bad,
+    _mut_perturb_next,
+    _mut_drop_constraint,
+)
+
+
+def mutate(system: TransitionSystem, prop: SafetyProperty,
+           rng: random.Random,
+           preserving_only: bool = False
+           ) -> tuple[TransitionSystem, SafetyProperty, Mutation]:
+    """Apply one random mutation operator; returns the perturbed pair.
+
+    With ``preserving_only`` the operator is re-drawn until the applied
+    mutation reports ``verdict_preserving`` — used by cross-validation
+    tests that assert verdict stability under mutation.
+    """
+    for _ in range(32):
+        op = rng.choice(MUTATIONS)
+        mutated_system, mutated_prop, mutation = op(system, prop, rng)
+        if preserving_only and not mutation.verdict_preserving:
+            continue
+        mutated_system.validate()
+        return mutated_system, mutated_prop, mutation
+    raise RuntimeError("no applicable mutation operator")  # pragma: no cover
+
+
+def mutated_design(base: GeneratedDesign, rng: random.Random,
+                   preserving_only: bool = False) -> GeneratedDesign:
+    """A :class:`GeneratedDesign` derived from ``base`` by one mutation."""
+    system, prop, mutation = mutate(base.system, base.prop, rng,
+                                    preserving_only=preserving_only)
+    renamed = system.clone(
+        f"{base.system.name}_m{len(base.mutations) + 1}")
+    return GeneratedDesign(renamed, prop, base.seed,
+                           base.mutations + [mutation])

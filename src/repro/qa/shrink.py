@@ -1,0 +1,313 @@
+"""Delta-debugging reduction of disagreeing designs, plus repro bundles.
+
+When the oracle finds a disagreement, the raw design is rarely the
+story — most of its latches, input bits, and logic are irrelevant to
+the bug.  :func:`shrink_design` greedily applies structural reductions
+(drop a latch, drop an input, narrow a width, hoist a subexpression,
+drop a constraint) and keeps each one only while the disagreement
+still **reproduces** through the full oracle, delta-debugging style.
+The result is written by :func:`write_repro_bundle` as a replayable
+``.aag`` (through the standard format layer, so any AIGER tool can
+read it) plus a ``repro.json`` describing what disagreed and how the
+design shrank; :func:`replay_bundle` re-imports the ``.aag`` and
+re-runs the oracle on it, closing the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.formats.aiger import write_aiger_ascii
+from repro.formats.bridge import prop_metadata_line, system_to_aiger
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+
+#: Predicate deciding whether a candidate still shows the disagreement.
+Reproduces = Callable[[TransitionSystem, SafetyProperty], bool]
+
+#: Cap on oracle invocations per shrink run; reduction is best-effort.
+DEFAULT_MAX_CHECKS = 150
+
+
+@dataclass
+class ShrinkResult:
+    """A reduced design that still reproduces the disagreement."""
+
+    system: TransitionSystem
+    prop: SafetyProperty
+    steps: int = 0                  # accepted reductions
+    checks: int = 0                 # oracle invocations spent
+    original_name: str = ""
+    reductions: list[str] = field(default_factory=list)
+
+    @property
+    def latch_bits(self) -> int:
+        return sum(v.width for v in self.system.states.values())
+
+
+def shrink_design(system: TransitionSystem, prop: SafetyProperty,
+                  oracle_or_predicate,
+                  max_checks: int = DEFAULT_MAX_CHECKS) -> ShrinkResult:
+    """Minimize ``(system, prop)`` while the disagreement reproduces.
+
+    ``oracle_or_predicate`` is either a
+    :class:`~repro.qa.oracle.DifferentialOracle` (a candidate
+    reproduces when its report has any disagreement) or a bare
+    ``f(system, prop) -> bool`` predicate.  Greedy fixpoint: each round
+    tries every candidate reduction and restarts on the first accepted
+    one; stops when no reduction is accepted or ``max_checks`` oracle
+    runs are spent.
+    """
+    if callable(oracle_or_predicate):
+        reproduces = oracle_or_predicate
+    else:
+        oracle = oracle_or_predicate
+        reproduces = lambda s, p: not oracle.check(s, p).ok  # noqa: E731
+
+    result = ShrinkResult(*_flatten(system, prop),
+                          original_name=system.name)
+    result.checks += 1
+    if not reproduces(result.system, result.prop):
+        # Define-flattening is semantics-preserving; if the predicate
+        # already fails here it is flaky, so return the input untouched.
+        return ShrinkResult(system, prop, checks=result.checks,
+                            original_name=system.name)
+
+    improved = True
+    while improved and result.checks < max_checks:
+        improved = False
+        for candidate, cprop, description in _candidates(result.system,
+                                                         result.prop):
+            if result.checks >= max_checks:
+                break
+            try:
+                candidate.validate()
+            except Exception:
+                continue
+            result.checks += 1
+            if reproduces(candidate, cprop):
+                result.system, result.prop = candidate, cprop
+                result.steps += 1
+                result.reductions.append(description)
+                improved = True
+                break
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Candidate reductions
+# ---------------------------------------------------------------------------
+
+
+def _flatten(system: TransitionSystem, prop: SafetyProperty
+             ) -> tuple[TransitionSystem, SafetyProperty]:
+    """A define-free copy; reducers then never have to touch defines."""
+    flat = TransitionSystem(system.name)
+    for name, v in system.inputs.items():
+        flat.add_input(name, v.width)
+    for name, v in system.states.items():
+        flat.add_state(name, v.width)
+    for name in system.states:
+        flat.set_next(name, system.resolve_defines(system.next[name]))
+        if name in system.init:
+            flat.set_init(name, system.resolve_defines(system.init[name]))
+    for c in system.constraints:
+        flat.add_constraint(system.resolve_defines(c))
+    return flat, SafetyProperty(prop.name,
+                                system.resolve_defines(prop.bad),
+                                prop.valid_from)
+
+
+def _without(system: TransitionSystem, prop: SafetyProperty,
+             victim: str, replacement: E.Expr
+             ) -> tuple[TransitionSystem, SafetyProperty]:
+    """The system with one signal removed, substituted by ``replacement``."""
+    mapping = {victim: replacement}
+    out = TransitionSystem(system.name)
+    for name, v in system.inputs.items():
+        if name != victim:
+            out.add_input(name, v.width)
+    for name, v in system.states.items():
+        if name != victim:
+            out.add_state(name, v.width)
+    for name in out.states:
+        out.set_next(name, E.substitute(system.next[name], mapping))
+        if name in system.init:
+            out.set_init(name, E.substitute(system.init[name], mapping))
+    for c in system.constraints:
+        out.add_constraint(E.substitute(c, mapping))
+    return out, SafetyProperty(prop.name,
+                               E.substitute(prop.bad, mapping),
+                               prop.valid_from)
+
+
+def _narrowed(system: TransitionSystem, prop: SafetyProperty,
+              victim: str, old_width: int
+              ) -> tuple[TransitionSystem, SafetyProperty]:
+    """The system with one signal one bit narrower (zero-extended back)."""
+    new_width = old_width - 1
+    mapping = {victim: E.zext(E.var(victim, new_width), old_width)}
+
+    def fit(expr: E.Expr, name: str) -> E.Expr:
+        replaced = E.substitute(expr, mapping)
+        if name == victim:
+            return E.extract(replaced, new_width - 1, 0)
+        return replaced
+
+    out = TransitionSystem(system.name)
+    for name, v in system.inputs.items():
+        out.add_input(name, new_width if name == victim else v.width)
+    for name, v in system.states.items():
+        out.add_state(name, new_width if name == victim else v.width)
+    for name in system.states:
+        out.set_next(name, fit(system.next[name], name))
+        if name in system.init:
+            out.set_init(name, fit(system.init[name], name))
+    for c in system.constraints:
+        out.add_constraint(E.substitute(c, mapping))
+    return out, SafetyProperty(prop.name,
+                               E.substitute(prop.bad, mapping),
+                               prop.valid_from)
+
+
+def _bool_subexprs(root: E.Expr, limit: int = 8) -> list[E.Expr]:
+    """Width-1 non-constant proper subexpressions, breadth-first."""
+    found: list[E.Expr] = []
+    seen = {root}
+    queue = list(root.args)
+    while queue and len(found) < limit:
+        node = queue.pop(0)
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.width == 1 and node.op != "const":
+            found.append(node)
+        queue.extend(node.args)
+    return found
+
+
+def _candidates(system: TransitionSystem, prop: SafetyProperty
+                ) -> Iterator[tuple[TransitionSystem, SafetyProperty, str]]:
+    """All one-step reductions, most aggressive first."""
+    for name, v in list(system.states.items()):
+        init = system.init.get(name)
+        if init is None or E.support(init):
+            init = E.const(0, v.width)
+        yield (*_without(system, prop, name, init),
+               f"drop latch {name} ({v.width} bits)")
+
+    for name, v in list(system.inputs.items()):
+        yield (*_without(system, prop, name, E.const(0, v.width)),
+               f"drop input {name} ({v.width} bits)")
+
+    for name, v in list(system.states.items()) + list(system.inputs.items()):
+        if v.width > 1:
+            yield (*_narrowed(system, prop, name, v.width),
+                   f"narrow {name} to {v.width - 1} bits")
+
+    for i in range(len(system.constraints)):
+        clone = system.clone()
+        clone.constraints.pop(i)
+        yield clone, prop, f"drop constraint {i}"
+
+    for sub in _bool_subexprs(prop.bad):
+        yield (system,
+               SafetyProperty(prop.name, sub, prop.valid_from),
+               "hoist bad subexpression")
+
+    for name in list(system.states):
+        nxt = system.next[name]
+        if nxt.op == "const":
+            continue
+        width = system.states[name].width
+        simpler = [E.const(0, width)]
+        simpler.extend(a for a in nxt.args if a.width == width)
+        for replacement in simpler:
+            if replacement is nxt:
+                continue
+            clone = system.clone()
+            clone.set_next(name, replacement)
+            yield clone, prop, f"simplify next({name})"
+
+
+# ---------------------------------------------------------------------------
+# Repro bundles
+# ---------------------------------------------------------------------------
+
+
+def bundle_aag(shrunk: ShrinkResult) -> str:
+    """The shrunk design as ascii AIGER with prop metadata."""
+    prop = shrunk.prop
+    system = shrunk.system
+    bad = system.resolve_defines(prop.bad)
+    model = system_to_aiger(
+        system, [(prop.name, bad, prop.valid_from)],
+        metadata=[prop_metadata_line(0, prop.name, "unknown", 12)])
+    return write_aiger_ascii(model)
+
+
+def write_repro_bundle(out_dir: Path, shrunk: ShrinkResult,
+                       record, oracle) -> Path:
+    """Write ``<out_dir>/<design>/design.aag`` + ``repro.json``.
+
+    ``record`` is the oracle's
+    :class:`~repro.qa.oracle.DisagreementRecord`; ``oracle`` records
+    which strategies the bundle should be replayed against.
+    """
+    bundle = Path(out_dir) / record.design_name
+    bundle.mkdir(parents=True, exist_ok=True)
+    (bundle / "design.aag").write_text(bundle_aag(shrunk))
+    manifest = {
+        "design": record.design_name,
+        "seed": record.seed,
+        "mutations": record.mutations,
+        "property": shrunk.prop.name,
+        "strategies": list(oracle.strategies),
+        "disagreements": [
+            {"kind": d.kind, "detail": d.detail, "verdicts": d.verdicts}
+            for d in record.disagreements],
+        "shrink": {
+            "steps": shrunk.steps,
+            "checks": shrunk.checks,
+            "reductions": shrunk.reductions,
+            "latch_bits": shrunk.latch_bits,
+        },
+        "replay": "repro-verify fuzz --replay " + str(bundle),
+    }
+    (bundle / "repro.json").write_text(
+        json.dumps(manifest, indent=2) + "\n")
+    return bundle
+
+
+def replay_bundle(bundle_dir: str | Path, oracle=None):
+    """Re-import a bundle's ``.aag`` and re-run the oracle on it.
+
+    Returns the fresh :class:`~repro.qa.oracle.OracleReport` — the
+    disagreement reproduced iff ``report.ok`` is false.  Strategy specs
+    come from ``repro.json`` when present so a bundle replays against
+    the same portfolio that found it.
+    """
+    from repro.formats.designio import compile_for_export, import_design
+    from repro.qa.oracle import DifferentialOracle
+
+    bundle = Path(bundle_dir)
+    aag = bundle / "design.aag"
+    if not aag.exists():
+        candidates = sorted(bundle.glob("*.aag"))
+        if not candidates:
+            raise FileNotFoundError(f"no .aag file in bundle {bundle}")
+        aag = candidates[0]
+    if oracle is None:
+        specs = None
+        manifest = bundle / "repro.json"
+        if manifest.exists():
+            specs = json.loads(manifest.read_text()).get("strategies")
+        oracle = DifferentialOracle(specs)
+    design = import_design(aag)
+    system, props, _metadata = compile_for_export(design)
+    name, bad, valid_from = props[0]
+    return oracle.check(system, SafetyProperty(name, bad, valid_from))

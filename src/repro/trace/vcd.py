@@ -1,13 +1,18 @@
-"""Value Change Dump (VCD) export for traces.
+"""Value Change Dump (VCD) export and import for traces.
 
-Lets any trace produced by the model checker or simulator be opened in a
-conventional waveform viewer (GTKWave etc.), mirroring the screenshot-style
-evidence the paper's Fig. 3 shows.
+:func:`to_vcd` lets any trace produced by the model checker or simulator
+be opened in a conventional waveform viewer (GTKWave etc.), mirroring
+the screenshot-style evidence the paper's Fig. 3 shows.  :func:`from_vcd`
+parses that dialect back into a :class:`~repro.trace.trace.Trace` —
+the write → parse round-trip is exercised by the test suite to keep CEX
+artifacts trustworthy as evidence.
 """
 
 from __future__ import annotations
 
-from repro.trace.trace import Trace
+from repro.errors import TraceError
+from repro.ir.system import Signal, TransitionSystem
+from repro.trace.trace import Trace, TraceKind
 
 _ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
@@ -56,3 +61,95 @@ def to_vcd(trace: Trace, module_name: str = "design",
             lines.append("$end")
     lines.append(f"#{trace.length}")
     return "\n".join(lines) + "\n"
+
+
+def from_vcd(text: str, system: TransitionSystem | None = None,
+             kind: TraceKind = TraceKind.SIMULATION) -> Trace:
+    """Parse VCD text (the dialect :func:`to_vcd` writes) into a Trace.
+
+    Handles ``$var`` declarations, ``#t`` time markers, scalar
+    (``0!``/``1!``) and vector (``b101 !``) value changes, and VCD's
+    change-only encoding — values carry forward across cycles where a
+    signal does not change.  A trailing bare ``#t`` marker with no
+    changes (the end-of-trace marker :func:`to_vcd` emits) is not a
+    cycle.  When ``system`` is given, each parsed signal's kind
+    (input/state/define) is recovered from it; otherwise signals are
+    typed as inputs.
+    """
+    declared: list[tuple[str, str, int]] = []   # (id code, name, width)
+    by_code: dict[str, str] = {}
+    changes: list[tuple[int, dict[str, int]]] = []
+    current: dict[str, int] | None = None
+    in_definitions = True
+
+    def start_time(t: int) -> None:
+        nonlocal current
+        current = {}
+        changes.append((t, current))
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <code> <name ...> $end
+                if len(parts) < 6 or parts[-1] != "$end":
+                    raise TraceError(f"malformed $var line: {raw!r}")
+                width = int(parts[2])
+                code = parts[3]
+                name = " ".join(parts[4:-1])
+                declared.append((code, name, width))
+                by_code[code] = name
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("$"):
+            continue  # $dumpvars / $end wrappers around t=0
+        if line.startswith("#"):
+            start_time(int(line[1:]))
+            continue
+        if current is None:
+            raise TraceError(
+                f"value change {raw!r} before any #time marker")
+        if line.startswith("b") or line.startswith("B"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(f"malformed vector change: {raw!r}")
+            value = int(parts[0][1:], 2)
+            code = parts[1]
+        elif line[0] in "01":
+            value = int(line[0])
+            code = line[1:]
+        else:
+            raise TraceError(f"unsupported VCD value change: {raw!r}")
+        name = by_code.get(code)
+        if name is None:
+            raise TraceError(f"value change for undeclared id {code!r}")
+        current[name] = value
+
+    if not declared:
+        raise TraceError("VCD text declares no signals")
+
+    kinds = {}
+    if system is not None:
+        kinds = {s.name: s.kind for s in system.signals()}
+    signals = [Signal(name, width, kinds.get(name, "input"))
+               for _code, name, width in declared]
+
+    # Change-only encoding: carry values forward; a trailing marker with
+    # no changes is the end-of-trace marker, not a cycle.
+    if changes and not changes[-1][1]:
+        changes = changes[:-1]
+    steps: list[dict[str, int]] = []
+    carried: dict[str, int] = {}
+    for _t, delta in changes:
+        carried = {**carried, **delta}
+        missing = [s.name for s in signals if s.name not in carried]
+        if missing:
+            raise TraceError(
+                f"cycle {len(steps)} leaves signals with no value yet: "
+                f"{missing[:5]}")
+        steps.append(dict(carried))
+    return Trace(signals, steps, kind=kind)

@@ -1,11 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and deterministic hypothesis profiles.
+
+Two hypothesis profiles: ``ci`` (derandomized, fixed seed, no
+deadline) keeps fuzz tests reproducible in CI — the same examples on
+every run, so a tier-1 job can never flake on an unlucky draw — while
+``dev`` (the default elsewhere) keeps genuinely random exploration on
+developer machines.  Selected by the ``CI`` environment variable, as
+set by GitHub Actions.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
+
+settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

@@ -1,0 +1,154 @@
+"""Strict BTOR2 width hazards (PR 9 satellite).
+
+Three silent-miscompile traps in hand-written or tool-emitted BTOR2
+now fail loudly, each error naming the offending construct: negative
+node references to wide nodes (the negation shorthand is boolean-only),
+sort/operand width mismatches on operation nodes, and the
+boolean-only operators ``implies``/``iff`` applied to wide operands.
+"""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.btor2 import read_btor2, write_btor2
+from repro.ir import expr as E
+from repro.ir.system import TransitionSystem
+from repro.mc.property import SafetyProperty
+
+
+def _parse(body: str):
+    return read_btor2(body)
+
+
+class TestNegativeReferences:
+    def test_negative_ref_to_wide_node_rejected(self):
+        text = """
+1 sort bitvec 4
+2 input 1 x
+3 sort bitvec 1
+4 state 3 flag
+5 redor 3 -2
+6 bad 5
+7 next 3 4 4
+"""
+        with pytest.raises(FormatError) as exc:
+            _parse(text)
+        message = str(exc.value)
+        assert "negative reference" in message
+        assert "width-4" in message
+        assert "negation shorthand" in message
+        assert "'not' node" in message
+
+    def test_negative_ref_to_boolean_node_still_works(self):
+        text = """
+1 sort bitvec 1
+2 input 1 x
+3 state 1 s
+4 next 1 3 2
+5 and 1 3 -2
+6 bad 5
+"""
+        system, props = _parse(text)
+        assert list(system.inputs) == ["x"]
+        assert len(props) == 1
+
+
+class TestSortMismatch:
+    def test_binary_op_sort_mismatch_rejected(self):
+        text = """
+1 sort bitvec 4
+2 sort bitvec 8
+3 input 1 a
+4 input 1 b
+5 add 2 3 4
+6 sort bitvec 1
+7 redor 6 5
+8 bad 7
+"""
+        with pytest.raises(FormatError) as exc:
+            _parse(text)
+        message = str(exc.value)
+        assert "node 5 (add)" in message
+        assert "declared sort is bitvec 8" in message
+        assert "width 4" in message
+
+    def test_unary_op_sort_mismatch_rejected(self):
+        text = """
+1 sort bitvec 4
+2 sort bitvec 2
+3 input 1 a
+4 not 2 3
+5 sort bitvec 1
+6 redor 5 4
+7 bad 6
+"""
+        with pytest.raises(FormatError, match=r"node 4 \(not\)"):
+            _parse(text)
+
+    def test_ite_sort_mismatch_rejected(self):
+        text = """
+1 sort bitvec 1
+2 sort bitvec 4
+3 sort bitvec 2
+4 input 1 c
+5 input 2 a
+6 input 2 b
+7 ite 3 4 5 6
+8 redor 1 7
+9 bad 8
+"""
+        with pytest.raises(FormatError, match=r"node 7 \(ite\)"):
+            _parse(text)
+
+    def test_slice_sort_mismatch_rejected(self):
+        text = """
+1 sort bitvec 8
+2 sort bitvec 4
+3 input 1 a
+4 slice 2 3 2 0
+5 sort bitvec 1
+6 redor 5 4
+7 bad 6
+"""
+        with pytest.raises(FormatError, match=r"node 4 \(slice\)"):
+            _parse(text)
+
+
+class TestBooleanOnlyOperators:
+    @pytest.mark.parametrize("op", ["implies", "iff"])
+    def test_wide_operands_rejected(self, op):
+        text = f"""
+1 sort bitvec 4
+2 input 1 a
+3 input 1 b
+4 sort bitvec 1
+5 {op} 4 2 3
+6 bad 5
+"""
+        with pytest.raises(FormatError) as exc:
+            _parse(text)
+        assert op in str(exc.value)
+
+    @pytest.mark.parametrize("op", ["implies", "iff"])
+    def test_boolean_operands_accepted(self, op):
+        text = f"""
+1 sort bitvec 1
+2 input 1 a
+3 input 1 b
+4 {op} 1 2 3
+5 bad 4
+"""
+        system, props = _parse(text)
+        assert len(props) == 1
+
+
+class TestValidFilesStillParse:
+    def test_writer_output_round_trips(self):
+        system = TransitionSystem("rt")
+        a = system.add_state("a", 4, init=E.const(0, 4))
+        system.set_next("a", E.add(a, E.const(1, 4)))
+        prop = SafetyProperty("p", E.eq(a, E.const(9, 4)))
+        text = write_btor2(system, [("p", prop.bad, 0)])
+        reread, props = read_btor2(text)
+        assert list(reread.states) == ["a"]
+        assert len(props) == 1
