@@ -578,14 +578,26 @@ def run_e10() -> Table:
     # scripts/check_bench_regression.py separately fails CI when the
     # on/off props/sec ratio drops under 0.95 (the <5% overhead
     # contract of docs/observability.md).
+    # The "on" rows run with the full observability stack: solver
+    # metrics AND the structured event journal writing JSONL to a
+    # scratch directory, so the 0.95 gate covers event emission too.
+    import shutil
+    import tempfile
+
+    from repro.obs import events as obs_events
     from repro.obs import metrics_enabled, set_metrics_enabled
 
     was_enabled = metrics_enabled()
     best: dict[bool, tuple] = {}
+    events_scratch = tempfile.mkdtemp(prefix="repro-e10-events-")
     try:
         for _rep in range(3):
             for enabled in (True, False):
                 set_metrics_enabled(enabled)
+                if enabled:
+                    obs_events.configure(events_scratch)
+                else:
+                    obs_events.shutdown()
                 t0 = time.perf_counter()
                 conflicts, props, solver_s = 0, 0, 0.0
                 for result in e7_runs():
@@ -599,6 +611,8 @@ def run_e10() -> Table:
                                      rate)
     finally:
         set_metrics_enabled(was_enabled)
+        obs_events.shutdown()
+        shutil.rmtree(events_scratch, ignore_errors=True)
     for enabled, label in ((True, "obs_metrics_on"),
                            (False, "obs_metrics_off")):
         wall, solver_s, conflicts, props, rate = best[enabled]

@@ -11,6 +11,12 @@ dashboards and regression tracking, each experiment carrying a
 counters over that experiment (solver effort, checks by origin), so a
 dashboard can plot cache behaviour and solver load without parsing
 table columns.
+
+``--json`` also stamps a ``BENCH_<runid>.json`` trajectory artifact
+next to PATH: a per-run snapshot keyed by a timestamp run id, holding
+each experiment's wall seconds, verdict rows, and any throughput
+(``props/sec`` / ``designs/sec``) columns — the file CI uploads so a
+sequence of runs plots as a trajectory without re-parsing reports.
 """
 
 from __future__ import annotations
@@ -68,7 +74,38 @@ def main(argv: list[str]) -> int:
     if json_path is not None:
         json_path.write_text(json.dumps(dumps, indent=2) + "\n")
         print(f"json written to {json_path}")
+        bench_path = _write_trajectory(json_path, dumps)
+        print(f"trajectory artifact written to {bench_path}")
     return 0
+
+
+#: Throughput columns lifted into the trajectory artifact verbatim.
+_RATE_COLUMNS = ("props/sec", "designs/sec", "conflicts/sec")
+
+
+def _write_trajectory(json_path: Path, dumps: dict) -> Path:
+    """Stamp the per-run ``BENCH_<runid>.json`` trajectory artifact."""
+    run_id = time.strftime("%Y%m%d-%H%M%S")
+    experiments = {}
+    for exp_id, dump in dumps.items():
+        rates = {}
+        for row in dump["rows"]:
+            label = next(iter(row.values()), "?")
+            for column in _RATE_COLUMNS:
+                if column in row:
+                    rates.setdefault(column, {})[label] = row[column]
+        experiments[exp_id] = {
+            "seconds": dump["seconds"],
+            "throughput": rates,
+            "rows": dump["rows"],
+        }
+    bench_path = json_path.parent / f"BENCH_{run_id}.json"
+    bench_path.write_text(json.dumps({
+        "run_id": run_id,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "experiments": experiments,
+    }, indent=2) + "\n")
+    return bench_path
 
 
 if __name__ == "__main__":

@@ -53,6 +53,13 @@ class CampaignRow:
     #: (conflicts, decisions, propagations, ...) — what engine
     #: comparisons rank strategies by instead of wall time.
     effort: dict = field(default_factory=dict)
+    #: Where the verdict came from: ``"engine"`` (solved now),
+    #: ``"store"`` (answered from the proof store / cache), or
+    #: ``"seeded"`` (a seeded-lemma strategy won the race).
+    provenance: str = ""
+    #: The effort ledger: one dict per raced strategy slot (see
+    #: :func:`repro.mc.portfolio.attempt_record`).
+    attempts: list[dict] = field(default_factory=list)
 
     @property
     def mismatch(self) -> bool:
@@ -118,6 +125,15 @@ class CampaignReport:
         return self.cache.disk_hits / lookups if lookups else 0.0
 
     @property
+    def provenance_counts(self) -> dict:
+        """Verdict provenance tally: engine vs store vs seeded rows."""
+        counts: dict[str, int] = {}
+        for r in self.rows:
+            if r.provenance:
+                counts[r.provenance] = counts.get(r.provenance, 0) + 1
+        return counts
+
+    @property
     def effort_totals(self) -> dict:
         """Solver effort actually spent by *this* run.
 
@@ -153,6 +169,7 @@ class CampaignReport:
             "phases": dict(self.phase_seconds),
             "trace_id": self.trace_id,
             "effort": self.effort_totals,
+            "provenance": self.provenance_counts,
             "workers": self.workers,
             "worker_stats": [
                 {
@@ -188,6 +205,8 @@ class CampaignReport:
                     "adaptive_fallback": r.adaptive_fallback,
                     "worker": r.worker,
                     "effort": dict(r.effort),
+                    "provenance": r.provenance,
+                    "attempts": [dict(a) for a in r.attempts],
                 }
                 for r in self.rows
             ],
@@ -229,6 +248,10 @@ class CampaignReport:
             "  " + self.cache.one_line() +
             f", {self.store_results} results on disk",
         ]
+        if self.provenance_counts:
+            lines.insert(3, "  provenance: " + ", ".join(
+                f"{count} {name}" for name, count
+                in sorted(self.provenance_counts.items())))
         if self.phase_seconds:
             lines.insert(3, "  phases: " + ", ".join(
                 f"{name} {seconds:.3f}s"

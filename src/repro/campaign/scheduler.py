@@ -35,7 +35,7 @@ from typing import Mapping, Protocol, Sequence
 from repro.campaign.adaptive import (AdaptiveSelector, StrategyChoice,
                                      base_strategy_name)
 from repro.campaign.report import CampaignReport, CampaignRow, WorkerStat
-from repro.campaign.store import ProofStore
+from repro.campaign.store import ProofStore, verdict_provenance
 from repro.designs.base import Design, PropertySpec
 from repro.mc.cache import CacheStats, ResultCache
 from repro.mc.engine import EngineConfig, ProofEngine
@@ -45,6 +45,7 @@ from repro.ir.system import TransitionSystem
 from repro.mc.property import SafetyProperty
 from repro.mc.result import Status
 from repro.mc.strategy import resolve_strategy
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.sva.compile import MonitorContext
@@ -144,6 +145,10 @@ class DispatchOutcome:
     #: decisions / propagations / ...), machine-independent — see
     #: :meth:`repro.mc.result.ProofStats.effort_dict`.
     effort: dict = field(default_factory=dict)
+    #: Per-slot effort-ledger rows of the race that produced the verdict
+    #: (see :func:`repro.mc.portfolio.attempt_record`) — plain dicts, so
+    #: the record pickles through the dist protocol unchanged.
+    attempts: list[dict] = field(default_factory=list)
 
     @property
     def conclusive(self) -> bool:
@@ -236,7 +241,8 @@ def _from_portfolio(outcome, fallback: bool = False) -> DispatchOutcome:
         status=outcome.result.status.value, strategy=outcome.strategy,
         wall_seconds=outcome.result.stats.wall_seconds,
         k=outcome.result.k, from_cache=outcome.from_cache,
-        fallback=fallback, effort=outcome.result.stats.effort_dict())
+        fallback=fallback, effort=outcome.result.stats.effort_dict(),
+        attempts=list(outcome.attempt_log))
 
 
 class CampaignScheduler:
@@ -325,6 +331,9 @@ class CampaignScheduler:
         start = time.perf_counter()
         with _tracing.span("campaign",
                            designs=[d.name for d in self.designs]) as root:
+            _events.emit("campaign_start",
+                         designs=[d.name for d in self.designs],
+                         jobs=self.jobs)
             with _tracing.span("compile"):
                 pool = self.build_jobs()
             compiled = time.perf_counter()
@@ -342,6 +351,8 @@ class CampaignScheduler:
             with _tracing.span("record"):
                 for job in sorted(pool, key=lambda j: j.order):
                     outcome = result.outcomes[job.identity]
+                    provenance = verdict_provenance(
+                        outcome.strategy, outcome.from_cache)
                     # History is recorded here, once per final verdict,
                     # whichever dispatcher ran the job — distributed
                     # workers deliberately do not write history, so no
@@ -353,6 +364,20 @@ class CampaignScheduler:
                         status=outcome.status,
                         wall_seconds=outcome.wall_seconds,
                         from_cache=outcome.from_cache)
+                    # The forensic ledger rides along: one row per
+                    # final verdict holding the whole race's story.
+                    self.store.record_ledger({
+                        "design": job.design.name,
+                        "property": job.prop.name,
+                        "status": outcome.status,
+                        "strategy": outcome.strategy,
+                        "provenance": provenance,
+                        "from_cache": outcome.from_cache,
+                        "fallback": outcome.fallback,
+                        "worker": outcome.worker_id,
+                        "wall_seconds": outcome.wall_seconds,
+                        "k": outcome.k,
+                        "attempts": list(outcome.attempts)})
                     rows.append(CampaignRow(
                         design=job.design.name, family=job.design.family,
                         property_name=job.prop.name,
@@ -364,7 +389,9 @@ class CampaignScheduler:
                         from_cache=outcome.from_cache,
                         adaptive_fallback=outcome.fallback,
                         worker=outcome.worker_id,
-                        effort=dict(outcome.effort)))
+                        effort=dict(outcome.effort),
+                        provenance=provenance,
+                        attempts=list(outcome.attempts)))
             recorded = time.perf_counter()
 
         # Phase wall clock: "solve" is the in-job portion of "dispatch"
@@ -379,6 +406,10 @@ class CampaignScheduler:
         }
         for name, seconds in phases.items():
             _M_PHASE_SECONDS.labels(name).observe(seconds)
+            _events.emit("campaign_phase", phase=name,
+                         seconds=seconds)
+        _events.emit("campaign_finish", properties=len(rows),
+                     mismatches=sum(1 for r in rows if r.mismatch))
 
         tracer = _tracing.active()
         return CampaignReport(

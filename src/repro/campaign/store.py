@@ -1,6 +1,6 @@
 """Persistent on-disk proof store: the campaign subsystem's memory.
 
-One SQLite file holds two tables:
+One SQLite file holds three tables:
 
 * ``results`` — every :class:`~repro.mc.result.CheckResult` ever
   produced, keyed by the same content fingerprints
@@ -18,6 +18,12 @@ One SQLite file holds two tables:
   :class:`~repro.campaign.adaptive.AdaptiveSelector` mines for
   per-family strategy statistics.
 
+* ``ledger`` — the per-property *effort ledger*: one row per
+  (design, property) holding the full story of its current verdict —
+  winning strategy, verdict provenance (engine / store / seeded), and
+  a JSON record of every strategy raced with its per-slot effort.
+  ``repro-verify explain`` reads it back.
+
 Cache-tier contract (every :class:`~repro.dist.backend.StoreBackend`
 implementation honors it): **the store degrades, it never raises into
 a proof**.  A corrupt database file is moved aside and a cold store
@@ -33,6 +39,7 @@ decides how much work is repeated.
 
 from __future__ import annotations
 
+import json
 import pickle
 import sqlite3
 import statistics
@@ -48,7 +55,8 @@ from repro.mc.result import CheckResult
 #: v2: CheckResult.invariant + ProofStats restarts/learned_* fields —
 #: pre-PDR payloads would unpickle without them and break the cache's
 #: dataclasses.replace copies.
-SCHEMA_VERSION = 2
+#: v3: the per-property effort ledger table.
+SCHEMA_VERSION = 3
 
 #: SQLite's own wait-for-writer window (ms) before it reports "database
 #: is locked"; generous because parallel campaign workers all write here.
@@ -105,7 +113,40 @@ CREATE INDEX IF NOT EXISTS history_family_strategy
     ON history (family, strategy);
 CREATE INDEX IF NOT EXISTS history_design_property
     ON history (design, property);
+CREATE TABLE IF NOT EXISTS ledger (
+    design       TEXT NOT NULL,
+    property     TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    strategy     TEXT NOT NULL,
+    provenance   TEXT NOT NULL,
+    from_cache   INTEGER NOT NULL,
+    fallback     INTEGER NOT NULL,
+    worker       TEXT NOT NULL,
+    wall_seconds REAL NOT NULL,
+    k            INTEGER NOT NULL,
+    attempts     TEXT NOT NULL,
+    recorded     REAL NOT NULL,
+    PRIMARY KEY (design, property)
+);
 """
+
+
+def verdict_provenance(strategy: str, from_cache: bool) -> str:
+    """Classify where a verdict came from, for the effort ledger.
+
+    * ``"store"`` — answered from the proof store / result cache
+      (nothing was solved in this run);
+    * ``"seeded"`` — a seeded-lemma strategy won the race
+      (``pdr_seeded``, or any spec carrying ``seed_*`` options): the
+      GenAI-augmented flow's contribution is visible in the verdict;
+    * ``"engine"`` — a plain engine solved it right here.
+    """
+    if from_cache:
+        return "store"
+    name = strategy.split("(", 1)[0].strip()
+    if name == "pdr_seeded" or "seed" in strategy:
+        return "seeded"
+    return "engine"
 
 
 @dataclass
@@ -207,16 +248,19 @@ class ProofStore:
             # Older/newer layout: this is a cache, so wipe and rebuild.
             conn.executescript(
                 "DROP TABLE IF EXISTS results;"
-                "DROP TABLE IF EXISTS history;")
+                "DROP TABLE IF EXISTS history;"
+                "DROP TABLE IF EXISTS ledger;")
         conn.executescript(_SCHEMA)
         conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         conn.commit()
-        # Probe both tables now so a valid-but-foreign SQLite file (a
+        # Probe every table now so a valid-but-foreign SQLite file (a
         # table named `results` with other columns) fails here, inside
         # the recovery path, rather than on first load/store.
         conn.execute("SELECT key, payload FROM results LIMIT 1")
         conn.execute("SELECT family, strategy, status, wall_seconds, "
                      "from_cache FROM history LIMIT 1")
+        conn.execute("SELECT strategy, provenance, attempts "
+                     "FROM ledger LIMIT 1")
 
     def close(self) -> None:
         with self._lock:
@@ -336,6 +380,96 @@ class ProofStore:
             except sqlite3.Error:
                 pass
 
+    # ------------------------------------------------------------------
+    # Effort ledger: the forensic story of each property's verdict
+    # ------------------------------------------------------------------
+
+    _LEDGER_COLUMNS = ("design", "property", "status", "strategy",
+                       "provenance", "from_cache", "fallback", "worker",
+                       "wall_seconds", "k", "attempts")
+
+    def record_ledger(self, entry: dict) -> None:
+        """Upsert one property's effort-ledger row.
+
+        ``entry`` carries the keys of ``_LEDGER_COLUMNS`` (missing ones
+        default sanely); ``attempts`` is the race's per-slot record list
+        (see :func:`repro.mc.portfolio.attempt_record`), stored as JSON
+        so it stays queryable without unpickling.  One row per
+        (design, property): the ledger answers "why is the verdict what
+        it is *now*", the history table keeps the longitudinal record.
+        """
+        try:
+            attempts = json.dumps(entry.get("attempts", []),
+                                  separators=(",", ":"), default=str)
+        except (TypeError, ValueError):
+            attempts = "[]"
+
+        def write() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO ledger (design, property, "
+                "status, strategy, provenance, from_cache, fallback, "
+                "worker, wall_seconds, k, attempts, recorded) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (entry.get("design", ""), entry.get("property", ""),
+                 entry.get("status", ""), entry.get("strategy", ""),
+                 entry.get("provenance", ""),
+                 int(bool(entry.get("from_cache"))),
+                 int(bool(entry.get("fallback"))),
+                 entry.get("worker", ""),
+                 float(entry.get("wall_seconds", 0.0)),
+                 int(entry.get("k", 0)), attempts, time.time()))
+            self._conn.commit()
+
+        with self._lock:
+            try:
+                _with_lock_retry(write)
+            except sqlite3.Error:
+                pass
+
+    @classmethod
+    def _ledger_row_to_dict(cls, row) -> dict:
+        entry = dict(zip(cls._LEDGER_COLUMNS + ("recorded",), row))
+        entry["from_cache"] = bool(entry["from_cache"])
+        entry["fallback"] = bool(entry["fallback"])
+        try:
+            entry["attempts"] = json.loads(entry["attempts"])
+        except (TypeError, ValueError):
+            entry["attempts"] = []
+        return entry
+
+    def ledger_entry(self, design: str,
+                     property_name: str) -> dict | None:
+        """The effort-ledger row for one property, or ``None``."""
+        sql = ("SELECT design, property, status, strategy, provenance, "
+               "from_cache, fallback, worker, wall_seconds, k, "
+               "attempts, recorded FROM ledger "
+               "WHERE design = ? AND property = ?")
+        with self._lock:
+            try:
+                row = _with_lock_retry(lambda: self._conn.execute(
+                    sql, (design, property_name)).fetchone())
+            except sqlite3.Error:
+                return None
+        return None if row is None else self._ledger_row_to_dict(row)
+
+    def ledger_rows(self, design: str | None = None) -> list[dict]:
+        """Every ledger row (optionally one design's), stable order."""
+        sql = ("SELECT design, property, status, strategy, provenance, "
+               "from_cache, fallback, worker, wall_seconds, k, "
+               "attempts, recorded FROM ledger")
+        params: tuple = ()
+        if design is not None:
+            sql += " WHERE design = ?"
+            params = (design,)
+        sql += " ORDER BY design, property"
+        with self._lock:
+            try:
+                rows = _with_lock_retry(lambda: self._conn.execute(
+                    sql, params).fetchall())
+            except sqlite3.Error:
+                return []
+        return [self._ledger_row_to_dict(row) for row in rows]
+
     def history_size(self) -> int:
         with self._lock:
             try:
@@ -425,6 +559,7 @@ class ProofStore:
         def wipe() -> None:
             self._conn.execute("DELETE FROM results")
             self._conn.execute("DELETE FROM history")
+            self._conn.execute("DELETE FROM ledger")
             self._conn.commit()
 
         with self._lock:

@@ -13,6 +13,8 @@ Subcommands::
                         [--backend sqlite:DIR | http://HOST:PORT]
                         [--cache-dir DIR] [--no-adaptive] [--json PATH]
                         [--trace DIR]         # span trace of the whole run
+                        [--events DIR]        # structured event journal
+                        [--slow-solve S]      # slow-solve event threshold
                         [--corpus DIR]        # + every AIGER/BTOR2 file
                                               #   under DIR as a design
     repro-verify fuzz   [--seed N] [--count N]  # differential fuzzing:
@@ -24,8 +26,16 @@ Subcommands::
                         [--binary] [-o FILE]  # as an interchange file
     repro-verify status --backend SPEC        # live backend snapshot
                         [--metrics]           # + Prometheus metrics text
+                        [--watch SECONDS]     # refresh until interrupted
+    repro-verify top    --backend SPEC        # refreshing fleet view:
+                        [--interval S] [--once]  # queue depth, per-worker
+                        [--events DIR]        # stats, wedged-worker alarm
+    repro-verify explain DESIGN PROP          # reconstruct a verdict's
+                        --backend SPEC        # story from the effort
+                        [--events DIR]        # ledger + event journal
     repro-verify serve  [--cache-dir DIR]     # host the queue + proof store
                         [--host H] [--port P] # over HTTP for other machines
+                        [--events DIR]        # journal queue forensics
     repro-verify worker --backend SPEC        # standalone campaign worker
                         [--id ID] [--lease S] [--idle-timeout S] [--jobs N]
     repro-verify prove  DESIGN PROP [--max-k] # plain k-induction
@@ -224,11 +234,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_k=args.max_k, bmc_bound=args.bound, workers=args.workers,
         lease_seconds=args.lease, wall_timeout=args.wall_timeout,
         backend=args.backend, worker_jobs=args.worker_jobs,
-        trace_dir=args.trace)
+        trace_dir=args.trace, events_dir=args.events,
+        slow_solve_seconds=args.slow_solve)
     print(report.to_text())
     if args.trace:
         print(f"  trace {report.trace_id} written to {args.trace} "
               f"(render with scripts/trace_report.py)")
+    if args.events:
+        print(f"  event journal written to {args.events} "
+              f"(dig with `repro-verify explain DESIGN PROP`)")
     if args.json_path:
         rendered = report.to_json()
         if args.json_path == "-":
@@ -261,17 +275,50 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
+def _resolve_backend_arg(args: argparse.Namespace, what: str):
     backend = args.backend if args.backend is not None else args.cache_dir
     if backend is None:
         raise ValueError(
-            "status needs a target: pass --backend sqlite:DIR, "
+            f"{what} needs a target: pass --backend sqlite:DIR, "
             "--backend http://HOST:PORT, or --cache-dir DIR")
     from repro.dist.backend import parse_backend
-    resolved = parse_backend(backend)
-    if resolved.is_remote:
-        return _remote_status(resolved.location, args)
-    return _local_status(resolved, args)
+    return parse_backend(backend)
+
+
+def _worker_table(snapshot: list[dict]) -> Table:
+    """Per-worker throughput table from a queue worker snapshot."""
+    table = Table(["worker", "jobs", "busy (s)", "jobs/s", "beat age",
+                   "current job", "job age"], title="workers")
+    for w in snapshot:
+        busy = w.get("busy_seconds") or 0.0
+        jobs = w.get("jobs_done") or 0
+        rate = f"{jobs / busy:.2f}" if busy > 0 else "-"
+        job_age = w.get("job_age_seconds")
+        table.add_row(
+            w.get("worker_id", "?"), jobs, f"{busy:.3f}", rate,
+            f"{w.get('heartbeat_age_seconds', 0.0):.1f}s",
+            w.get("current_job") or "-",
+            f"{job_age:.1f}s" if job_age is not None else "-")
+    return table
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time
+
+    resolved = _resolve_backend_arg(args, "status")
+    while True:
+        if resolved.is_remote:
+            code = _remote_status(resolved.location, args)
+        else:
+            code = _local_status(resolved, args)
+        if not args.watch:
+            return code
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return code
+        print(f"\n--- {time.strftime('%H:%M:%S')} "
+              f"(refreshing every {args.watch:g}s, Ctrl-C to stop) ---")
 
 
 def _remote_status(base_url: str, args: argparse.Namespace) -> int:
@@ -306,6 +353,13 @@ def _remote_status(base_url: str, args: argparse.Namespace) -> int:
           f"history rows")
     print(f"  503s served: shutdown={unavailable.get('shutdown', 0)}, "
           f"lock_contention={unavailable.get('lock_contention', 0)}")
+    from repro.dist.remote import RemoteWorkQueue, _REMOTE_ERRORS
+    try:
+        snapshot = RemoteWorkQueue(base).worker_snapshot()
+    except _REMOTE_ERRORS:
+        snapshot = []
+    if snapshot:
+        print(_worker_table(snapshot).to_text())
     if args.metrics:
         try:
             with urllib.request.urlopen(base + "/metrics",
@@ -331,8 +385,9 @@ def _local_status(resolved, args: argparse.Namespace) -> int:
               f"done={counts.get('done', 0)}")
         print(f"  store: {len(store)} results, "
               f"{store.history_size()} history rows")
-        for stat in queue.worker_stats():
-            print("  worker " + stat.one_line())
+        snapshot = queue.worker_snapshot()
+        if snapshot:
+            print(_worker_table(snapshot).to_text())
         if args.metrics:
             from repro.obs import metrics
             print(metrics.get_registry().render(), end="")
@@ -342,8 +397,246 @@ def _local_status(resolved, args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_metrics_text(text: str) -> dict[str, float]:
+    """Prometheus exposition text -> {'name{labels}': value}."""
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+def _fetch_remote_metrics(base_url: str) -> dict[str, float]:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(base_url.rstrip("/") + "/metrics",
+                                    timeout=10) as resp:
+            return _parse_metrics_text(resp.read().decode(
+                errors="replace"))
+    except (urllib.error.URLError, OSError):
+        return {}
+
+
+def _wedged_workers(snapshot: list[dict], lease: float,
+                    factor: float) -> list[tuple[dict, float]]:
+    """The `top` wedged-worker heuristic.
+
+    A worker is flagged when its heartbeat is alive (age within twice
+    the lease horizon — the queue has not written it off) yet it has
+    held one job for more than ``factor`` times the fleet's median
+    per-job solve time: the classic signature of a solver stuck inside
+    one SAT call, which heartbeats alone can never detect.  Returns
+    ``(worker, threshold)`` pairs.
+    """
+    per_job = sorted(
+        w["busy_seconds"] / w["jobs_done"]
+        for w in snapshot if w.get("jobs_done"))
+    if not per_job:
+        return []
+    median = per_job[len(per_job) // 2]
+    # Floor at one lease horizon: with a handful of sub-second warmup
+    # jobs the median alone would flag every normal solve.
+    threshold = max(factor * median, lease)
+    flagged = []
+    for w in snapshot:
+        age = w.get("job_age_seconds")
+        alive = w.get("heartbeat_age_seconds", 0.0) <= 2 * lease
+        if alive and age is not None and age > threshold:
+            flagged.append((w, threshold))
+    return flagged
+
+
+def _top_snapshot(resolved, queue, store,
+                  args: argparse.Namespace) -> list[str]:
+    import time
+
+    counts = queue.counts()
+    state = queue.state()
+    snapshot = queue.worker_snapshot()
+    lines = [
+        f"repro-verify top — {resolved.spec()} — "
+        f"{time.strftime('%H:%M:%S')}",
+        f"  queue: state={state}, pending={counts.get('pending', 0)}, "
+        f"leased={counts.get('leased', 0)}, "
+        f"done={counts.get('done', 0)}",
+        f"  store: {len(store)} results",
+    ]
+    if resolved.is_remote:
+        metrics = _fetch_remote_metrics(resolved.location)
+        claimed = metrics.get(
+            'repro_queue_claims_total{result="claimed"}', 0)
+        accepted = metrics.get(
+            'repro_queue_completions_total{result="accepted"}', 0)
+        beats = metrics.get("repro_queue_heartbeats_total", 0)
+        lines.append(
+            f"  service: {claimed:g} claims, {accepted:g} completions, "
+            f"{beats:g} heartbeats "
+            f"(up {metrics.get('repro_service_uptime_seconds', 0):g}s)")
+    if snapshot:
+        lines.append(_worker_table(snapshot).to_text())
+    else:
+        lines.append("  (no workers registered)")
+    for worker, threshold in _wedged_workers(snapshot, args.lease,
+                                             args.wedged_factor):
+        lines.append(
+            f"  WEDGED? {worker['worker_id']} has held "
+            f"{worker['current_job']} for "
+            f"{worker['job_age_seconds']:.1f}s "
+            f"(> {threshold:.1f}s = {args.wedged_factor:g}x median "
+            f"solve) while still heartbeating")
+        from repro.obs import events as _events
+        _events.emit("worker_wedged", worker=worker["worker_id"],
+                     job_id=worker["current_job"],
+                     job_age_seconds=round(
+                         worker["job_age_seconds"], 3),
+                     threshold_seconds=round(threshold, 3))
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    resolved = _resolve_backend_arg(args, "top")
+    if args.events:
+        from repro.obs import events as _events
+        if _events.active() is None:
+            _events.configure(args.events)
+    from repro.dist.backend import open_queue, open_store
+    queue = open_queue(resolved)
+    store = open_store(resolved)
+    try:
+        while True:
+            try:
+                lines = _top_snapshot(resolved, queue, store, args)
+            except Exception as exc:
+                lines = [f"backend {resolved.spec()} unreachable: "
+                         f"{type(exc).__name__}: {exc}"]
+                if args.once:
+                    print("\n".join(lines), file=sys.stderr)
+                    return 1
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")   # clear + home
+            print("\n".join(lines))
+            if args.once:
+                return 0
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+    finally:
+        queue.close()
+        store.close()
+
+
+def _format_effort(effort: dict) -> str:
+    parts = []
+    for key in ("conflicts", "propagations", "sat_queries"):
+        value = effort.get(key)
+        if value:
+            parts.append(f"{value} {key}")
+    return ", ".join(parts) if parts else "no solver effort"
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import time
+
+    resolved = _resolve_backend_arg(args, "explain")
+    from repro.dist.backend import open_store
+    store = open_store(resolved)
+    try:
+        entry = store.ledger_entry(args.design, args.property)
+    finally:
+        store.close()
+    if entry is None:
+        print(f"no ledger entry for {args.design}.{args.property} on "
+              f"{resolved.spec()} — run a campaign against this "
+              f"backend first (ledgers are recorded per campaign "
+              f"verdict)", file=sys.stderr)
+        return 1
+    provenance_story = {
+        "engine": "solved fresh by the engine",
+        "store": "answered from the proof store (no solver ran)",
+        "seeded": "a seeded-lemma strategy won the race "
+                  "(GenAI-assisted proof)",
+    }.get(entry["provenance"], entry["provenance"] or "unknown")
+    print(f"{args.design}.{args.property}: {entry['status']}")
+    print(f"  provenance: {entry['provenance']} — {provenance_story}")
+    print(f"  winner: {entry['strategy']} (k={entry['k']}) in "
+          f"{entry['wall_seconds']:.3f}s")
+    origin = "proof store / cache" if entry["from_cache"] else "solver"
+    print(f"  origin: {origin}" +
+          (", after an adaptive full-portfolio fallback rerun"
+           if entry["fallback"] else ""))
+    if entry["worker"]:
+        print(f"  worker: {entry['worker']}")
+    if entry.get("recorded"):
+        print(f"  recorded: "
+              f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(entry['recorded']))}")
+    attempts = entry.get("attempts") or []
+    if attempts:
+        table = Table(["strategy", "origin", "status", "winner",
+                       "solve (s)", "effort"],
+                      title=f"effort ledger ({len(attempts)} strategy "
+                            f"slots raced)")
+        for a in attempts:
+            effort = a.get("effort") or {}
+            solve = effort.get("solve_seconds")
+            table.add_row(
+                a.get("strategy", "?"), a.get("origin", "?"),
+                a.get("status") or "-",
+                "<- winner" if a.get("winner") else "",
+                f"{solve:.3f}" if solve is not None else "-",
+                _format_effort(effort))
+        print(table.to_text())
+    else:
+        print("  (no per-strategy attempt rows recorded)")
+    if args.events:
+        from repro.obs import events as _events
+
+        def _matches(event: dict) -> bool:
+            # Check-level events name the *compiled scoped system*
+            # ("design+monitors#coi"), job/campaign events the registry
+            # design — accept both spellings of the same design.
+            named = event.get("design", "")
+            if named != args.design and \
+                    not named.startswith(args.design + "+"):
+                return False
+            return event.get("property") == args.property
+
+        relevant = [e for e in _events.load_events(args.events)
+                    if _matches(e)]
+        if relevant:
+            print(f"journal ({len(relevant)} events in {args.events}):")
+            for e in relevant:
+                stamp = time.strftime("%H:%M:%S",
+                                      time.localtime(e.get("ts", 0)))
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(e.items())
+                    if k not in ("ts", "kind", "host", "pid", "design",
+                                 "property", "trace_id", "span_id"))
+                print(f"  {stamp} {e['kind']}: {detail}")
+        else:
+            print(f"journal: no events for {args.design}."
+                  f"{args.property} under {args.events}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dist import ProofService
+    if args.events:
+        # The queue runs in THIS process under the HTTP backend, so
+        # queue_claim/queue_requeue forensics land here, not in the
+        # campaign coordinator's journal.  Point both at one shared
+        # directory to get a single merged timeline.
+        from repro.obs import events as _events
+        _events.configure(args.events)
     service = ProofService(cache_dir=args.cache_dir, host=args.host,
                            port=args.port)
     if args.cache_dir is None:
@@ -489,6 +782,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture a span trace of the run into DIR "
                         "(JSONL per process; render with "
                         "scripts/trace_report.py)")
+    p.add_argument("--events", default=None, metavar="DIR",
+                   help="capture the structured event journal into DIR "
+                        "(JSONL per process: check/job/queue/campaign "
+                        "lifecycle; dig with `repro-verify explain`)")
+    p.add_argument("--slow-solve", type=float, default=None,
+                   metavar="SECONDS",
+                   help="journal a full solver-effort snapshot for any "
+                        "check slower than this (default: 30s; needs "
+                        "--events)")
     p.add_argument("--corpus", default=None, metavar="DIR",
                    help="also campaign over every AIGER/BTOR2 file "
                         "under DIR (loaded via the corpus importer; "
@@ -553,7 +855,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="also print the Prometheus metrics text "
                         "(GET /metrics on http backends)")
+    p.add_argument("--watch", type=float, default=None,
+                   metavar="SECONDS",
+                   help="re-print the snapshot every SECONDS until "
+                        "interrupted (Ctrl-C)")
     p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "top",
+        help="refreshing fleet view of a backend: queue depth, "
+             "per-worker throughput and lease ages, wedged-worker "
+             "detection (heartbeat alive but one job held far past "
+             "the fleet's median solve time)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared directory holding the work queue and "
+                        "proof store (same as --backend sqlite:DIR)")
+    _add_backend(p)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (scripts, CI)")
+    p.add_argument("--lease", type=float, default=15.0,
+                   help="the fleet's lease horizon, for the liveness "
+                        "half of the wedged heuristic (default: 15)")
+    p.add_argument("--wedged-factor", type=float, default=10.0,
+                   help="flag a worker holding one job longer than "
+                        "this many times the median per-job solve "
+                        "time (default: 10)")
+    p.add_argument("--events", default=None, metavar="DIR",
+                   help="journal worker_wedged warning events into "
+                        "DIR when the heuristic fires")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "explain",
+        help="reconstruct the story of one verdict from the effort "
+             "ledger: which strategies raced, what each cost, which "
+             "won, and whether the answer came from the engine, the "
+             "proof store, or a seeded-lemma assist")
+    p.add_argument("design")
+    p.add_argument("property")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory of the proof store the campaign "
+                        "wrote (same as --backend sqlite:DIR)")
+    _add_backend(p)
+    p.add_argument("--events", default=None, metavar="DIR",
+                   help="also print this (design, property)'s timeline "
+                        "from the event journal in DIR")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "worker",
@@ -598,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "protocol is pickle and unauthenticated)")
     p.add_argument("--port", type=int, default=7333,
                    help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--events", default=None, metavar="DIR",
+                   help="journal this service's structured events "
+                        "(queue claims/requeues, failed requests) "
+                        "into DIR; share the campaign's --events DIR "
+                        "for one merged timeline")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("prove", help="k-induction without GenAI")

@@ -117,6 +117,7 @@ class QueueBackend(Protocol):
     def unfinished(self) -> int: ...
     def results(self) -> dict[str, JobResult]: ...
     def worker_stats(self) -> list[WorkerStat]: ...
+    def worker_snapshot(self) -> list[dict]: ...
     def close(self) -> None: ...
 
 
@@ -143,6 +144,10 @@ class StoreBackend(Protocol):
     def property_stats(self) -> dict: ...
     def expected_wall(self, design: str,
                       property_name: str) -> float | None: ...
+    def record_ledger(self, entry: dict) -> None: ...
+    def ledger_entry(self, design: str,
+                     property_name: str) -> dict | None: ...
+    def ledger_rows(self, design: str | None = None) -> list[dict]: ...
     def clear(self) -> None: ...
     def __len__(self) -> int: ...
     def close(self) -> None: ...

@@ -51,6 +51,7 @@ from repro.dist.queue import STATE_CLOSED
 from repro.dist.worker import Worker
 from repro.errors import ReproError
 from repro.mc.cache import CacheStats
+from repro.obs import events as _events
 from repro.obs import tracing as _tracing
 
 #: Suffix distinguishing full-portfolio rerun jobs from first-pass jobs.
@@ -158,6 +159,11 @@ class Coordinator:
         tracer = _tracing.active()
         if tracer is not None:
             env.update(tracer.env())
+        # Spawned workers also join the campaign's event journal, so
+        # their check/job events land in the same forensics directory.
+        journal = _events.active()
+        if journal is not None:
+            env.update(journal.env())
         try:
             self._procs[worker_id] = subprocess.Popen(
                 self._worker_command(worker_id), env=env,

@@ -49,6 +49,7 @@ from repro.campaign.scheduler import DispatchOutcome
 from repro.campaign.store import BUSY_TIMEOUT_MS, _with_lock_retry
 from repro.dist.protocol import (JOB_DONE, JOB_LEASED, JOB_PENDING,
                                  Heartbeat, JobResult, JobSpec, Lease)
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 _SCHEMA = """
@@ -275,6 +276,8 @@ class WorkQueue:
         with self._lock:
             added = _with_lock_retry(insert)
         self._m_enqueued.inc(added)
+        if added:
+            _events.emit("queue_enqueue", added=added)
         return added
 
     def set_state(self, state: str) -> None:
@@ -304,9 +307,8 @@ class WorkQueue:
         """
         deadline = now if now is not None else time.time()
 
-        def reap() -> tuple[list[tuple[str, str]], int]:
-            reclaimed: list[tuple[str, str]] = []
-            poisoned = 0
+        def reap() -> list[tuple[str, str, str]]:
+            fates: list[tuple[str, str, str]] = []
             with self._txn():
                 rows = self._conn.execute(
                     "SELECT job_id, worker_id, attempts, max_attempts, "
@@ -316,21 +318,27 @@ class WorkQueue:
                     if attempts >= max_attempts:
                         self._poison(job_id, blob,
                                      f"lease expired {attempts} times")
-                        poisoned += 1
+                        fate = "poisoned"
                     else:
                         self._conn.execute(
                             "UPDATE jobs SET status = ?, worker_id = NULL, "
                             "lease_expiry = NULL, updated = ? "
                             "WHERE job_id = ?",
                             (JOB_PENDING, deadline, job_id))
-                    reclaimed.append((job_id, worker_id or ""))
-            return reclaimed, poisoned
+                        fate = "requeued"
+                    fates.append((job_id, worker_id or "", fate))
+            return fates
 
         with self._lock:
-            reclaimed, poisoned = _with_lock_retry(reap)
-        self._m_requeued.inc(len(reclaimed) - poisoned)
+            fates = _with_lock_retry(reap)
+        poisoned = sum(1 for _, _, fate in fates if fate == "poisoned")
+        self._m_requeued.inc(len(fates) - poisoned)
         self._m_poisoned.inc(poisoned)
-        return reclaimed
+        for job_id, worker_id, fate in fates:
+            _events.emit(
+                "queue_poison" if fate == "poisoned" else "queue_requeue",
+                job_id=job_id, worker=worker_id)
+        return [(job_id, worker_id) for job_id, worker_id, _ in fates]
 
     def _poison(self, job_id: str, spec_blob: bytes, error: str) -> None:
         """Mark an unrunnable job done with an UNKNOWN verdict (caller
@@ -397,6 +405,9 @@ class WorkQueue:
             lease = _with_lock_retry(txn)
         self._m_claims.labels(
             "claimed" if lease is not None else "empty").inc()
+        if lease is not None:
+            _events.emit("queue_claim", job_id=lease.spec.job_id,
+                         worker=worker_id, attempt=lease.attempt)
         return lease
 
     def heartbeat(self, beat: Heartbeat, lease_seconds: float) -> None:
@@ -503,8 +514,12 @@ class WorkQueue:
             fate = _with_lock_retry(txn)
         if fate == "poisoned":
             self._m_poisoned.inc()
+            _events.emit("queue_poison", job_id=job_id, worker=worker_id,
+                         error=error)
         elif fate == "requeued":
             self._m_requeued.inc()
+            _events.emit("queue_requeue", job_id=job_id,
+                         worker=worker_id, error=error)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -552,3 +567,45 @@ class WorkQueue:
                 "ORDER BY worker_id").fetchall())
         return [WorkerStat(worker_id=w, jobs_done=j, busy_seconds=b)
                 for w, j, b in rows]
+
+    def worker_snapshot(self) -> list[dict]:
+        """Fleet forensics for ``repro-verify top``: one plain dict per
+        registered worker — heartbeat age, throughput, and the job it
+        currently holds (with lease age) if any.  Plain dicts so the
+        snapshot serialises over the network backend unchanged.
+        """
+        now = time.time()
+
+        def read() -> tuple[list, list]:
+            with self._txn():
+                workers = self._conn.execute(
+                    "SELECT worker_id, pid, started, last_heartbeat, "
+                    "jobs_done, busy_seconds FROM workers "
+                    "ORDER BY worker_id").fetchall()
+                leased = self._conn.execute(
+                    "SELECT worker_id, job_id, updated, lease_expiry "
+                    "FROM jobs WHERE status = ?", (JOB_LEASED,)).fetchall()
+            return workers, leased
+
+        with self._lock:
+            workers, leased = _with_lock_retry(read)
+        held = {w: (job_id, updated, expiry)
+                for w, job_id, updated, expiry in leased}
+        snapshot = []
+        for worker_id, pid, started, beat, jobs_done, busy in workers:
+            job_id, claimed, expiry = held.get(worker_id,
+                                               (None, None, None))
+            snapshot.append({
+                "worker_id": worker_id,
+                "pid": pid,
+                "uptime_seconds": max(now - started, 0.0),
+                "heartbeat_age_seconds": max(now - beat, 0.0),
+                "jobs_done": jobs_done,
+                "busy_seconds": busy,
+                "current_job": job_id,
+                "job_age_seconds":
+                    max(now - claimed, 0.0) if claimed else None,
+                "lease_remaining_seconds":
+                    expiry - now if expiry else None,
+            })
+        return snapshot

@@ -182,6 +182,9 @@ class RemoteWorkQueue(_RemoteProxy):
     def worker_stats(self) -> list[WorkerStat]:
         return self._call("worker_stats")
 
+    def worker_snapshot(self) -> list[dict]:
+        return self._call("worker_snapshot")
+
 
 class RemoteProofStore(_RemoteProxy):
     """:class:`~repro.dist.backend.StoreBackend` over HTTP.
@@ -246,6 +249,25 @@ class RemoteProofStore(_RemoteProxy):
             return self._call("expected_wall", design, property_name)
         except _REMOTE_ERRORS:
             return None
+
+    def record_ledger(self, entry: dict) -> None:
+        try:
+            self._call("record_ledger", entry)
+        except _REMOTE_ERRORS:
+            pass
+
+    def ledger_entry(self, design: str,
+                     property_name: str) -> dict | None:
+        try:
+            return self._call("ledger_entry", design, property_name)
+        except _REMOTE_ERRORS:
+            return None
+
+    def ledger_rows(self, design: str | None = None) -> list[dict]:
+        try:
+            return self._call("ledger_rows", design)
+        except _REMOTE_ERRORS:
+            return []
 
     def clear(self) -> None:
         try:

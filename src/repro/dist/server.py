@@ -47,6 +47,7 @@ from pathlib import Path
 
 from repro.campaign.store import ProofStore, _is_lock_error
 from repro.dist.queue import WorkQueue
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 DEFAULT_PORT = 7333
@@ -57,6 +58,7 @@ QUEUE_METHODS = frozenset({
     "enqueue", "set_state", "state", "requeue_expired",
     "register_worker", "claim", "heartbeat", "complete", "fail",
     "counts", "unfinished", "results", "worker_stats",
+    "worker_snapshot",
 })
 
 #: Store methods callable over the wire (the StoreBackend surface).
@@ -64,6 +66,7 @@ QUEUE_METHODS = frozenset({
 STORE_METHODS = frozenset({
     "load", "store", "record", "history_size", "strategy_stats",
     "property_stats", "expected_wall", "clear", "size",
+    "record_ledger", "ledger_entry", "ledger_rows",
 })
 
 
@@ -295,6 +298,12 @@ class ProofService:
                         seconds: float) -> None:
         self._m_requests.labels(endpoint, str(status)).inc()
         self._m_latency.labels(endpoint).observe(seconds)
+        # Journal only the anomalies: per-request events for a 5 Hz
+        # polling fleet would drown the forensics file in noise, but a
+        # 4xx/5xx during a campaign is exactly what `explain` digs for.
+        if status >= 400:
+            _events.emit("service_request", endpoint=endpoint,
+                         status=status, seconds=round(seconds, 6))
 
     def note_unavailable(self, reason: str) -> None:
         self._m_unavailable.labels(reason).inc()

@@ -48,6 +48,7 @@ from repro.dist.protocol import Heartbeat, JobResult, JobSpec, Lease
 from repro.dist.queue import STATE_CLOSED
 from repro.mc.cache import ResultCache
 from repro.mc.portfolio import PortfolioScheduler, VerifyTask
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
@@ -105,6 +106,9 @@ class Worker:
         # even spans for early jobs stitch under the campaign root.
         if _tracing.active() is None:
             _tracing.configure_from_env()
+        # Same for the event journal (REPRO_EVENTS_DIR).
+        if _events.active() is None:
+            _events.configure_from_env()
         self.queue = open_queue(self.backend)
         self.store = open_store(self.backend)
         self.cache = ResultCache(backing=self.store)
@@ -127,6 +131,8 @@ class Worker:
             pass  # registration is bookkeeping; claims re-upsert stats
         beats = threading.Thread(target=self._beat_loop, daemon=True)
         beats.start()
+        _events.emit("worker_start", worker=self.worker_id,
+                     backend=str(self.backend), jobs=self.jobs)
         done = 0
         idle_since: float | None = None
         try:
@@ -163,6 +169,8 @@ class Worker:
                     done += 1
                 self._renew_campaign()
         finally:
+            _events.emit("worker_exit", worker=self.worker_id,
+                         jobs_done=done)
             self._stop_beats.set()
             beats.join(timeout=2.0)
             self.queue.close()
@@ -197,6 +205,10 @@ class Worker:
                            property=spec.property_name,
                            worker=self.worker_id,
                            attempt=lease.attempt) as sp:
+            _events.emit("job_start", job_id=spec.job_id,
+                         design=spec.design,
+                         property=spec.property_name,
+                         worker=self.worker_id, attempt=lease.attempt)
             accepted = self._process_inner(spec)
             if sp is not None:
                 sp.attrs["accepted"] = accepted
@@ -209,6 +221,8 @@ class Worker:
             result = self._execute(spec)
         except Exception as exc:
             _M_JOBS.labels("failed").inc()
+            self._emit_job_finish(spec, "failed", started,
+                                  error=f"{type(exc).__name__}: {exc}")
             try:
                 self.queue.fail(spec.job_id, self.worker_id,
                                 f"{type(exc).__name__}: {exc}")
@@ -230,6 +244,8 @@ class Worker:
             accepted = self.queue.complete(result, self.worker_id)
             _M_JOBS.labels(
                 "completed" if accepted else "discarded").inc()
+            self._emit_job_finish(
+                spec, "completed" if accepted else "discarded", started)
             return accepted
         except TRANSIENT_BACKEND_ERRORS as exc:
             if not is_transient_error(exc):
@@ -239,9 +255,19 @@ class Worker:
             # the lease will expire, and the requeued attempt answers
             # from that store — nothing is lost, nothing re-proven.
             _M_JOBS.labels("unreported").inc()
+            self._emit_job_finish(spec, "unreported", started)
             return False
         finally:
             self._current_job = None
+
+    def _emit_job_finish(self, spec: JobSpec, result: str,
+                         started: float, **extra) -> None:
+        _events.emit("job_finish", job_id=spec.job_id,
+                     design=spec.design, property=spec.property_name,
+                     worker=self.worker_id, result=result,
+                     wall_seconds=round(
+                         time.perf_counter() - started, 6),
+                     **extra)
 
     def _execute(self, spec: JobSpec) -> JobResult:
         prop, scoped = self._compile(spec)
@@ -258,7 +284,8 @@ class Worker:
                 wall_seconds=outcome.result.stats.wall_seconds,
                 k=outcome.result.k, from_cache=outcome.from_cache,
                 fallback=spec.fallback, worker_id=self.worker_id,
-                effort=outcome.result.stats.effort_dict()),
+                effort=outcome.result.stats.effort_dict(),
+                attempts=list(outcome.attempt_log)),
             cache=self.cache.stats.since(stats_before))
 
     def _compile(self, spec: JobSpec):

@@ -261,7 +261,10 @@ def run_campaign(designs: list[str] | None = None,
                  wall_timeout: float | None = None,
                  backend: str | None = None,
                  worker_jobs: int = 1,
-                 trace_dir: str | Path | None = None) -> CampaignReport:
+                 trace_dir: str | Path | None = None,
+                 events_dir: str | Path | None = None,
+                 slow_solve_seconds: float | None = None
+                 ) -> CampaignReport:
     """Verify many designs in one cross-design campaign.
 
     ``designs`` are registry names (default: the whole registry).  With
@@ -299,6 +302,13 @@ def run_campaign(designs: list[str] | None = None,
     appends JSONL span events there, stitched into one tree by
     ``scripts/trace_report.py``.  The report's ``trace_id`` names the
     run's trace.
+
+    ``events_dir`` captures the structured event journal
+    (:mod:`repro.obs.events`): check/job/queue/campaign lifecycle
+    events from every participating process, the raw material
+    ``repro-verify explain`` digs through.  ``slow_solve_seconds``
+    tunes the slow-solve threshold for this run (checks slower than it
+    journal a full solver-effort snapshot).
     """
     if workers < 0:
         raise ValueError("workers must be >= 0 (0 = run in-process)")
@@ -340,6 +350,12 @@ def run_campaign(designs: list[str] | None = None,
         from repro.obs import tracing
         tracing.configure(trace_dir)
         configured_tracing = True
+    configured_events = False
+    if events_dir is not None:
+        from repro.obs import events
+        events.configure(events_dir,
+                         slow_solve_seconds=slow_solve_seconds)
+        configured_events = True
     try:
         scheduler = CampaignScheduler(
             select_designs(designs), store, jobs=jobs,
@@ -351,6 +367,9 @@ def run_campaign(designs: list[str] | None = None,
         if configured_tracing:
             from repro.obs import tracing
             tracing.shutdown()
+        if configured_events:
+            from repro.obs import events
+            events.shutdown()
         if scratch_dir is not None:
             store.close()
             shutil.rmtree(scratch_dir, ignore_errors=True)

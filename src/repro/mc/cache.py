@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Mapping, Protocol, runtime_checkable
@@ -29,6 +30,7 @@ from repro.ir import expr as E
 from repro.ir.system import TransitionSystem
 from repro.mc.property import SafetyProperty
 from repro.mc.result import CheckResult
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
@@ -252,6 +254,37 @@ def strategy_cacheable(strategy, options: Mapping) -> bool:
     return True if probe is None else bool(probe(options))
 
 
+def emit_check_events(system_name: str, prop_name: str,
+                      strategy_name: str, result: CheckResult,
+                      wall_seconds: float, origin: str,
+                      tier: str | None = None) -> None:
+    """Journal one finished check (plus the slow-solve dump when due).
+
+    Shared by both check paths — :func:`run_cached` and the pool
+    workers' :func:`~repro.mc.strategy.run_check_task` — so the event
+    schema cannot drift between them.  Solver-path checks slower than
+    the journal's threshold additionally emit a ``slow_solve`` event
+    carrying the full solver-effort snapshot.
+    """
+    fields = {"design": system_name, "property": prop_name,
+              "strategy": strategy_name, "status": result.status.value,
+              "origin": origin, "k": result.k,
+              "wall_seconds": round(wall_seconds, 6)}
+    if tier is not None:
+        fields["tier"] = tier
+    _events.emit("check_finish", **fields)
+    threshold = _events.slow_solve_threshold()
+    if origin == "solver" and threshold is not None \
+            and wall_seconds >= threshold:
+        _events.emit(
+            "slow_solve", design=system_name, property=prop_name,
+            strategy=strategy_name, status=result.status.value,
+            k=result.k, wall_seconds=round(wall_seconds, 6),
+            threshold=threshold,
+            solve_seconds=round(result.stats.solve_seconds, 6),
+            effort=result.stats.effort_dict())
+
+
 def run_cached(strategy_spec: str, system: TransitionSystem,
                prop: SafetyProperty, options: Mapping,
                lemmas: list[tuple[E.Expr, int]] | None = None,
@@ -269,16 +302,27 @@ def run_cached(strategy_spec: str, system: TransitionSystem,
     if cache is not None and strategy_cacheable(strategy, resolved):
         key = query_key(system, prop, strategy.name,
                         canonical_options(strategy, resolved), lemmas)
+        disk_before = cache.stats.disk_hits
         hit = cache.get(key)
         if hit is not None:
             _M_CHECKS.labels(strategy.name, "cache").inc()
+            tier = "disk" if cache.stats.disk_hits > disk_before \
+                else "memory"
+            emit_check_events(system.name, prop.name, strategy.name,
+                              hit, 0.0, "cache", tier=tier)
             return hit
     with _tracing.span("check", strategy=strategy.name,
                        property=prop.name) as sp:
+        _events.emit("check_start", design=system.name,
+                     property=prop.name, strategy=strategy.name)
+        started = time.perf_counter()
         result = strategy.run(system, prop, lemmas=list(lemmas or []),
                               **resolved)
+        wall = time.perf_counter() - started
         if sp is not None:
             sp.attrs["status"] = result.status.value
+        emit_check_events(system.name, prop.name, strategy.name,
+                          result, wall, "solver")
     _M_CHECKS.labels(strategy.name, "solver").inc()
     if cache is not None and key is not None:
         cache.put(key, result)

@@ -113,6 +113,11 @@ class PortfolioOutcome:
     cancelled: int = 0          # siblings dropped after the win
     from_cache: bool = False
     tag: str = ""               # the task's tag, passed through
+    #: One plain dict per raced slot, in configured order — the effort
+    #: ledger's raw material (see :func:`attempt_record`).  Plain dicts
+    #: so the log pickles through the dist protocol and JSON-serializes
+    #: into the proof store unchanged.
+    attempt_log: list[dict] = field(default_factory=list)
 
     @property
     def status(self) -> Status:
@@ -123,6 +128,27 @@ class PortfolioOutcome:
         extra = f" [{origin}" + \
             (f", {self.cancelled} cancelled]" if self.cancelled else "]")
         return self.result.one_line() + extra
+
+
+def attempt_record(spec: str, result: CheckResult, origin: str,
+                   winner: bool = False) -> dict:
+    """One effort-ledger row for a strategy attempt that produced a
+    result.  ``origin`` is where the answer came from: ``"solver"``,
+    or the cache tier that served it (``"memory"`` / ``"disk"``)."""
+    effort = result.stats.effort_dict()
+    effort["solve_seconds"] = round(result.stats.solve_seconds, 6)
+    return {"strategy": spec, "status": result.status.value,
+            "origin": origin, "winner": winner, "k": result.k,
+            "wall_seconds": round(result.stats.wall_seconds, 6),
+            "effort": effort}
+
+
+def unrun_record(spec: str, origin: str) -> dict:
+    """A ledger row for a slot that produced no result: ``"skipped"``
+    (never started — an earlier slot already won) or ``"cancelled"``
+    (submitted to the pool, then dropped/discarded after the win)."""
+    return {"strategy": spec, "status": "", "origin": origin,
+            "winner": False, "k": 0, "wall_seconds": 0.0, "effort": {}}
 
 
 def _worker_run(task: CheckTask) -> CheckResult:
@@ -214,30 +240,46 @@ class PortfolioScheduler:
             best: tuple[str, CheckResult, bool] | None = None
             attempts = 0
             outcome = None
+            log: list[dict] = []
             for spec in specs:
                 hits_before = self.cache.stats.hits \
+                    if self.cache is not None else 0
+                disk_before = self.cache.stats.disk_hits \
                     if self.cache is not None else 0
                 result = run_cached(spec, task.system, task.prop,
                                     self._options_for(spec),
                                     lemmas=task.lemmas, cache=self.cache)
                 was_hit = self.cache is not None and \
                     self.cache.stats.hits > hits_before
+                origin = "solver" if not was_hit else \
+                    ("disk" if self.cache.stats.disk_hits > disk_before
+                     else "memory")
+                log.append(attempt_record(spec, result, origin))
                 attempts += 1
                 if result.status.conclusive:
+                    log[-1]["winner"] = True
+                    log += [unrun_record(s, "skipped")
+                            for s in specs[attempts:]]
                     outcome = PortfolioOutcome(
                         task.prop.name, result, spec, attempts=attempts,
                         cancelled=len(specs) - attempts,
-                        from_cache=was_hit, tag=task.tag)
+                        from_cache=was_hit, tag=task.tag,
+                        attempt_log=log)
                     break
                 if best is None:
                     best = (spec, result, was_hit)
             if outcome is None:
                 spec, result, was_hit = best if best is not None else \
                     (specs[0], _no_result(task.prop.name), False)
+                for row in log:
+                    if row["strategy"] == spec:
+                        row["winner"] = True
+                        break
                 outcome = PortfolioOutcome(task.prop.name, result, spec,
                                            attempts=attempts,
                                            from_cache=was_hit,
-                                           tag=task.tag)
+                                           tag=task.tag,
+                                           attempt_log=log)
             yield outcome
 
     # ------------------------------------------------------------------
@@ -260,11 +302,17 @@ class PortfolioScheduler:
                 options = self._options_for(spec)
                 if self.cache is not None:
                     key = self._key_for(spec, options, group.task)
+                    disk_before = self.cache.stats.disk_hits
                     hit = self.cache.get(key) if key is not None \
                         else None
                     if hit is not None:
-                        group.record(slot, hit, from_cache=True)
+                        tier = "disk" \
+                            if self.cache.stats.disk_hits > disk_before \
+                            else "memory"
+                        group.record(slot, hit, from_cache=True,
+                                     origin=tier)
                         continue
+                group.note_submitted(slot)
                 to_submit.append(CheckTask(
                     key=(group.index, slot), system=group.task.system,
                     prop=group.task.prop, strategy=spec, options=options,
@@ -344,6 +392,8 @@ class _RaceGroup:
         self.task = task
         self.strategies = strategies
         self.results: dict[int, tuple[CheckResult, bool]] = {}
+        self.origins: dict[int, str] = {}
+        self.submitted: set[int] = set()
         self.cancelled = 0
         self.winner_slot: int | None = None
 
@@ -356,13 +406,38 @@ class _RaceGroup:
         return len(self.results) + self.cancelled >= len(self.strategies)
 
     def record(self, slot: int, result: CheckResult,
-               from_cache: bool = False) -> None:
+               from_cache: bool = False, origin: str = "solver") -> None:
         self.results[slot] = (result, from_cache)
+        self.origins[slot] = origin
         if result.status.conclusive and self.winner_slot is None:
             self.winner_slot = slot
 
+    def note_submitted(self, slot: int) -> None:
+        self.submitted.add(slot)
+
     def note_cancelled(self) -> None:
         self.cancelled += 1
+
+    def attempt_log(self, winner_slot: int | None) -> list[dict]:
+        """The effort-ledger rows for this race, in configured order.
+
+        Slots without a result at decision time are ``"cancelled"``
+        when they reached the pool (queued-dropped or still running,
+        soon discarded) and ``"skipped"`` when the race was decided
+        before they were ever submitted.
+        """
+        log = []
+        for slot, spec in enumerate(self.strategies):
+            if slot in self.results:
+                result, _ = self.results[slot]
+                log.append(attempt_record(
+                    spec, result, self.origins.get(slot, "solver"),
+                    winner=slot == winner_slot))
+            elif slot in self.submitted:
+                log.append(unrun_record(spec, "cancelled"))
+            else:
+                log.append(unrun_record(spec, "skipped"))
+        return log
 
     def outcome(self) -> PortfolioOutcome:
         if self.winner_slot is not None:
@@ -375,12 +450,14 @@ class _RaceGroup:
             return PortfolioOutcome(self.task.prop.name, result,
                                     self.strategies[0],
                                     cancelled=self.cancelled,
-                                    tag=self.task.tag)
+                                    tag=self.task.tag,
+                                    attempt_log=self.attempt_log(None))
         result, from_cache = self.results[slot]
         return PortfolioOutcome(
             self.task.prop.name, result, self.strategies[slot],
             attempts=len(self.results), cancelled=self.cancelled,
-            from_cache=from_cache, tag=self.task.tag)
+            from_cache=from_cache, tag=self.task.tag,
+            attempt_log=self.attempt_log(slot))
 
 
 def _no_result(property_name: str) -> CheckResult:

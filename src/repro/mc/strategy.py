@@ -346,6 +346,11 @@ def canonical_options(strategy: Strategy, options: Mapping) -> dict:
 
 def run_check_task(task: CheckTask) -> CheckResult:
     """Execute one task (in-process or inside a pool worker)."""
+    import time as _time
+
+    from repro.mc.cache import emit_check_events
+    from repro.obs import events as _events
+
     strategy, options = resolve_strategy(task.strategy)
     options.update(task.options)
     parent = None
@@ -353,8 +358,14 @@ def run_check_task(task: CheckTask) -> CheckResult:
         parent = task.trace.span_id
     with _tracing.span("check", parent_id=parent, strategy=strategy.name,
                        property=task.prop.name) as sp:
+        _events.emit("check_start", design=task.system.name,
+                     property=task.prop.name, strategy=strategy.name)
+        started = _time.perf_counter()
         result = strategy.run(task.system, task.prop, lemmas=task.lemmas,
                               **options)
+        wall = _time.perf_counter() - started
         if sp is not None:
             sp.attrs["status"] = result.status.value
+        emit_check_events(task.system.name, task.prop.name, strategy.name,
+                          result, wall, "solver")
     return result

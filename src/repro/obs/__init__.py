@@ -1,16 +1,20 @@
-"""Zero-dependency observability: metrics registry + span tracing.
+"""Zero-dependency observability: metrics, tracing, event journal.
 
 ``repro.obs.metrics`` holds a process-local Prometheus-style registry
 (counters, gauges, histograms) that every layer — solver, engines,
 campaign scheduler, work queue, HTTP service — records into.
 ``repro.obs.tracing`` emits JSONL span events with trace/span/parent
 ids so one campaign reconstructs as a single tree across worker
-processes and the network boundary.
+processes and the network boundary.  ``repro.obs.events`` is the
+structured event journal: typed JSONL facts (check finished, lease
+expired, job poisoned) carrying campaign/job/design/property ids plus
+the ambient trace/span id, for forensic reconstruction of a run.
 
-Both modules are stdlib-only and import nothing from the rest of
+All modules are stdlib-only and import nothing from the rest of
 ``repro``, so any layer may import them without cycles.
 """
 
+from repro.obs.events import EventJournal
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -20,6 +24,7 @@ from repro.obs.metrics import (
 from repro.obs.tracing import TraceContext, span
 
 __all__ = [
+    "EventJournal",
     "MetricsRegistry",
     "TraceContext",
     "get_registry",

@@ -1,0 +1,227 @@
+"""Structured event journal: typed JSONL events over plain files.
+
+Spans (``repro.obs.tracing``) answer *where time went*; the event
+journal answers *what happened*: discrete, typed facts — a check
+started, a lease expired, a job was poisoned — each carrying the ids
+an operator greps for (campaign/job/design/property) plus the ambient
+trace/span id so events and spans cross-reference.
+
+One journal per top-level operation. Each participating process
+appends to its own file, ``events-<host>-<pid>.jsonl``, inside a
+shared directory — the same no-locking, no-server design as the trace
+sink, and the same propagation seams: :meth:`EventJournal.env` exports
+``REPRO_EVENTS_DIR`` (plus the slow-solve threshold) and child
+processes join via :func:`configure_from_env`.
+
+Every event is one JSON object per line::
+
+    {"ts": 1754650000.123456, "kind": "check_finish", "host": "w3",
+     "pid": 17744, "trace_id": "854ea578656841b0",
+     "span_id": "c0ffee0123456789", "design": "updown_counter",
+     "property": "upper_bound", "strategy": "bmc", "status": "proven",
+     "origin": "solver", "wall_seconds": 0.012}
+
+``ts``/``kind``/``host``/``pid`` are always present; ``trace_id`` /
+``span_id`` appear whenever a tracer is active with a current span;
+everything else is kind-specific (see docs/observability.md for the
+catalog).
+
+A bounded in-memory ring keeps the most recent events for in-process
+consumers (:meth:`EventJournal.recent`) without re-reading files.
+Checks slower than the journal's ``slow_solve_seconds`` threshold get
+a dedicated ``slow_solve`` event with the full solver-effort snapshot.
+
+Everything is fail-soft: with no journal configured :func:`emit` costs
+one attribute load; I/O errors silently disable the sink (the ring
+keeps filling) rather than fail verification.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import json
+import os
+import socket
+import threading
+import time
+
+from pathlib import Path
+
+from repro.obs import tracing
+
+__all__ = [
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_SLOW_SOLVE_SECONDS",
+    "EVENTS_DIR_ENV",
+    "SLOW_SOLVE_ENV",
+    "EventJournal",
+    "active",
+    "configure",
+    "configure_from_env",
+    "emit",
+    "load_events",
+    "shutdown",
+    "slow_solve_threshold",
+]
+
+EVENTS_DIR_ENV = "REPRO_EVENTS_DIR"
+SLOW_SOLVE_ENV = "REPRO_SLOW_SOLVE_SECONDS"
+
+#: Checks slower than this dump a full solver-effort snapshot.
+DEFAULT_SLOW_SOLVE_SECONDS = 30.0
+#: Most-recent events kept in memory per process.
+DEFAULT_RING_SIZE = 512
+
+
+class EventJournal:
+    """Appends typed events to a per-process JSONL file + memory ring."""
+
+    def __init__(self, events_dir: str | os.PathLike,
+                 slow_solve_seconds: float | None = None,
+                 ring_size: int = DEFAULT_RING_SIZE):
+        self.events_dir = Path(events_dir)
+        self.events_dir.mkdir(parents=True, exist_ok=True)
+        self.slow_solve_seconds = (DEFAULT_SLOW_SOLVE_SECONDS
+                                   if slow_solve_seconds is None
+                                   else float(slow_solve_seconds))
+        self.host = socket.gethostname()
+        self.ring: collections.deque[dict] = \
+            collections.deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._pid: int | None = None
+        self._broken = False
+
+    def _handle(self):
+        # Reopened on pid change so forked pool workers never share a
+        # file offset with their parent.
+        pid = os.getpid()
+        if self._fh is None or self._pid != pid:
+            path = self.events_dir / f"events-{self.host}-{pid}.jsonl"
+            self._fh = open(path, "a", encoding="utf-8")
+            self._pid = pid
+        return self._fh
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the event dict (for tests/ring)."""
+        event: dict = {"ts": round(time.time(), 6), "kind": kind,
+                       "host": self.host, "pid": os.getpid()}
+        ctx = tracing.current_context()
+        if ctx is not None:
+            event["trace_id"] = ctx.trace_id
+            event["span_id"] = ctx.span_id
+        event.update(fields)
+        self.ring.append(event)
+        if not self._broken:
+            try:
+                line = json.dumps(event, separators=(",", ":"),
+                                  default=str)
+                with self._lock:
+                    fh = self._handle()
+                    fh.write(line + "\n")
+                    fh.flush()
+            except (OSError, ValueError, TypeError):
+                self._broken = True
+        return event
+
+    def recent(self, kind: str | None = None) -> list[dict]:
+        """The in-memory ring, newest last, optionally one kind only."""
+        events = list(self.ring)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        return events
+
+    def env(self) -> dict[str, str]:
+        """Env vars that let a child process join this journal."""
+        return {EVENTS_DIR_ENV: str(self.events_dir),
+                SLOW_SOLVE_ENV: repr(self.slow_solve_seconds)}
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._pid == os.getpid():
+                with contextlib.suppress(OSError):
+                    self._fh.close()
+            self._fh = None
+            self._pid = None
+
+
+_journal: EventJournal | None = None
+
+
+def configure(events_dir: str | os.PathLike,
+              slow_solve_seconds: float | None = None) -> EventJournal:
+    """Install a process-wide journal (replacing any previous one)."""
+    global _journal
+    if _journal is not None:
+        _journal.close()
+    _journal = EventJournal(events_dir, slow_solve_seconds)
+    return _journal
+
+
+def configure_from_env(environ=os.environ) -> EventJournal | None:
+    """Join the journal advertised by the parent process, if any."""
+    events_dir = environ.get(EVENTS_DIR_ENV)
+    if not events_dir:
+        return None
+    threshold: float | None
+    try:
+        threshold = float(environ.get(SLOW_SOLVE_ENV, ""))
+    except ValueError:
+        threshold = None
+    try:
+        return configure(events_dir, threshold)
+    except OSError:
+        return None
+
+
+def active() -> EventJournal | None:
+    return _journal
+
+
+def shutdown() -> None:
+    """Close and uninstall the journal (flushes are per-event)."""
+    global _journal
+    if _journal is not None:
+        _journal.close()
+    _journal = None
+
+
+def emit(kind: str, **fields) -> None:
+    """Record one event on the active journal; no-op when none."""
+    journal = _journal
+    if journal is not None:
+        journal.emit(kind, **fields)
+
+
+def slow_solve_threshold() -> float | None:
+    """The active journal's slow-solve threshold, or ``None``."""
+    journal = _journal
+    return None if journal is None else journal.slow_solve_seconds
+
+
+def load_events(events_dir: str | os.PathLike) -> list[dict]:
+    """Read every event from a journal directory, oldest first.
+
+    Skips torn trailing lines (a crashed process may leave one), same
+    as the trace reader.
+    """
+    events: list[dict] = []
+    root = Path(events_dir)
+    if not root.is_dir():
+        return events
+    for path in sorted(root.glob("events-*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    events.sort(key=lambda e: e.get("ts", 0.0))
+    return events

@@ -70,6 +70,15 @@ def _validate_name(name: str) -> None:
 
 
 def _escape_label(value: str) -> str:
+    """Escape one label value per the Prometheus text exposition spec.
+
+    Exactly three characters are escaped — backslash, double quote,
+    and newline — and backslash MUST go first: escaping it after the
+    others would double the backslashes those escapes just introduced
+    (``"`` -> ``\\"`` -> ``\\\\"``), which scrapers then mis-parse.
+    Audited and pinned by the exposition edge-case tests; do not
+    reorder.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"') \
                 .replace("\n", "\\n")
 
@@ -209,7 +218,18 @@ class Family:
         return self._default.value
 
     def samples(self) -> Iterable[tuple[str, str, float]]:
-        """(sample name, rendered labels, value) triples, render order."""
+        """(sample name, rendered labels, value) triples, render order.
+
+        Histogram buckets are CUMULATIVE, as the exposition format
+        requires: each ``le`` bucket counts every observation at or
+        below its bound, and the ``+Inf`` bucket always equals the
+        family's total ``_count`` — even when every observation
+        overflowed the finite bounds.  Audited and pinned by the
+        exposition edge-case tests: a scraper computes per-bucket
+        rates by subtracting adjacent buckets, so emitting raw
+        (non-cumulative) counts here would corrupt every histogram
+        quantile downstream.
+        """
         with self._lock:
             children = sorted(self._children.items())
         for key, child in children:
@@ -288,6 +308,9 @@ class MetricsRegistry:
 
         Histograms are summarised as their ``_sum`` / ``_count`` series
         (buckets stay in :meth:`render`, which is for scrapers).
+        Gauges are captured at their instantaneous level; pair two
+        snapshots with :func:`delta` to measure growth — and note the
+        gauge semantics pinned there.
         """
         out: dict[str, dict] = {}
         with self._lock:
@@ -310,9 +333,14 @@ def delta(before: dict[str, dict],
           after: dict[str, dict]) -> dict[str, dict]:
     """Counter/histogram growth between two :meth:`snapshot` calls.
 
-    Gauges are reported at their ``after`` level (a gauge delta is
-    meaningless); zero-growth series are dropped to keep embedded
-    snapshots small.
+    Gauge semantics, audited and pinned by the exposition edge-case
+    tests: a gauge is reported at its ``after`` LEVEL, never as
+    ``after - before``.  A gauge is an instantaneous reading (queue
+    depth, uptime), so "growth" would subtract two unrelated readings
+    into a number that means nothing — the level is the datum.  A
+    gauge that reads exactly 0.0 is therefore dropped with the
+    zero-growth series (indistinguishable by value), which embedded
+    snapshots accept to stay small.
     """
     out: dict[str, dict] = {}
     for name, entry in after.items():

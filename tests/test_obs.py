@@ -1,6 +1,7 @@
 """Observability: metrics registry, span tracing, service /metrics."""
 
 import json
+import sys
 import urllib.request
 
 import pytest
@@ -10,6 +11,7 @@ from repro.dist import ProofService, RemoteWorkQueue, WorkQueue, Worker
 from repro.flow import run_campaign
 from repro.obs import (MetricsRegistry, get_registry, metrics_enabled,
                        set_metrics_enabled, span)
+from repro.obs import events
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from scripts.trace_report import aggregate, build_tree, load_spans
@@ -17,10 +19,12 @@ from scripts.trace_report import aggregate, build_tree, load_spans
 
 @pytest.fixture(autouse=True)
 def _isolate_obs_globals():
-    """Tests must not leak a tracer or a disabled-metrics flag."""
+    """Tests must not leak a tracer, a journal, or a disabled-metrics
+    flag."""
     enabled = metrics_enabled()
     yield
     tracing.shutdown()
+    events.shutdown()
     set_metrics_enabled(enabled)
 
 
@@ -459,6 +463,378 @@ class TestStatusCli:
         out = capsys.readouterr().out
         assert "trace " in out and "trace_report.py" in out
         assert load_spans(tmp_path / "trace")
+
+
+class TestEventJournal:
+    def test_emit_is_noop_without_journal(self):
+        assert events.active() is None
+        events.emit("orphaned", detail=1)        # must not raise
+        assert events.slow_solve_threshold() is None
+
+    def test_configure_emit_load_round_trip(self, tmp_path):
+        journal = events.configure(tmp_path, slow_solve_seconds=2.5)
+        assert events.active() is journal
+        assert events.slow_solve_threshold() == 2.5
+        events.emit("check_start", design="d", property="p")
+        events.emit("check_finish", design="d", status="proven")
+        loaded = events.load_events(tmp_path)
+        assert [e["kind"] for e in loaded] == \
+            ["check_start", "check_finish"]
+        first = loaded[0]
+        assert first["design"] == "d" and first["property"] == "p"
+        for always in ("ts", "kind", "host", "pid"):
+            assert always in first
+        assert "trace_id" not in first           # no tracer configured
+        events.shutdown()
+        assert events.active() is None
+
+    def test_events_carry_ambient_trace_context(self, tmp_path):
+        tracing.configure(tmp_path / "trace", trace_id="t9")
+        events.configure(tmp_path / "events")
+        with span("solve") as handle:
+            events.emit("check_start")
+        events.shutdown()
+        (event,) = events.load_events(tmp_path / "events")
+        assert event["trace_id"] == "t9"
+        assert event["span_id"] == handle.span_id
+
+    def test_ring_is_bounded_and_filterable(self, tmp_path):
+        journal = events.EventJournal(tmp_path, ring_size=3)
+        for i in range(5):
+            journal.emit("tick", i=i)
+        journal.emit("tock")
+        assert len(journal.recent()) == 3
+        assert [e["i"] for e in journal.recent("tick")] == [3, 4]
+        journal.close()
+
+    def test_load_skips_torn_and_foreign_files(self, tmp_path):
+        path = tmp_path / "events-h-1.jsonl"
+        later = json.dumps({"ts": 2.0, "kind": "b"})
+        earlier = json.dumps({"ts": 1.0, "kind": "a"})
+        path.write_text(later + "\n" + earlier + "\n" + '{"torn": \n',
+                        encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("not an event file")
+        loaded = events.load_events(tmp_path)
+        assert [e["kind"] for e in loaded] == ["a", "b"]  # ts-sorted
+        assert events.load_events(tmp_path / "missing") == []
+
+    def test_env_round_trip_joins_the_journal(self, tmp_path):
+        journal = events.configure(tmp_path, slow_solve_seconds=7.0)
+        env = journal.env()
+        assert env == {"REPRO_EVENTS_DIR": str(tmp_path),
+                       "REPRO_SLOW_SOLVE_SECONDS": "7.0"}
+        events.shutdown()
+        joined = events.configure_from_env(env)
+        assert joined is not None
+        assert joined.slow_solve_seconds == 7.0
+        assert joined.events_dir == tmp_path
+        assert events.configure_from_env({}) is None
+
+    def test_broken_sink_goes_silent_ring_keeps_filling(self, tmp_path):
+        journal = events.configure(tmp_path)
+        journal.emit("first")
+        journal._handle().close()        # simulate an I/O failure
+        journal.emit("second")           # must not raise
+        assert [e["kind"] for e in journal.recent()] == \
+            ["first", "second"]
+        events.shutdown()
+        assert [e["kind"] for e in events.load_events(tmp_path)] == \
+            ["first"]
+
+    def test_campaign_journal_records_forensics(self, tmp_path):
+        report = run_campaign(designs=["updown_counter"], max_k=3,
+                              cache_dir=tmp_path / "cache",
+                              events_dir=tmp_path / "events")
+        assert report.mismatches == 0
+        loaded = events.load_events(tmp_path / "events")
+        kinds = [e["kind"] for e in loaded]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_finish"
+        checks = [e for e in loaded if e["kind"] == "check_finish"]
+        assert checks
+        assert all(e["origin"] in ("solver", "cache") for e in checks)
+        assert events.active() is None   # campaign cleans up after itself
+
+
+class TestMetricsExpositionEdgeCases:
+    """Pin the exposition corner cases scrapers depend on (see the
+    audited docstrings in ``repro.obs.metrics``)."""
+
+    def test_escape_label_handles_all_three_and_orders_backslash_first(
+            self):
+        esc = obs_metrics._escape_label
+        assert esc("\\") == "\\\\"
+        assert esc('"') == '\\"'
+        assert esc("\n") == "\\n"
+        # Backslash is escaped FIRST: doing it last would double the
+        # backslashes the quote/newline escapes just introduced.
+        assert esc('\\"') == '\\\\\\"'
+        assert esc("a\\nb") == "a\\\\nb"   # literal \, then n — no newline
+
+    def test_inf_bucket_equals_total_count_even_on_overflow(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("over_seconds", buckets=(0.1, 1.0))
+        for value in (5.0, 50.0, 500.0):   # all past the finite bounds
+            hist.observe(value)
+        text = reg.render()
+        assert 'over_seconds_bucket{le="0.1"} 0' in text
+        assert 'over_seconds_bucket{le="1"} 0' in text
+        assert 'over_seconds_bucket{le="+Inf"} 3' in text
+        assert "over_seconds_count 3" in text
+
+    def test_delta_reports_gauge_level_not_subtraction(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("depth")
+        depth.set(5)
+        before = reg.snapshot()
+        depth.set(2)
+        grown = obs_metrics.delta(before, reg.snapshot())
+        assert grown["depth"]["samples"] == {"": 2}   # level, not -3
+
+    def test_zero_gauge_dropped_with_zero_growth_series(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("depth")
+        flat = reg.counter("flat_total")
+        depth.set(3)
+        flat.inc()
+        before = reg.snapshot()
+        depth.set(0)
+        grown = obs_metrics.delta(before, reg.snapshot())
+        assert "depth" not in grown       # 0.0 level is indistinguishable
+        assert "flat_total" not in grown  # no growth
+
+
+class TestEffortLedger:
+    @staticmethod
+    def _entry(**over):
+        entry = {"design": "d1", "property": "p1", "status": "PROVEN",
+                 "strategy": "pdr_seeded(seed_lemmas=4)",
+                 "provenance": "seeded", "from_cache": False,
+                 "fallback": True, "worker": "w1",
+                 "wall_seconds": 1.25, "k": 7,
+                 "attempts": [{"strategy": "bmc", "status": "timeout"}]}
+        entry.update(over)
+        return entry
+
+    def test_ledger_round_trip_and_upsert(self, tmp_path):
+        from repro.campaign import ProofStore
+        store = ProofStore.open(tmp_path)
+        store.record_ledger(self._entry())
+        entry = store.ledger_entry("d1", "p1")
+        assert entry["status"] == "PROVEN"
+        assert entry["provenance"] == "seeded"
+        assert entry["fallback"] is True
+        assert entry["from_cache"] is False
+        assert entry["k"] == 7 and entry["wall_seconds"] == 1.25
+        assert entry["attempts"] == \
+            [{"strategy": "bmc", "status": "timeout"}]
+        assert entry["recorded"] > 0
+        # One row per (design, property): re-recording replaces.
+        store.record_ledger(self._entry(status="UNKNOWN", attempts=[]))
+        assert store.ledger_entry("d1", "p1")["status"] == "UNKNOWN"
+        store.record_ledger(self._entry(property="p0"))
+        rows = store.ledger_rows("d1")
+        assert [r["property"] for r in rows] == ["p0", "p1"]
+        assert store.ledger_entry("d1", "absent") is None
+        store.close()
+
+    def test_verdict_provenance_classification(self):
+        from repro.campaign.store import verdict_provenance
+        assert verdict_provenance("bmc", from_cache=True) == "store"
+        assert verdict_provenance("pdr_seeded(n=1)", False) == "seeded"
+        assert verdict_provenance("pdr(seed_lemmas=3)", False) == \
+            "seeded"
+        assert verdict_provenance("k_induction(max_k=5)", False) == \
+            "engine"
+
+    def test_ledger_round_trips_over_http(self, service):
+        from repro.dist import RemoteProofStore
+        remote = RemoteProofStore(service.address)
+        remote.record_ledger(self._entry())
+        entry = remote.ledger_entry("d1", "p1")
+        assert entry is not None and entry["provenance"] == "seeded"
+        assert entry["attempts"] == \
+            [{"strategy": "bmc", "status": "timeout"}]
+        assert [r["property"] for r in remote.ledger_rows("d1")] == \
+            ["p1"]
+
+    def test_remote_ledger_degrades_on_unreachable_backend(self):
+        from repro.dist import RemoteProofStore
+        remote = RemoteProofStore("http://127.0.0.1:9")
+        remote.record_ledger(self._entry())     # swallowed, not raised
+        assert remote.ledger_entry("d1", "p1") is None
+        assert remote.ledger_rows() == []
+
+
+class TestTopExplainCli:
+    def test_wedged_heuristic_flags_alive_but_stuck_workers(self):
+        from repro.cli import _wedged_workers
+        fleet = [
+            {"worker_id": "ok", "jobs_done": 4, "busy_seconds": 4.0,
+             "heartbeat_age_seconds": 1.0, "current_job": "j1",
+             "job_age_seconds": 5.0},
+            {"worker_id": "stuck", "jobs_done": 4, "busy_seconds": 4.0,
+             "heartbeat_age_seconds": 1.0, "current_job": "j2",
+             "job_age_seconds": 400.0},
+            {"worker_id": "dead", "jobs_done": 4, "busy_seconds": 4.0,
+             "heartbeat_age_seconds": 120.0, "current_job": "j3",
+             "job_age_seconds": 400.0},
+            {"worker_id": "idle", "jobs_done": 0, "busy_seconds": 0.0,
+             "heartbeat_age_seconds": 1.0, "current_job": None,
+             "job_age_seconds": None},
+        ]
+        flagged = _wedged_workers(fleet, lease=15.0, factor=10.0)
+        # Median per-job solve is 1s; the threshold floors at one
+        # lease horizon (15s).  Only "stuck" is alive AND over it.
+        assert [(w["worker_id"], t) for w, t in flagged] == \
+            [("stuck", 15.0)]
+        assert _wedged_workers(fleet[-1:], 15.0, 10.0) == []
+
+    def test_worker_snapshot_reports_leases(self, tmp_path):
+        queue = WorkQueue.open(tmp_path)
+        queue.register_worker("w1", pid=123)
+        queue.enqueue([_spec("a")])
+        assert queue.claim("w1", lease_seconds=30) is not None
+        (snap,) = queue.worker_snapshot()
+        assert snap["worker_id"] == "w1" and snap["pid"] == 123
+        assert snap["current_job"] == "a"
+        assert snap["job_age_seconds"] >= 0
+        assert snap["lease_remaining_seconds"] > 0
+        queue.close()
+
+    def test_top_once_local(self, tmp_path, capsys):
+        run_campaign(designs=["updown_counter"], max_k=3,
+                     cache_dir=tmp_path)
+        assert main(["top", "--once", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-verify top" in out
+        assert "queue: state=" in out and "store:" in out
+
+    def test_top_once_remote_shows_service_counters(self, service,
+                                                    capsys):
+        assert main(["top", "--once", "--backend",
+                     service.address]) == 0
+        out = capsys.readouterr().out
+        assert "service:" in out and "claims" in out
+
+    def test_top_once_unreachable_backend_fails(self, capsys):
+        assert main(["top", "--once", "--backend",
+                     "http://127.0.0.1:9"]) == 1
+        assert capsys.readouterr().err != ""
+
+    def test_explain_reconstructs_every_property(self, tmp_path,
+                                                 capsys):
+        from repro.designs import get_design
+        run_campaign(designs=["updown_counter"], max_k=3,
+                     cache_dir=tmp_path / "cache",
+                     events_dir=tmp_path / "events")
+        for spec in get_design("updown_counter").properties:
+            assert main(["explain", "updown_counter", spec.name,
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--events", str(tmp_path / "events")]) == 0
+            out = capsys.readouterr().out
+            assert f"updown_counter.{spec.name}:" in out
+            assert "provenance:" in out and "winner:" in out
+            assert "journal" in out
+
+    def test_explain_missing_entry_fails_cleanly(self, tmp_path,
+                                                 capsys):
+        assert main(["explain", "ghost", "p",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "no ledger entry" in capsys.readouterr().err
+
+
+class TestTraceReportArtifacts:
+    def _event(self, span_id, parent, name, start=0.0, dur=1.0,
+               **extra):
+        return {"trace_id": "t", "span_id": span_id,
+                "parent_id": parent, "name": name, "start": start,
+                "dur": dur, "host": "h", "pid": 1, **extra}
+
+    def test_kind_percentiles(self):
+        from scripts.trace_report import kind_percentiles
+        spans = [self._event(f"c{i}", None, "check", dur=float(i))
+                 for i in range(1, 5)]
+        spans.append(self._event("j", None, "job", dur=9.0))
+        stats = kind_percentiles(spans)
+        assert list(stats) == ["job", "check"]   # sorted by max desc
+        count, p50, p95, peak = stats["check"]
+        assert (count, peak) == (4, 4.0)
+        assert p50 == 2.0 and p95 == 3.0
+
+    def test_fold_stacks_self_time_and_frame_sanitising(self):
+        from scripts.trace_report import fold_stacks
+        spans = [self._event("a", None, "campaign", dur=10.0),
+                 self._event("b", "a", "semi;colon name", dur=6.0),
+                 self._event("c", "b", "leaf", dur=2.0)]
+        roots, _, children = build_tree(spans)
+        lines = fold_stacks(roots, children)
+        assert lines == ["campaign 4000",
+                         "campaign;semi:colon_name 4000",
+                         "campaign;semi:colon_name;leaf 2000"]
+
+    def test_fold_stacks_clamps_parallel_children(self):
+        from scripts.trace_report import fold_stacks
+        # A parallel strategy race: children sum past the parent wall.
+        spans = [self._event("a", None, "check", dur=1.0),
+                 self._event("b", "a", "bmc", dur=0.9),
+                 self._event("c", "a", "pdr", dur=0.9)]
+        roots, _, children = build_tree(spans)
+        assert fold_stacks(roots, children)[0] == "check 0"
+
+    def test_render_html_timeline(self):
+        from scripts.trace_report import render_html
+        spans = [self._event("a", None, "campaign", dur=2.0),
+                 self._event("b", "a", "job", start=0.5, dur=1.0,
+                             host="w", pid=2,
+                             attrs={"worker": "w1"})]
+        html = render_html(spans, title='trace <"x">')
+        assert html.count('<div class="lane">') == 2   # one per process
+        assert "h:1" in html and "w:2 (w1)" in html    # worker annotated
+        assert "trace &lt;&quot;x&quot;&gt;" in html
+        assert "2.000s wall, 2 spans" in html
+        assert render_html([], title="empty").count("no spans") == 1
+
+    def test_cli_writes_folded_and_html_artifacts(self, tmp_path,
+                                                  capsys):
+        from scripts import trace_report
+        trace = tmp_path / "trace-h-1.jsonl"
+        trace.write_text(
+            json.dumps(self._event("a", None, "campaign")) + "\n" +
+            json.dumps(self._event("b", "a", "check")) + "\n",
+            encoding="utf-8")
+        folded = tmp_path / "stacks.folded"
+        html = tmp_path / "timeline.html"
+        argv = sys.argv
+        try:
+            sys.argv = ["trace_report.py", str(trace),
+                        "--folded", str(folded), "--html", str(html)]
+            assert trace_report.main() == 0
+        finally:
+            sys.argv = argv
+        assert folded.read_text().splitlines() == \
+            ["campaign 0", "campaign;check 1000"]
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        out = capsys.readouterr().out
+        assert "folded stacks" in out and "HTML timeline" in out
+
+    def test_strict_failure_names_span_ids(self, tmp_path, capsys):
+        from scripts import trace_report
+        trace = tmp_path / "trace-h-1.jsonl"
+        trace.write_text(
+            json.dumps(self._event("a", None, "campaign")) + "\n" +
+            json.dumps(self._event("x", "gone", "check")) + "\n",
+            encoding="utf-8")
+        argv = sys.argv
+        try:
+            sys.argv = ["trace_report.py", str(tmp_path), "--strict"]
+            assert trace_report.main() == 1
+        finally:
+            sys.argv = argv
+        out = capsys.readouterr().out
+        assert "orphan span id x" in out
+        assert "missing parent gone" in out
 
 
 def _spec(job_id: str):
